@@ -1,0 +1,24 @@
+"""Bench A1–A3: regenerate the ablation tables + faithful engine throughput."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.streams import random_walk
+
+
+def test_ablation_tables(benchmark, bench_scale):
+    """Regenerate A1–A3 and validate the design-choice findings."""
+    run_experiment_benchmark(benchmark, "a1", bench_scale)
+
+
+@pytest.mark.parametrize("audit", [False, True], ids=["no-audit", "audit"])
+def test_faithful_engine_throughput(benchmark, audit):
+    """Time the faithful object engine (1000 x 32, k=4), with/without audit."""
+    values = random_walk(32, 1000, seed=11, step_size=4, spread=50).generate()
+    monitor = TopKMonitor(n=32, k=4, seed=12, config=MonitorConfig(audit=audit))
+
+    res = benchmark(monitor.run, values)
+    assert res.audit_failures == 0

@@ -1,0 +1,31 @@
+"""Bench the distributed state-machine implementation + 3-way agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.monitor import TopKMonitor
+from repro.distributed import run_distributed
+from repro.streams import random_walk
+
+
+def test_distributed_engine_throughput(benchmark):
+    """Time the message-driven state machines (500 x 32, k=4)."""
+    values = random_walk(32, 500, seed=21, step_size=4, spread=50).generate()
+
+    res = benchmark(lambda: run_distributed(values, 4, seed=22))
+    assert res.steps == 500
+
+
+def test_three_way_agreement(benchmark):
+    """Time a full three-way differential run and assert exact agreement."""
+    values = random_walk(16, 300, seed=23, step_size=5, spread=30).generate()
+
+    def run():
+        faithful = TopKMonitor(n=16, k=4, seed=24).run(values)
+        dist = run_distributed(values, 4, seed=24)
+        return faithful, dist
+
+    faithful, dist = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.array_equal(faithful.topk_history, dist.topk_history)
+    assert faithful.total_messages == dist.total_messages

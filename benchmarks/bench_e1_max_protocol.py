@@ -1,0 +1,30 @@
+"""Bench E1: regenerate the Theorem 4.2 expectation table + protocol hot path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.core.protocols import maximum_protocol
+from repro.util.seeding import derive_rng
+
+
+def test_e1_table(benchmark, bench_scale):
+    """Regenerate E1 (messages vs 2·log2(N)+1) and validate its findings."""
+    out = run_experiment_benchmark(benchmark, "e1", bench_scale)
+    assert any(t.title == "E1" for t in out.tables)
+
+
+@pytest.mark.parametrize("n", [64, 1024])
+def test_protocol_throughput(benchmark, n):
+    """Time a single MaximumProtocol execution over n participants."""
+    rng = derive_rng(1, n)
+    ids = np.arange(n, dtype=np.int64)
+    vals = derive_rng(2, n).permutation(n).astype(np.int64)
+
+    def once():
+        return maximum_protocol(ids, vals, n, rng).value
+
+    result = benchmark(once)
+    assert result == n - 1

@@ -1,0 +1,18 @@
+"""Bench E2: regenerate the tail-probability table + sampling hot path."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments.e2_tail import sample_counts
+
+
+def test_e2_table(benchmark, bench_scale):
+    """Regenerate E2 (P[X > c·bound] decay) and validate its findings."""
+    run_experiment_benchmark(benchmark, "e2", bench_scale)
+
+
+def test_sampling_throughput(benchmark):
+    """Time drawing 200 protocol samples at n=256 (the E2 inner loop)."""
+    counts = benchmark(sample_counts, 256, 200, 5)
+    assert counts.shape == (200,)
+    assert counts.min() >= 1

@@ -1,0 +1,22 @@
+"""Bench E3: regenerate the lower-bound table + sequential-probe hot path."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.baselines.sequential_max import sequential_max
+from repro.util.seeding import derive_rng
+
+
+def test_e3_table(benchmark, bench_scale):
+    """Regenerate E3 (H_n vs sequential vs protocol) and validate findings."""
+    run_experiment_benchmark(benchmark, "e3", bench_scale)
+
+
+def test_sequential_max_throughput(benchmark):
+    """Time the deterministic probe sweep at n=4096."""
+    values = derive_rng(3, 0).permutation(4096).astype(np.int64)
+
+    out = benchmark(sequential_max, values)
+    assert out.value == 4095

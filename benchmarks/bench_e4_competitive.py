@@ -1,0 +1,21 @@
+"""Bench E4: regenerate the competitive-ratio table + OPT segmentation path."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.baselines.offline_opt import opt_segments
+from repro.streams import random_walk
+
+
+def test_e4_table(benchmark, bench_scale):
+    """Regenerate E4 (ratio vs (log Δ + k)·log n) and validate findings."""
+    run_experiment_benchmark(benchmark, "e4", bench_scale)
+
+
+def test_opt_segmentation_throughput(benchmark):
+    """Time the greedy OPT segmentation on a 2000x32 walk."""
+    values = random_walk(32, 2000, seed=4, step_size=4, spread=60).generate()
+
+    segments = benchmark(opt_segments, values, 4)
+    assert segments[0][0] == 0
+    assert segments[-1][1] == 1999

@@ -1,0 +1,26 @@
+"""Bench E5: regenerate the scaling tables + vectorized engine throughput."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.engine.vectorized import run_vectorized
+from repro.streams import random_walk
+
+
+def test_e5_tables(benchmark, bench_scale):
+    """Regenerate E5 (n / k / Δ sweeps) and validate the growth shapes."""
+    run_experiment_benchmark(benchmark, "e5", bench_scale)
+
+
+@pytest.mark.parametrize("n,steps", [(64, 2000), (512, 500)])
+def test_vectorized_engine_throughput(benchmark, n, steps):
+    """Time the vectorized engine on (steps x n) walks."""
+    values = random_walk(n, steps, seed=5, step_size=4, spread=50).generate()
+
+    def run():
+        return run_vectorized(values, 8, seed=6).total_messages
+
+    msgs = benchmark(run)
+    assert msgs > 0

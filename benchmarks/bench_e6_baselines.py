@@ -1,0 +1,21 @@
+"""Bench E6: regenerate the naive/classical/Algorithm-1 comparison."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.baselines.periodic import PeriodicRecomputeMonitor
+from repro.streams import random_walk
+
+
+def test_e6_table(benchmark, bench_scale):
+    """Regenerate E6 and validate the order-of-magnitude findings."""
+    run_experiment_benchmark(benchmark, "e6", bench_scale)
+
+
+def test_classical_recompute_throughput(benchmark):
+    """Time the classical per-round recompute baseline (500 x 32, k=4)."""
+    values = random_walk(32, 500, seed=6, spread=100).generate()
+    monitor = PeriodicRecomputeMonitor(32, 4, seed=7)
+
+    res = benchmark(monitor.run, values)
+    assert res.audit_failures == 0

@@ -1,0 +1,21 @@
+"""Bench E7: regenerate the Babcock–Olston comparison tables."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.baselines.babcock_olston import BabcockOlstonMonitor
+from repro.streams import random_walk
+
+
+def test_e7_tables(benchmark, bench_scale):
+    """Regenerate E7 (BO vs Algorithm 1) and validate its scaling findings."""
+    run_experiment_benchmark(benchmark, "e7", bench_scale)
+
+
+def test_babcock_olston_throughput(benchmark):
+    """Time the BO monitor on a 1000 x 32 walk."""
+    values = random_walk(32, 1000, seed=7, spread=100).generate()
+    monitor = BabcockOlstonMonitor(32, 4)
+
+    res = benchmark(monitor.run, values)
+    assert res.audit_failures == 0

@@ -1,0 +1,21 @@
+"""Bench E8: regenerate the dominance-tracking separation table."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.baselines.lam_dominance import DominanceTrackingMonitor
+from repro.streams import churn_below_boundary
+
+
+def test_e8_table(benchmark, bench_scale):
+    """Regenerate E8 (Lam pays for sub-boundary churn) and validate."""
+    run_experiment_benchmark(benchmark, "e8", bench_scale)
+
+
+def test_dominance_tracking_throughput(benchmark):
+    """Time the Lam monitor on the churn workload (300 x 24, k=4)."""
+    values = churn_below_boundary(24, 300, k=4, seed=8).generate()
+    monitor = DominanceTrackingMonitor(24, 4)
+
+    res = benchmark(monitor.run, values)
+    assert res.audit_failures == 0

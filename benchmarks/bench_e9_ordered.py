@@ -1,0 +1,21 @@
+"""Bench E9: regenerate the ordered-top-k conjecture table."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.extensions.ordered_topk import OrderedTopKMonitor
+from repro.streams import random_walk
+
+
+def test_e9_table(benchmark, bench_scale):
+    """Regenerate E9 (ordered variant vs log Δ·log(n−k)) and validate."""
+    run_experiment_benchmark(benchmark, "e9", bench_scale)
+
+
+def test_ordered_monitor_throughput(benchmark):
+    """Time the ordered monitor on a 500 x 24 walk (k=4)."""
+    values = random_walk(24, 500, seed=9, step_size=4, spread=60).generate()
+    monitor = OrderedTopKMonitor(24, 4, seed=10)
+
+    res = benchmark(monitor.run, values)
+    assert res.audit_failures == 0

@@ -1,0 +1,50 @@
+"""Cross-cutting engine benchmarks: faithful vs vectorized, transports, workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.engine.vectorized import run_vectorized
+from repro.streams import get_workload, list_workloads
+
+
+@pytest.fixture(scope="module")
+def walk_matrix():
+    return get_workload("random_walk_spread", 64, 1500, seed=13).generate()
+
+
+def test_faithful_engine(benchmark, walk_matrix):
+    """Faithful object engine on 1500 x 64 (k=8)."""
+    monitor = TopKMonitor(n=64, k=8, seed=14)
+    res = benchmark(monitor.run, walk_matrix)
+    assert res.steps == 1500
+
+
+def test_vectorized_engine(benchmark, walk_matrix):
+    """Vectorized engine on the same instance — the speedup being bought."""
+    res = benchmark(lambda: run_vectorized(walk_matrix, 8, seed=14))
+    assert res.steps == 1500
+
+
+def test_recording_transport_overhead(benchmark, walk_matrix):
+    """Faithful engine with full message recording (tracing cost)."""
+    cfg = MonitorConfig(record_messages=True)
+    monitor = TopKMonitor(n=64, k=8, seed=14, config=cfg)
+    res = benchmark(monitor.run, walk_matrix)
+    assert res.steps == 1500
+
+
+@pytest.mark.parametrize("name", sorted(set(list_workloads()) - {"crossing_pair"}))
+def test_workload_generation(benchmark, name):
+    """Matrix construction cost per workload family (2000 x 64)."""
+    spec = get_workload(name, 64, 2000, seed=15)
+    values = benchmark(spec.generate)
+    assert values.shape == (2000, 64)
+
+
+def test_workload_generation_crossing_pair(benchmark):
+    """crossing_pair needs k < n-1; bench it with its own parameters."""
+    spec = get_workload("crossing_pair", 64, 2000, seed=15, k=8)
+    values = benchmark(spec.generate)
+    assert values.shape == (2000, 64)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Competitive analysis in practice: Algorithm 1 vs the offline optimum.
+
+Builds three instances with very different difficulty — a calm separated
+walk, the theorem-tight crossing-pair family, and an i.i.d. churn storm —
+and for each prints the offline optimum's minimum filter-epoch count, the
+online algorithm's cost, the measured competitive ratio, and the Theorem
+4.4 bound shape ``(log2 Δ + k)·log2 n``.
+
+This is the executable version of the paper's Section 3 analysis.
+
+Usage::
+
+    python examples/competitive_analysis.py [--n 24] [--k 4] [--steps 800]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.competitive import competitive_outcome
+from repro.baselines.offline_opt import opt_result
+from repro.streams import crossing_pair, iid_uniform, random_walk
+from repro.util.tables import Table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=24)
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--steps", type=int, default=800)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    instances = [
+        ("calm separated walk", random_walk(args.n, args.steps, seed=args.seed, step_size=3, spread=150)),
+        (
+            "crossing pair (tight family)",
+            crossing_pair(args.n, args.steps, k=args.k, period=20, delta=128, seed=args.seed),
+        ),
+        ("iid churn storm", iid_uniform(args.n, args.steps, seed=args.seed)),
+    ]
+
+    table = Table(
+        ["instance", "Δ", "OPT epochs", "alg msgs", "ratio", "bound", "ratio/bound"],
+        title="competitive analysis",
+    )
+    for name, spec in instances:
+        values = spec.generate()
+        opt = opt_result(values, args.k)
+        oc = competitive_outcome(values, args.k, seed=args.seed + 1, opt=opt)
+        table.add_row([name, oc.delta, oc.opt_epochs, oc.online_messages, oc.ratio, oc.bound, oc.normalized])
+    print(table.render())
+    print()
+    print("reading the table:")
+    print(" * 'OPT epochs' = minimum number of fixed filter sets any offline")
+    print("   algorithm needs (greedy maximal Lemma-3.2 segmentation).")
+    print(" * 'ratio' = online messages per OPT epoch; Theorem 4.4 bounds its")
+    print("   expectation by O((log2 Δ + k)·log2 n) — the 'bound' column.")
+    print(" * ratio/bound estimates the hidden constant; it stays O(1) even on")
+    print("   the storm instance, where OPT itself must communicate constantly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Coordinator failover: checkpoint, crash, restore — without re-polling.
+
+A monitoring coordinator crashing mid-stream has two recovery options:
+
+* **cold restart**: forget everything and re-initialize — a FilterReset
+  over all n nodes (k+1 protocol sweeps) plus the loss of the tuned filter
+  bound accumulated so far;
+* **checkpoint restore**: reload ~100 bytes of algorithmic state (sides,
+  doubled bound, running extremes, RNG state) and continue **bit-
+  identically** — same future answers, same future coin flips, same future
+  message counts as a coordinator that never crashed.
+
+This example simulates both against an uninterrupted reference run and
+prints the difference.
+
+Usage::
+
+    python examples/failover.py [--n 64] [--k 5] [--steps 4000] [--crash-at 2000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import numpy as np
+
+from repro import OnlineSession, restore_session, save_session
+from repro.streams import random_walk
+
+
+def drive(session: OnlineSession, values: np.ndarray, start: int, end: int) -> list[tuple[int, ...]]:
+    out = []
+    for t in range(start, end):
+        out.append(tuple(int(i) for i in session.observe(values[t])))
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=64)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--steps", type=int, default=4000)
+    parser.add_argument("--crash-at", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+    if not 0 < args.crash_at < args.steps:
+        parser.error("--crash-at must be inside (0, steps)")
+
+    values = random_walk(args.n, args.steps, seed=args.seed, step_size=3, spread=60).generate()
+
+    # Reference: never crashes.
+    ref = OnlineSession(args.n, args.k, seed=args.seed + 1)
+    ref_answers = drive(ref, values, 0, args.steps)
+    ref.finish()
+    print(f"reference run      : {ref.ledger.total} messages over {args.steps} steps")
+
+    # Run until the crash point, checkpointing as a real deployment would.
+    primary = OnlineSession(args.n, args.k, seed=args.seed + 1)
+    pre_crash = drive(primary, values, 0, args.crash_at)
+    checkpoint = save_session(primary)
+    blob = json.dumps(checkpoint)
+    print(f"checkpoint size    : {len(blob)} bytes of JSON at t={args.crash_at}")
+    msgs_before_crash = primary.ledger.total
+    del primary  # the crash
+
+    # Warm failover: restore and resume.
+    standby = restore_session(json.loads(blob))
+    post_crash = drive(standby, values, args.crash_at, args.steps)
+    standby.finish()
+    warm_total = msgs_before_crash + standby.ledger.total
+    identical = (pre_crash + post_crash) == ref_answers
+    print(f"warm failover      : {warm_total} messages; answers identical to reference: {identical}")
+
+    # Cold restart: a fresh coordinator must re-initialize at the crash point.
+    cold = OnlineSession(args.n, args.k, seed=args.seed + 2)
+    cold_answers = drive(cold, values, args.crash_at, args.steps)
+    cold.finish()
+    cold_total = msgs_before_crash + cold.ledger.total
+    agree = sum(1 for a, b in zip(cold_answers, post_crash) if a == b)
+    print(
+        f"cold restart       : {cold_total} messages; "
+        f"re-init cost {cold.ledger.total - standby.ledger.total:+d} vs warm resume"
+    )
+    print(f"                     (cold answers match warm on {agree}/{len(post_crash)} resumed steps)")
+
+    print()
+    print("takeaway: the entire algorithmic state of the coordinator is the")
+    print("side bits + two integers + the RNG state — checkpointing it makes")
+    print("failover free, while a cold restart pays a full FilterReset and")
+    print("loses the tuned filter bound.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Anatomy of Algorithm 2: watch the MaximumProtocol round by round.
+
+Runs the randomized maximum protocol over n nodes with full message
+recording and prints the actual message trace — which nodes' coins came up
+in each round, what the coordinator broadcast, and how the expected-cost
+bound of Theorem 4.2 compares to this execution and to a Monte-Carlo
+average.  Also shows the deterministic sequential-probe baseline from the
+Theorem 4.3 lower-bound argument on the same values.
+
+Usage::
+
+    python examples/protocol_demo.py [--n 64] [--seed 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import maximum_protocol
+from repro.analysis.bounds import max_protocol_expected_bound, max_protocol_lower_bound
+from repro.baselines import sequential_max
+from repro.model.message import MessageKind
+from repro.model.transport import RecordingTransport
+from repro.util.seeding import derive_rng
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--reps", type=int, default=2000, help="Monte-Carlo repetitions")
+    args = parser.parse_args()
+
+    rng_vals = derive_rng(args.seed, 0)
+    values = rng_vals.permutation(args.n).astype(np.int64) * 10 + 100
+    ids = np.arange(args.n, dtype=np.int64)
+    print(f"n = {args.n} nodes, values are a scaled random permutation")
+    print(f"true maximum: {int(values.max())} at node {int(np.argmax(values))}")
+    print()
+
+    # --- one traced execution ---------------------------------------------
+    transport = RecordingTransport()
+    out = maximum_protocol(ids, values, args.n, derive_rng(args.seed, 1), transport)
+    print("message trace of one execution:")
+    for msg in transport.messages:
+        if msg.kind is MessageKind.NODE_TO_COORD:
+            node, v = msg.payload
+            print(f"  node {node:>3} -> coordinator : value {v}")
+        else:
+            print(f"  coordinator broadcast      : running max = {msg.payload}")
+    print()
+    print(f"result: max {out.value} at node {out.winner}")
+    print(f"cost  : {out.node_messages} node messages + {out.broadcasts} broadcasts "
+          f"in {out.rounds} rounds")
+
+    # --- Monte-Carlo vs the bound -----------------------------------------
+    rng_mc = derive_rng(args.seed, 2)
+    totals = []
+    for _ in range(args.reps):
+        totals.append(maximum_protocol(ids, values, args.n, rng_mc).node_messages)
+    bound = max_protocol_expected_bound(args.n)
+    lower = max_protocol_lower_bound(args.n)
+    print()
+    print(f"Monte-Carlo mean over {args.reps} runs : {np.mean(totals):.2f} node messages")
+    print(f"Theorem 4.2 upper bound (2log2 N + 1)  : {bound:.2f}")
+    print(f"Theorem 4.3 lower-bound witness (H_n)  : {lower:.2f}")
+
+    # --- the deterministic baseline ----------------------------------------
+    probe_rng = derive_rng(args.seed, 3)
+    seq_answers = [
+        sequential_max(values, probe_order=probe_rng.permutation(args.n)).answers
+        for _ in range(args.reps)
+    ]
+    print(f"sequential probing, mean answers       : {np.mean(seq_answers):.2f} "
+          "(= left-to-right maxima = H_n)")
+    print()
+    print("takeaway: the randomized protocol meets the H_n lower bound up to a")
+    print("small constant, exactly as Section 4 of the paper proves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Server-fleet hotspot tracking with a live streaming session.
+
+A load balancer (the coordinator) continuously needs the k most loaded
+servers of a fleet to steer traffic away from hotspots.  Load is bursty:
+mostly calm drift with occasional spikes (deploys, crons, traffic surges).
+
+Unlike the batch examples, this one drives the :class:`OnlineSession`
+streaming API the way a real integration would — one ``observe()`` call
+per scrape interval, reading the hot set between calls — and compares
+Algorithm 1 against the Babcock–Olston-style monitor and the classical
+per-round recomputation on the same trace.
+
+Usage::
+
+    python examples/server_fleet.py [--servers 48] [--k 6] [--steps 3000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import MonitorConfig, OnlineSession
+from repro.baselines import BabcockOlstonMonitor, PeriodicRecomputeMonitor, naive_message_count
+from repro.streams import bursty
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--servers", type=int, default=48)
+    parser.add_argument("--k", type=int, default=6)
+    parser.add_argument("--steps", type=int, default=3000)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    spec = bursty(
+        args.servers,
+        args.steps,
+        calm_step=2,
+        burst_step=400,
+        burst_prob=0.004,
+        recover_prob=0.15,
+        spread=120,
+        seed=args.seed,
+    )
+    values = spec.generate()
+    print(f"fleet trace: {spec.describe()}")
+
+    # --- streaming session (the deployment-shaped API) --------------------
+    session = OnlineSession(
+        args.servers, args.k, seed=args.seed + 1, config=MonitorConfig(audit=True)
+    )
+    hot_changes = 0
+    prev: set[int] = set()
+    spike_alerts: list[tuple[int, list[int]]] = []
+    for t in range(args.steps):
+        hot = set(int(i) for i in session.observe(values[t]))
+        if hot != prev:
+            hot_changes += 1
+            entered = sorted(hot - prev)
+            if prev and entered:
+                spike_alerts.append((t, entered))
+            prev = hot
+    session.finish()
+
+    print()
+    print(f"hot-set changes observed by the balancer: {hot_changes}")
+    if spike_alerts:
+        t, servers = spike_alerts[0]
+        print(f"first hotspot alert: t={t}, servers {servers} entered the hot set")
+        t, servers = spike_alerts[-1]
+        print(f"last hotspot alert : t={t}, servers {servers}")
+
+    alg1_msgs = session.ledger.total
+    print()
+    print("communication comparison on the same trace:")
+    naive = naive_message_count(values)
+    classical = (
+        PeriodicRecomputeMonitor(args.servers, args.k, seed=args.seed + 2).run(values).total_messages
+    )
+    bo = BabcockOlstonMonitor(args.servers, args.k).run(values).total_messages
+    width = max(len(s) for s in ("naive (send changes)", "classical recompute", "babcock-olston", "algorithm 1"))
+    for name, msgs in (
+        ("naive (send changes)", naive),
+        ("classical recompute", classical),
+        ("babcock-olston", bo),
+        ("algorithm 1", alg1_msgs),
+    ):
+        per_step = msgs / args.steps
+        print(f"  {name.ljust(width)} {msgs:>9} messages  ({per_step:6.2f}/step)")
+    print()
+    print(f"algorithm 1 vs naive    : {naive / alg1_msgs:.1f}x less traffic")
+    print(f"algorithm 1 vs classical: {classical / alg1_msgs:.1f}x less traffic")
+
+    hottest = sorted(int(i) for i in session.topk)
+    print()
+    print(f"hot set at end of trace: servers {hottest}")
+    print(f"their loads: {[int(values[-1, i]) for i in hottest]}")
+
+
+if __name__ == "__main__":
+    main()

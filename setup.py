@@ -1,0 +1,8 @@
+"""Shim for environments whose setuptools lacks PEP 660 editable support.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

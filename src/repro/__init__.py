@@ -1,0 +1,82 @@
+"""topkmon — Online Top-k-Position Monitoring of Distributed Data Streams.
+
+Reproduction of Mäcker, Malatyali, Meyer auf der Heide (IPDPS 2015,
+arXiv:1410.7912): a coordinator continuously tracks which ``k`` of ``n``
+distributed nodes currently observe the largest values, while minimizing the
+number of exchanged messages.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import TopKMonitor, streams
+>>> values = streams.random_walk(n=32, steps=2000, seed=1).generate()
+>>> result = TopKMonitor(n=32, k=4, seed=2).run(values)
+>>> result.total_messages < values.size   # far below the naive algorithm
+True
+
+Public surface
+--------------
+* :class:`TopKMonitor` / :class:`OnlineSession` — Algorithm 1.
+* :func:`maximum_protocol` / :func:`minimum_protocol` — Algorithm 2.
+* :mod:`repro.streams` — workload generators.
+* :mod:`repro.baselines` — naive / classical / offline-OPT / Lam /
+  Babcock–Olston comparators.
+* :mod:`repro.analysis` — theoretical bounds, competitive ratios, sweeps.
+* :mod:`repro.experiments` — the E1–E9 reproduction harness.
+"""
+
+from repro.core.events import MonitorResult, StepEvent, StepKind
+from repro.core.filters import Filter, FilterSet
+from repro.core.monitor import MonitorConfig, OnlineSession, TopKMonitor
+from repro.core.protocols import (
+    ProtocolConfig,
+    ProtocolOutcome,
+    maximum_protocol,
+    minimum_protocol,
+)
+from repro.core.checkpoint import restore_session, save_session
+from repro.core.selection import select_top_k
+from repro.errors import (
+    ConfigurationError,
+    ExperimentError,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TopKMonitor",
+    "OnlineSession",
+    "MonitorConfig",
+    "MonitorResult",
+    "StepEvent",
+    "StepKind",
+    "Filter",
+    "FilterSet",
+    "ProtocolConfig",
+    "ProtocolOutcome",
+    "maximum_protocol",
+    "minimum_protocol",
+    "select_top_k",
+    "save_session",
+    "restore_session",
+    "ReproError",
+    "ConfigurationError",
+    "WorkloadError",
+    "ProtocolError",
+    "InvariantViolation",
+    "ExperimentError",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazy submodule access: ``repro.streams`` etc. without import cost."""
+    import importlib
+
+    if name in {"streams", "baselines", "analysis", "experiments", "engine", "extensions", "model", "util"}:
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,98 @@
+"""Top-level CLI: run a monitor on a named workload and print a report.
+
+Examples::
+
+    python -m repro --workload sensor_field --n 64 --k 5 --steps 1000
+    python -m repro --workload random_walk --n 32 --k 4 --compare
+    python -m repro --list-workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.streams import get_workload, list_workloads
+from repro.util.tables import Table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the Top-k-Position monitor (Algorithm 1) on a named workload.",
+    )
+    parser.add_argument("--workload", default="random_walk", help="workload name (see --list-workloads)")
+    parser.add_argument("--n", type=int, default=32, help="number of nodes")
+    parser.add_argument("--k", type=int, default=4, help="top-k size")
+    parser.add_argument("--steps", type=int, default=2000, help="observation steps")
+    parser.add_argument("--seed", type=int, default=0, help="workload/protocol seed")
+    parser.add_argument("--audit", action="store_true", help="verify the answer every step")
+    parser.add_argument("--compare", action="store_true", help="also run naive/classical/BO baselines")
+    parser.add_argument("--opt", action="store_true", help="also compute the offline optimum + ratio")
+    parser.add_argument("--list-workloads", action="store_true", help="list workload names and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_workloads:
+        for name in list_workloads():
+            print(f"  {name}")
+        return 0
+    try:
+        spec = get_workload(args.workload, args.n, args.steps, seed=args.seed)
+    except Exception as exc:  # ConfigurationError / WorkloadError
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    values = spec.generate()
+    print(f"workload: {spec.describe()}")
+
+    cfg = MonitorConfig(audit=args.audit)
+    result = TopKMonitor(n=args.n, k=args.k, seed=args.seed + 1, config=cfg).run(values)
+    print(result.describe())
+
+    phase_table = Table(["mechanism", "messages", "share"], title="cost breakdown")
+    for phase, count in sorted(result.ledger.by_phase.items(), key=lambda kv: -kv[1]):
+        phase_table.add_row([phase.value, count, f"{100 * count / max(1, result.total_messages):.1f}%"])
+    print()
+    print(phase_table.render())
+
+    if args.compare:
+        from repro.baselines import BabcockOlstonMonitor, PeriodicRecomputeMonitor, naive_message_count
+
+        table = Table(["algorithm", "messages", "vs alg1"], title="baseline comparison")
+        alg1 = result.total_messages
+        rows = [
+            ("algorithm1", alg1),
+            ("naive", naive_message_count(values)),
+            ("classical", PeriodicRecomputeMonitor(args.n, args.k, seed=args.seed + 2).run(values).total_messages),
+            ("babcock_olston", BabcockOlstonMonitor(args.n, args.k).run(values).total_messages),
+        ]
+        for name, msgs in rows:
+            table.add_row([name, msgs, f"{msgs / max(1, alg1):.2f}x"])
+        print()
+        print(table.render())
+
+    if args.opt:
+        from repro.baselines.offline_opt import opt_result
+        from repro.analysis.bounds import competitive_bound
+        from repro.streams.base import WorkloadResult
+
+        opt = opt_result(values, args.k)
+        delta = WorkloadResult(spec=None, values=values).delta(args.k) if args.k < args.n else 0
+        bound = competitive_bound(delta, args.k, args.n)
+        print()
+        print(f"offline OPT epochs     : {opt.epochs}")
+        print(f"competitive ratio      : {result.total_messages / opt.epochs:.2f}")
+        print(f"Theorem 4.4 bound shape: {bound:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # output piped into head/less that exited early
+        raise SystemExit(0)

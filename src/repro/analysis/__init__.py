@@ -1,0 +1,66 @@
+"""Analysis toolkit: theory-side formulas and measurement-side statistics.
+
+* :mod:`repro.analysis.bounds` — the paper's theoretical quantities
+  (Theorem 3.3 / 4.2 / 4.3 bounds),
+* :mod:`repro.analysis.stats` — mean/CI/tail estimation for randomized
+  message counts,
+* :mod:`repro.analysis.records` — harmonic numbers and left-to-right-maxima
+  statistics (the Theorem 4.3 lower-bound machinery),
+* :mod:`repro.analysis.competitive` — competitive ratios against the
+  offline optimum,
+* :mod:`repro.analysis.sweeps` — a generic parameter-sweep harness used by
+  all experiments.
+"""
+
+from repro.analysis.bounds import (
+    competitive_bound,
+    max_protocol_expected_bound,
+    max_protocol_lower_bound,
+    ordered_conjecture_bound,
+)
+from repro.analysis.competitive import CompetitiveOutcome, competitive_outcome
+from repro.analysis.cost_model import CostBreakdown, predict_from_result, predict_messages
+from repro.analysis.exact import (
+    lemma41_expected_messages,
+    lemma41_send_probability,
+    theorem42_closed_form,
+)
+from repro.analysis.fits import FitResult, classify_growth, fit_linear, fit_log, fit_power
+from repro.analysis.records import expected_records, harmonic
+from repro.analysis.stats import (
+    SummaryStats,
+    bootstrap_ci,
+    mean_confidence_interval,
+    summarize,
+    tail_probability,
+)
+from repro.analysis.sweeps import SweepResult, run_sweep
+
+__all__ = [
+    "max_protocol_expected_bound",
+    "max_protocol_lower_bound",
+    "competitive_bound",
+    "ordered_conjecture_bound",
+    "CompetitiveOutcome",
+    "CostBreakdown",
+    "predict_from_result",
+    "predict_messages",
+    "lemma41_expected_messages",
+    "lemma41_send_probability",
+    "theorem42_closed_form",
+    "FitResult",
+    "classify_growth",
+    "fit_linear",
+    "fit_log",
+    "fit_power",
+    "competitive_outcome",
+    "harmonic",
+    "expected_records",
+    "SummaryStats",
+    "summarize",
+    "mean_confidence_interval",
+    "bootstrap_ci",
+    "tail_probability",
+    "SweepResult",
+    "run_sweep",
+]

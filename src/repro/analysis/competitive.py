@@ -1,0 +1,86 @@
+"""Competitive-ratio measurement against the offline optimum.
+
+Theorem 3.3 charges the online algorithm against ``r + 1`` where ``r`` is
+the number of OPT communications — i.e. against the number of maximal
+intervals with a fixed feasible filter set (``OptResult.epochs``).  The
+measured competitive ratio of one run is therefore::
+
+    ratio = total_online_messages / opt_epochs
+
+and the theorem predicts ``E[ratio] = O((log Δ + k) · log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.bounds import competitive_bound
+from repro.baselines.offline_opt import OptResult, opt_result
+from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.streams.base import WorkloadResult
+from repro.util.validation import check_k, check_matrix
+
+__all__ = ["CompetitiveOutcome", "competitive_outcome"]
+
+
+@dataclass(frozen=True)
+class CompetitiveOutcome:
+    """One instance's competitive measurement.
+
+    ``normalized`` is ``ratio / bound`` with ``bound`` the Theorem 4.4 shape
+    ``(log2 Δ + k)·log2 n``; Theorem 4.4 predicts this stays below a
+    universal constant across instances.
+    """
+
+    n: int
+    k: int
+    steps: int
+    delta: int
+    online_messages: int
+    opt_epochs: int
+
+    @property
+    def ratio(self) -> float:
+        """Measured competitive ratio (online messages per OPT epoch)."""
+        return self.online_messages / self.opt_epochs
+
+    @property
+    def bound(self) -> float:
+        """The Theorem 4.4 bound shape for this instance."""
+        return competitive_bound(self.delta, self.k, self.n)
+
+    @property
+    def normalized(self) -> float:
+        """ratio / bound — should be O(1) across instances."""
+        return self.ratio / self.bound
+
+
+def competitive_outcome(
+    values: np.ndarray,
+    k: int,
+    *,
+    seed=0,
+    config: MonitorConfig | None = None,
+    opt: OptResult | None = None,
+) -> CompetitiveOutcome:
+    """Run Algorithm 1 and OPT on one instance; return the measured ratio.
+
+    ``opt`` may be supplied when the caller already segmented the instance
+    (e.g. when sweeping seeds over the same workload).
+    """
+    values = check_matrix(values)
+    k, n = check_k(k, values.shape[1])
+    result = TopKMonitor(n=n, k=k, seed=seed, config=config).run(values)
+    if opt is None:
+        opt = opt_result(values, k)
+    delta = WorkloadResult(spec=None, values=values).delta(k) if k < n else 0
+    return CompetitiveOutcome(
+        n=n,
+        k=k,
+        steps=values.shape[0],
+        delta=delta,
+        online_messages=result.total_messages,
+        opt_epochs=opt.epochs,
+    )

@@ -1,0 +1,149 @@
+"""Predictive message-cost model for Algorithm 1 runs.
+
+Theorem 3.3's proof decomposes a run's cost into three mechanisms; this
+module turns that decomposition into a *quantitative* predictor using the
+exact Lemma-4.1 expectations instead of the O-notation:
+
+* each **reset** costs ``k+1`` coordinator-initiated MaximumProtocol sweeps
+  over shrinking participant sets (with ``N = n``), one start broadcast per
+  sweep, round broadcasts, and the final bound broadcast;
+* each **midpoint handler** costs the violators' protocols plus one
+  coordinator-initiated completion protocol and the midpoint broadcast;
+* quiet steps cost nothing.
+
+The model takes a run's *event counts* (resets, handler calls, violator
+totals) and predicts the expected message total; tests and experiments
+check measured totals sit within a modest band of the prediction.  This is
+the practical payoff of the analysis: capacity planning for a deployment
+("how much uplink will n sensors at this churn rate consume?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.exact import lemma41_expected_messages
+from repro.core.events import MonitorResult, StepKind
+from repro.errors import ConfigurationError
+
+__all__ = ["CostBreakdown", "predict_messages", "predict_from_result"]
+
+#: Mean round-broadcasts per protocol execution is bounded by the number of
+#: running-maximum improvements, itself at most the node-message count; the
+#: measured ratio hovers near 0.75 across n — used as the model's broadcast
+#: factor.
+_BROADCAST_FACTOR = 0.75
+
+#: The Lemma 4.1 sums are ~2x loose against measured protocol costs (E1
+#: shows measured/bound ≈ 0.5 uniformly in n and profile).  Multiplying the
+#: bound-mode prediction by this constant gives a point estimate; the
+#: default prediction stays an upper bound.
+MEASURED_EFFICIENCY = 0.52
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Predicted expected messages, split by mechanism.
+
+    :attr:`total` is an *upper-bound* prediction (built from Lemma 4.1
+    sums); :attr:`point_estimate` applies the measured calibration
+    constant for a central prediction.
+    """
+
+    reset_cost: float
+    handler_cost: float
+    violation_cost: float
+
+    @property
+    def total(self) -> float:
+        """Total predicted expected messages (upper-bound mode)."""
+        return self.reset_cost + self.handler_cost + self.violation_cost
+
+    @property
+    def point_estimate(self) -> float:
+        """Calibrated central prediction (``total × MEASURED_EFFICIENCY``)."""
+        return self.total * MEASURED_EFFICIENCY
+
+
+def _protocol_cost(participants: int, upper_bound: int, *, initiated: bool) -> float:
+    """Expected messages of one protocol execution (nodes + broadcasts)."""
+    if participants <= 0:
+        return 0.0
+    node_msgs = lemma41_expected_messages(participants, upper_bound=max(participants, upper_bound))
+    start = 1.0 if initiated else 0.0
+    return start + node_msgs * (1.0 + _BROADCAST_FACTOR)
+
+
+def predict_messages(
+    n: int,
+    k: int,
+    *,
+    resets: int,
+    midpoint_handlers: int,
+    mean_top_violators: float = 1.0,
+    mean_bottom_violators: float = 1.0,
+) -> CostBreakdown:
+    """Predict expected total messages from event counts.
+
+    ``resets`` includes the t=0 initialization.  Violator means default to
+    one per side per event (the common case: a single node drifts across
+    the bound).
+    """
+    if n < 1 or not 1 <= k <= n:
+        raise ConfigurationError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if resets < 0 or midpoint_handlers < 0:
+        raise ConfigurationError("event counts must be >= 0")
+    if k == n:
+        return CostBreakdown(0.0, 0.0, 0.0)
+
+    # Reset: k+1 sweeps over n, n-1, ..., n-k participants (N = n each),
+    # all coordinator-initiated, plus the final bound broadcast.
+    sweeps = sum(
+        _protocol_cost(n - j, n, initiated=True) for j in range(k + 1)
+    )
+    per_reset = sweeps + 1.0
+    reset_cost = resets * per_reset
+
+    # Every handler event (midpoint *and* reset steps) first runs the
+    # violators' spontaneous protocols...
+    events = resets - 1 + midpoint_handlers  # t=0 init has no violators
+    violation_cost = max(0, events) * (
+        _protocol_cost(max(1, round(mean_top_violators)), max(1, k), initiated=False) * 0.5
+        + _protocol_cost(max(1, round(mean_bottom_violators)), max(1, n - k), initiated=False) * 0.5
+    ) * 2.0  # both sides contribute on average half the events each
+
+    # ...and a midpoint handler completes the missing side (size k or n-k;
+    # model with the average) and broadcasts the new midpoint.
+    completion = 0.5 * _protocol_cost(k, k, initiated=True) + 0.5 * _protocol_cost(
+        n - k, n - k, initiated=True
+    )
+    handler_cost = midpoint_handlers * (completion + 1.0) + max(0, resets - 1) * completion
+
+    return CostBreakdown(
+        reset_cost=reset_cost, handler_cost=handler_cost, violation_cost=violation_cost
+    )
+
+
+def predict_from_result(result: MonitorResult) -> CostBreakdown:
+    """Predict a run's cost from its own event log (model-vs-measured).
+
+    Uses the realized event counts and mean violator sizes, so comparing
+    :attr:`CostBreakdown.total` against ``result.total_messages`` isolates
+    the *protocol-cost* part of the model from workload randomness.
+    """
+    midpoints = sum(1 for e in result.events if e.kind is StepKind.HANDLER_MIDPOINT)
+    violent = [e for e in result.events if e.kind is not StepKind.INIT_RESET]
+    mean_top = (
+        sum(e.top_violators for e in violent) / len(violent) if violent else 1.0
+    )
+    mean_bottom = (
+        sum(e.bottom_violators for e in violent) / len(violent) if violent else 1.0
+    )
+    return predict_messages(
+        result.n,
+        result.k,
+        resets=result.resets,
+        midpoint_handlers=midpoints,
+        mean_top_violators=max(1.0, mean_top),
+        mean_bottom_violators=max(1.0, mean_bottom),
+    )

@@ -1,0 +1,143 @@
+"""Growth-shape fitting: which curve does a sweep follow?
+
+The reproduction's headline results are *shapes* — "grows like log n",
+"grows linearly in k", "collapses to a constant" — so the experiments need
+an objective way to classify a measured curve.  This module fits the three
+model families the theorems predict,
+
+* constant    ``y = c``
+* logarithmic ``y = a·log2(x) + b``
+* linear      ``y = a·x + b``
+* power law   ``y = b·x^a``  (fit in log-log space)
+
+by least squares and reports R² for each, plus a convenience classifier
+that picks the best-fitting family with a tolerance band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FitResult", "fit_constant", "fit_log", "fit_linear", "fit_power", "classify_growth"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """One fitted model: family name, parameters, and goodness of fit."""
+
+    family: str
+    params: tuple[float, ...]
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted model."""
+        x = np.asarray(x, dtype=np.float64)
+        if self.family == "constant":
+            return np.full_like(x, self.params[0])
+        if self.family == "log":
+            a, b = self.params
+            return a * np.log2(x) + b
+        if self.family == "linear":
+            a, b = self.params
+            return a * x + b
+        if self.family == "power":
+            a, b = self.params
+            return b * x**a
+        raise ConfigurationError(f"unknown family {self.family}")  # pragma: no cover
+
+
+def _validate(xs: Sequence[float], ys: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.ndim != 1 or x.shape != y.shape or x.size < 2:
+        raise ConfigurationError("need 1-D xs/ys of equal length >= 2")
+    return x, y
+
+
+def _r_squared(y: np.ndarray, pred: np.ndarray) -> float:
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_constant(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Best constant model ``y = mean(y)``."""
+    x, y = _validate(xs, ys)
+    c = float(y.mean())
+    return FitResult("constant", (c,), _r_squared(y, np.full_like(y, c)))
+
+
+def fit_log(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Least-squares ``y = a·log2(x) + b`` (requires positive x)."""
+    x, y = _validate(xs, ys)
+    if np.any(x <= 0):
+        raise ConfigurationError("log fit requires positive x")
+    design = np.vstack([np.log2(x), np.ones_like(x)]).T
+    (a, b), *_ = np.linalg.lstsq(design, y, rcond=None)
+    return FitResult("log", (float(a), float(b)), _r_squared(y, a * np.log2(x) + b))
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Least-squares ``y = a·x + b``."""
+    x, y = _validate(xs, ys)
+    design = np.vstack([x, np.ones_like(x)]).T
+    (a, b), *_ = np.linalg.lstsq(design, y, rcond=None)
+    return FitResult("linear", (float(a), float(b)), _r_squared(y, a * x + b))
+
+
+def fit_power(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Least-squares power law ``y = b·x^a`` via log-log regression.
+
+    Requires strictly positive data.  R² is reported in the *original*
+    space so families are comparable.
+    """
+    x, y = _validate(xs, ys)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ConfigurationError("power fit requires positive data")
+    design = np.vstack([np.log(x), np.ones_like(x)]).T
+    (a, logb), *_ = np.linalg.lstsq(design, np.log(y), rcond=None)
+    b = float(np.exp(logb))
+    return FitResult("power", (float(a), b), _r_squared(y, b * x ** float(a)))
+
+
+def classify_growth(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    min_r2: float = 0.8,
+    constant_cv: float = 0.05,
+) -> str:
+    """Name the best-fitting growth family.
+
+    Constant-ness is decided first by the coefficient of variation
+    (``std/|mean| <= constant_cv``) — R² cannot express "flat" because the
+    constant model's residuals *are* the total variance.  The remaining
+    families (log before linear before power, i.e. flattest first) compete
+    on R² with a ``0.02`` parsimony band, so noise never upgrades a
+    logarithmic curve to a power law.  Returns ``"constant" | "log" |
+    "linear" | "power" | "unclassified"``.
+    """
+    x, y = _validate(xs, ys)
+    mean = float(np.abs(y).mean())
+    if mean == 0.0 or float(y.std()) / max(mean, 1e-300) <= constant_cv:
+        return "constant"
+    fits: list[FitResult] = []
+    if np.all(x > 0):
+        fits.append(fit_log(x, y))
+    fits.append(fit_linear(x, y))
+    if np.all(x > 0) and np.all(y > 0):
+        fits.append(fit_power(x, y))
+    best = max(fits, key=lambda f: f.r_squared)
+    if best.r_squared < min_r2:
+        return "unclassified"
+    for f in fits:  # parsimony: earlier (flatter) families win near-ties
+        if best.r_squared - f.r_squared <= 0.02:
+            return f.family
+    return best.family  # pragma: no cover

@@ -1,0 +1,57 @@
+"""Record (left-to-right maxima) statistics for the Theorem 4.3 lower bound.
+
+The lower-bound proof maps the cost of any deterministic sequential-probe
+algorithm on a uniformly random permutation to the root-to-maximum path in
+a random binary search tree.  The number of *answers* such an algorithm
+receives equals the number of left-to-right maxima of the probe sequence,
+whose distribution is classical:
+
+* ``E[records over n] = H_n`` (the n-th harmonic number),
+* ``Var = H_n - H_n^(2)``,
+
+giving the concrete ``Θ(log n)`` comparator used by experiment E3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["harmonic", "harmonic_second", "expected_records", "records_in", "record_variance"]
+
+
+def harmonic(n: int) -> float:
+    """``H_n = 1 + 1/2 + ... + 1/n``."""
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    return float(np.sum(1.0 / np.arange(1, n + 1))) if n else 0.0
+
+
+def harmonic_second(n: int) -> float:
+    """Second-order harmonic number ``H_n^(2) = sum 1/i^2``."""
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    return float(np.sum(1.0 / np.arange(1, n + 1) ** 2)) if n else 0.0
+
+
+def expected_records(n: int) -> float:
+    """Expected left-to-right maxima of a uniform random permutation."""
+    return harmonic(n)
+
+
+def record_variance(n: int) -> float:
+    """Variance of the record count: ``H_n - H_n^(2)``."""
+    return harmonic(n) - harmonic_second(n)
+
+
+def records_in(sequence: np.ndarray) -> int:
+    """Count left-to-right maxima of a sequence (strict records)."""
+    arr = np.asarray(sequence)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError("sequence must be non-empty 1-D")
+    running = np.maximum.accumulate(arr)
+    is_record = np.empty(arr.size, dtype=bool)
+    is_record[0] = True
+    is_record[1:] = arr[1:] > running[:-1]
+    return int(np.count_nonzero(is_record))

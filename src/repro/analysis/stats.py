@@ -1,0 +1,115 @@
+"""Statistics for randomized message counts.
+
+The protocols are Las Vegas: answers are exact, message counts are random
+variables.  Experiments repeat runs over independent seeds and report
+means with confidence intervals and empirical tails; this module holds the
+(scipy-backed) machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "mean_confidence_interval",
+    "bootstrap_ci",
+    "tail_probability",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean/stdev/extremes/CI of a sample of counts."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    def format(self, unit: str = "msgs") -> str:
+        """``12.3 ± 0.4 msgs  [n=200]`` style rendering."""
+        half = (self.ci_high - self.ci_low) / 2
+        return f"{self.mean:.2f} ± {half:.2f} {unit}  [n={self.count}]"
+
+
+def _as_sample(samples: Sequence[float] | np.ndarray) -> np.ndarray:
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError("samples must be a non-empty 1-D sequence")
+    return arr
+
+
+def mean_confidence_interval(
+    samples: Sequence[float] | np.ndarray, confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """``(mean, lo, hi)`` two-sided Student-t interval for the mean.
+
+    A single sample yields a degenerate interval (lo = hi = mean).
+    """
+    arr = _as_sample(samples)
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0,1), got {confidence}")
+    mean = float(arr.mean())
+    if arr.size == 1 or np.allclose(arr, arr[0]):
+        return mean, mean, mean
+    sem = float(sps.sem(arr))
+    half = sem * float(sps.t.ppf((1 + confidence) / 2, arr.size - 1))
+    return mean, mean - half, mean + half
+
+
+def summarize(samples: Sequence[float] | np.ndarray, confidence: float = 0.95) -> SummaryStats:
+    """Full summary of a sample."""
+    arr = _as_sample(samples)
+    mean, lo, hi = mean_confidence_interval(arr, confidence)
+    return SummaryStats(
+        count=int(arr.size),
+        mean=mean,
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        ci_low=lo,
+        ci_high=hi,
+        confidence=confidence,
+    )
+
+
+def bootstrap_ci(
+    samples: Sequence[float] | np.ndarray,
+    statistic=np.mean,
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap interval for an arbitrary statistic.
+
+    Used for ratio statistics (competitive ratios) where t-intervals on the
+    raw mean are not appropriate.
+    """
+    arr = _as_sample(samples)
+    if arr.size == 1:
+        v = float(statistic(arr))
+        return v, v
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    stats = np.apply_along_axis(statistic, 1, arr[idx])
+    alpha = (1 - confidence) / 2
+    return float(np.quantile(stats, alpha)), float(np.quantile(stats, 1 - alpha))
+
+
+def tail_probability(samples: Sequence[float] | np.ndarray, threshold: float) -> float:
+    """Empirical ``P[X > threshold]``."""
+    arr = _as_sample(samples)
+    return float(np.mean(arr > threshold))

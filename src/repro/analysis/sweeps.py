@@ -1,0 +1,93 @@
+"""Generic parameter-sweep harness.
+
+Every experiment is a sweep: for each point of a parameter grid, run a
+measurement function over several independent seeds and summarize.  This
+module factors the repetition/seeding/summary plumbing out of the
+individual experiment modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import SummaryStats, summarize
+from repro.errors import ConfigurationError
+from repro.util.seeding import SeedStream
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: parameters, per-seed samples, and their summary."""
+
+    params: Mapping[str, Any]
+    samples: tuple[float, ...]
+    summary: SummaryStats
+
+    def __getitem__(self, key: str) -> Any:
+        return self.params[key]
+
+
+@dataclass
+class SweepResult:
+    """All grid points of one sweep."""
+
+    name: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def column(self, key: str) -> list[Any]:
+        """Parameter values across points (in grid order)."""
+        return [p.params[key] for p in self.points]
+
+    def means(self) -> list[float]:
+        """Mean sample per point."""
+        return [p.summary.mean for p in self.points]
+
+    def find(self, **conditions: Any) -> SweepPoint:
+        """The unique point matching all given parameter values."""
+        matches = [
+            p for p in self.points if all(p.params.get(k) == v for k, v in conditions.items())
+        ]
+        if len(matches) != 1:
+            raise ConfigurationError(f"{len(matches)} points match {conditions} in sweep {self.name!r}")
+        return matches[0]
+
+
+def run_sweep(
+    name: str,
+    grid: Iterable[Mapping[str, Any]],
+    measure: Callable[..., float],
+    *,
+    repetitions: int = 10,
+    seed: int = 0,
+    confidence: float = 0.95,
+) -> SweepResult:
+    """Run ``measure(seed_sequence=..., **params)`` over a grid.
+
+    ``measure`` receives every grid parameter as a keyword argument plus a
+    ``rng_seed`` (an integer derived deterministically from the sweep seed,
+    the point index, and the repetition index) and returns one float
+    sample.  Repetitions are independent; points are independent.
+    """
+    if repetitions < 1:
+        raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
+    result = SweepResult(name=name)
+    stream = SeedStream(seed)
+    for point_idx, params in enumerate(grid):
+        samples = []
+        for rep in range(repetitions):
+            child = stream.next_seed()
+            rng_seed = int(np.random.Generator(np.random.PCG64(child)).integers(0, 2**31 - 1))
+            samples.append(float(measure(rng_seed=rng_seed, **params)))
+        result.points.append(
+            SweepPoint(
+                params=dict(params),
+                samples=tuple(samples),
+                summary=summarize(samples, confidence),
+            )
+        )
+    return result

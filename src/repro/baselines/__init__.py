@@ -1,0 +1,47 @@
+"""Baseline algorithms the paper compares against (or implies).
+
+* :mod:`repro.baselines.naive` — every node forwards every change
+  (Sect. 2.1's "naive approach").
+* :mod:`repro.baselines.periodic` — recompute the top-k from scratch every
+  round via repeated MaximumProtocol (`O(T·k·log n)`, Sect. 2.1).
+* :mod:`repro.baselines.offline_opt` — the offline optimum that sets
+  filters optimally; the competitive yardstick of Theorem 3.3.
+* :mod:`repro.baselines.lam_dominance` — Lam et al.'s midpoint strategy
+  tracking the *full* dominance order (Sect. 1.1/3.1 discussion).
+* :mod:`repro.baselines.babcock_olston` — Babcock–Olston style top-k
+  monitoring with border values and slack (Sect. 1.1 [1]).
+* :mod:`repro.baselines.sequential_max` — deterministic probe-in-sequence
+  maximum computation (the Theorem 4.3 lower-bound behaviour).
+* :mod:`repro.baselines.shout_echo` — shout-echo selection (related work
+  [13, 14]; optimizes rounds, not messages).
+"""
+
+from repro.baselines.naive import NaiveMonitor, naive_message_count
+from repro.baselines.periodic import PeriodicRecomputeMonitor
+from repro.baselines.offline_opt import (
+    OptResult,
+    opt_result,
+    opt_segments,
+    opt_segments_dp,
+    segment_feasible,
+)
+from repro.baselines.lam_dominance import DominanceTrackingMonitor
+from repro.baselines.babcock_olston import BabcockOlstonMonitor
+from repro.baselines.sequential_max import sequential_max
+from repro.baselines.shout_echo import shout_echo_max, shout_echo_select
+
+__all__ = [
+    "NaiveMonitor",
+    "naive_message_count",
+    "PeriodicRecomputeMonitor",
+    "OptResult",
+    "opt_result",
+    "opt_segments",
+    "opt_segments_dp",
+    "segment_feasible",
+    "DominanceTrackingMonitor",
+    "BabcockOlstonMonitor",
+    "sequential_max",
+    "shout_echo_max",
+    "shout_echo_select",
+]

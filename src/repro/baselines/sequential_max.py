@@ -1,0 +1,92 @@
+"""Deterministic sequential-probe maximum (the Theorem 4.3 behaviour).
+
+The lower-bound proof observes that a deterministic algorithm "can
+basically not do better than having a fixed sequence of nodes that it
+probes consecutively, skipping nodes that have values smaller than the
+maximum value observed so far".  On a uniformly random permutation the
+number of *answers* (non-skipped probes) equals the number of left-to-right
+maxima along the probe order, whose expectation is the harmonic number
+``H_n = Θ(log n)`` — the path length in a random binary search tree.
+
+We model the skip mechanism with the broadcast channel: after each received
+answer the coordinator broadcasts the new running maximum, so nodes below
+it stay silent when probed.  Message cost = answers + broadcasts + probes
+(probe broadcasts are optional via ``charge_probes``; the *answer* count is
+the quantity compared against ``H_n`` in E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SequentialMaxOutcome", "sequential_max"]
+
+
+@dataclass(frozen=True)
+class SequentialMaxOutcome:
+    """Result of a sequential probe sweep.
+
+    ``answers`` counts node replies (= left-to-right maxima of the probe
+    order); ``broadcasts`` counts running-max announcements (one per new
+    record); ``probes`` counts probe messages if charged.
+    """
+
+    winner: int
+    value: int
+    answers: int
+    broadcasts: int
+    probes: int
+
+    @property
+    def total_messages(self) -> int:
+        """All charged messages."""
+        return self.answers + self.broadcasts + self.probes
+
+
+def sequential_max(
+    values: np.ndarray,
+    *,
+    probe_order: np.ndarray | None = None,
+    charge_probes: bool = False,
+) -> SequentialMaxOutcome:
+    """Probe nodes in order; nodes below the announced maximum stay silent.
+
+    ``probe_order`` defaults to id order (the "fixed sequence" of the
+    proof); experiments randomize it to realize the random-permutation
+    distribution of Theorem 4.3.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim != 1 or values.size == 0:
+        raise ConfigurationError("values must be a non-empty 1-D array")
+    n = values.size
+    if probe_order is None:
+        probe_order = np.arange(n)
+    probe_order = np.asarray(probe_order, dtype=np.int64)
+    if sorted(probe_order.tolist()) != list(range(n)):
+        raise ConfigurationError("probe_order must be a permutation of 0..n-1")
+
+    best_val: int | None = None
+    best_id = -1
+    answers = 0
+    broadcasts = 0
+    for node in probe_order:
+        v = int(values[node])
+        if best_val is not None and v <= best_val:
+            continue  # node stays silent: it knows the broadcast maximum
+        answers += 1
+        best_val = v
+        best_id = int(node)
+        broadcasts += 1  # announce the new running maximum
+    probes = n if charge_probes else 0
+    assert best_val is not None
+    return SequentialMaxOutcome(
+        winner=best_id,
+        value=best_val,
+        answers=answers,
+        broadcasts=broadcasts,
+        probes=probes,
+    )

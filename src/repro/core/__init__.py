@@ -1,0 +1,42 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.filters` — filter intervals and the Lemma 2.2 validity
+  predicate,
+* :mod:`repro.core.protocols` — Algorithm 2 (MaximumProtocol) and its
+  minimum twin,
+* :mod:`repro.core.selection` — repeated-max top-k selection used by
+  ``FilterReset``,
+* :mod:`repro.core.monitor` — Algorithm 1, the filter-based
+  Top-k-Position monitor,
+* :mod:`repro.core.events` — step-level result/event records.
+"""
+
+from repro.core.filters import Filter, FilterSet, filters_from_sides
+from repro.core.protocols import (
+    ProtocolConfig,
+    ProtocolOutcome,
+    maximum_protocol,
+    minimum_protocol,
+)
+from repro.core.selection import select_top_k
+from repro.core.checkpoint import restore_session, save_session
+from repro.core.events import MonitorResult, StepEvent, StepKind
+from repro.core.monitor import MonitorConfig, TopKMonitor
+
+__all__ = [
+    "Filter",
+    "FilterSet",
+    "filters_from_sides",
+    "ProtocolConfig",
+    "ProtocolOutcome",
+    "maximum_protocol",
+    "minimum_protocol",
+    "select_top_k",
+    "MonitorResult",
+    "save_session",
+    "restore_session",
+    "StepEvent",
+    "StepKind",
+    "MonitorConfig",
+    "TopKMonitor",
+]

@@ -1,0 +1,115 @@
+"""Checkpoint / restore for :class:`~repro.core.monitor.OnlineSession`.
+
+A coordinator process monitoring real streams must survive restarts without
+re-contacting every node (which would cost n messages — exactly what the
+algorithm exists to avoid).  The session's entire algorithmic state is tiny:
+the side assignment, the doubled bound, the running extremes, the step
+counter, and the protocol RNG state.  This module serializes it to a plain
+dict (JSON-compatible except for the RNG state, which is included as nested
+plain types) and restores a session that behaves **bit-identically** to one
+that never stopped — including future coin flips, hence future message
+counts.
+
+Message ledgers and event logs are *instrumentation*, not algorithmic
+state; they restart empty by design (a restarted coordinator begins new
+books).  Tests assert trajectory and post-restore message equality.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.monitor import MonitorConfig, OnlineSession
+from repro.errors import ConfigurationError
+
+__all__ = ["save_session", "restore_session", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+def save_session(session: OnlineSession) -> dict[str, Any]:
+    """Capture a session's algorithmic state as a plain dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "n": session.n,
+        "k": session.k,
+        "t": session._t,
+        "initialized": session._initialized,
+        "sides": session._sides.astype(int).tolist(),
+        "m2": int(session._m2),
+        "t_plus": int(session._t_plus),
+        "t_minus": int(session._t_minus),
+        "resets": session.resets,
+        "handler_calls": session.handler_calls,
+        "rng_state": _encode_rng_state(session._rng),
+        "config": {
+            "audit": session.config.audit,
+            "skip_redundant_min": session.config.skip_redundant_min,
+            "always_reset": session.config.always_reset,
+        },
+    }
+
+
+def restore_session(state: dict[str, Any], *, config: MonitorConfig | None = None) -> OnlineSession:
+    """Reconstruct a session from :func:`save_session` output.
+
+    ``config`` may override instrumentation switches (tracking, recording);
+    the algorithmic switches stored in the checkpoint win over the override
+    to prevent accidentally resuming with different semantics.
+    """
+    if state.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported session checkpoint schema {state.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    base = config or MonitorConfig()
+    cfg = MonitorConfig(
+        audit=state["config"]["audit"],
+        skip_redundant_min=state["config"]["skip_redundant_min"],
+        always_reset=state["config"]["always_reset"],
+        protocol=base.protocol,
+        track_series=base.track_series,
+        record_messages=base.record_messages,
+        collect_events=base.collect_events,
+    )
+    session = OnlineSession(state["n"], state["k"], seed=0, config=cfg)
+    session._t = int(state["t"])
+    session._initialized = bool(state["initialized"])
+    session._sides[:] = np.asarray(state["sides"], dtype=bool)
+    session._m2 = int(state["m2"])
+    session._t_plus = int(state["t_plus"])
+    session._t_minus = int(state["t_minus"])
+    session.resets = int(state["resets"])
+    session.handler_calls = int(state["handler_calls"])
+    session._rng = _decode_rng_state(state["rng_state"])
+    return session
+
+
+def _encode_rng_state(rng: np.random.Generator) -> dict[str, Any]:
+    """Serialize a PCG64 generator's state into JSON-safe types."""
+    raw = rng.bit_generator.state
+    if raw.get("bit_generator") != "PCG64":
+        raise ConfigurationError(f"only PCG64 sessions can be checkpointed, got {raw.get('bit_generator')}")
+    return {
+        "bit_generator": "PCG64",
+        "state": int(raw["state"]["state"]),
+        "inc": int(raw["state"]["inc"]),
+        "has_uint32": int(raw["has_uint32"]),
+        "uinteger": int(raw["uinteger"]),
+    }
+
+
+def _decode_rng_state(data: dict[str, Any]) -> np.random.Generator:
+    """Inverse of :func:`_encode_rng_state`."""
+    if data.get("bit_generator") != "PCG64":
+        raise ConfigurationError("checkpoint does not contain a PCG64 state")
+    bg = np.random.PCG64()
+    bg.state = {
+        "bit_generator": "PCG64",
+        "state": {"state": int(data["state"]), "inc": int(data["inc"])},
+        "has_uint32": int(data["has_uint32"]),
+        "uinteger": int(data["uinteger"]),
+    }
+    return np.random.Generator(bg)

@@ -1,0 +1,156 @@
+"""Step-level events and the aggregated result of a monitoring run.
+
+The monitor reports, for every observation step, what happened (quiet step /
+handler invocation / full reset) plus the information needed by the
+analysis layer: gap halvings, violator counts, and message deltas.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from repro.model.ledger import LedgerSnapshot, MessageLedger
+
+__all__ = ["StepKind", "StepEvent", "MonitorResult"]
+
+
+class StepKind(enum.Enum):
+    """What Algorithm 1 did during one observation step."""
+
+    #: No filter was violated; zero messages.
+    QUIET = "quiet"
+    #: Violations occurred; the handler updated the midpoint (line 33).
+    HANDLER_MIDPOINT = "handler_midpoint"
+    #: Violations occurred and ``T+ < T-``; full filter reset (line 30).
+    HANDLER_RESET = "handler_reset"
+    #: The t=0 initialization reset (line 1).
+    INIT_RESET = "init_reset"
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """Record of one non-quiet step.
+
+    ``top_violators`` / ``bottom_violators`` are the violator counts on each
+    side; ``messages`` is the number of messages charged during this step;
+    ``gap`` is ``T+ - T-`` *after* the handler ran (None after a reset
+    computes a fresh gap).
+    """
+
+    time: int
+    kind: StepKind
+    top_violators: int
+    bottom_violators: int
+    messages: int
+    gap: Fraction | None
+
+
+@dataclass
+class MonitorResult:
+    """Aggregated outcome of a full monitoring run.
+
+    Attributes
+    ----------
+    topk_history:
+        ``(T, k)`` int array; row ``t`` holds the coordinator's reported
+        top-k node ids (ascending id order) after step ``t``.
+    ledger:
+        The message ledger (totals, per-kind, per-phase, optional series).
+    events:
+        One :class:`StepEvent` per non-quiet step, in time order.
+    resets / handler_calls:
+        Convenience counters (init reset included in ``resets``).
+    audit_failures:
+        Number of steps at which the audit found an invalid answer
+        (always 0 unless auditing was disabled and re-checked post hoc).
+    """
+
+    n: int
+    k: int
+    steps: int
+    topk_history: np.ndarray
+    ledger: MessageLedger
+    events: list[StepEvent] = field(default_factory=list)
+    resets: int = 0
+    handler_calls: int = 0
+    audit_failures: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        """Total unit-cost messages over the whole run."""
+        return self.ledger.total
+
+    @property
+    def quiet_steps(self) -> int:
+        """Steps with zero communication (every event marks a noisy step)."""
+        return self.steps - len(self.events)
+
+    def messages_per_step(self) -> float:
+        """Average messages per observation step."""
+        return self.ledger.total / self.steps if self.steps else 0.0
+
+    def reset_times(self) -> list[int]:
+        """Times of full filter resets (including t=0)."""
+        return [e.time for e in self.events if e.kind in (StepKind.HANDLER_RESET, StepKind.INIT_RESET)]
+
+    def handler_times(self) -> list[int]:
+        """Times of handler invocations that did *not* escalate to a reset."""
+        return [e.time for e in self.events if e.kind is StepKind.HANDLER_MIDPOINT]
+
+    def snapshot(self) -> LedgerSnapshot:
+        """Ledger snapshot (for composing with other runs)."""
+        return self.ledger.snapshot()
+
+    def topk_at(self, t: int) -> set[int]:
+        """The reported top-k set after step ``t``."""
+        return set(int(i) for i in self.topk_history[t])
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"TopKMonitor(n={self.n}, k={self.k}) over {self.steps} steps: "
+            f"{self.total_messages} messages "
+            f"({self.ledger.node_messages()} node->coord, {self.ledger.broadcasts()} broadcast), "
+            f"{self.handler_calls} handler calls, {self.resets} resets, "
+            f"{self.quiet_steps} quiet steps"
+        )
+
+    @staticmethod
+    def check_history(topk_history: np.ndarray, values: np.ndarray, k: int) -> int:
+        """Count steps whose recorded top-k set is *not* valid.
+
+        A set is valid when every member's value is >= every non-member's
+        value at that time (ties make several sets valid).  Returns the
+        number of failures (0 = fully correct run).
+        """
+        T, n = values.shape
+        failures = 0
+        for t in range(T):
+            members = topk_history[t]
+            member_mask = np.zeros(n, dtype=bool)
+            member_mask[members] = True
+            if member_mask.sum() != k:
+                failures += 1
+                continue
+            row = values[t]
+            if k < n and row[member_mask].min() < row[~member_mask].max():
+                failures += 1
+        return failures
+
+
+def valid_topk_set(row: Sequence[int] | np.ndarray, members: Sequence[int], k: int) -> bool:
+    """Whether ``members`` is a valid top-k set for observation ``row``."""
+    row = np.asarray(row)
+    n = row.size
+    member_mask = np.zeros(n, dtype=bool)
+    member_mask[list(members)] = True
+    if int(member_mask.sum()) != k:
+        return False
+    if k == n:
+        return True
+    return row[member_mask].min() >= row[~member_mask].max()

@@ -1,0 +1,246 @@
+"""Algorithm 2: the randomized maximum / minimum protocols.
+
+A set of participants (a subset of the ``n`` nodes), each holding a fixed
+value, must communicate the maximum (resp. minimum) of their values to the
+coordinator.  The protocol proceeds in rounds ``r = 0, 1, ..., ceil(log2 N)``
+for an upper bound ``N`` on the participant count:
+
+1. every still-*active* participant whose value exceeds the last broadcast
+   running maximum flips an independent coin with success probability
+   ``min(1, 2^r / N)``;
+2. on success it sends ``(id, value)`` to the coordinator and deactivates;
+3. the coordinator broadcasts the running maximum when it learned a strictly
+   larger value, which deactivates every participant at or below it.
+
+In the final round the send probability reaches 1, so the protocol is Las
+Vegas: it *always* returns the exact maximum, only the number of messages is
+random — Theorem 4.2 shows ``E[messages] <= 2 log2 N + 1`` and ``O(log N)``
+w.h.p.; Theorem 4.3 shows ``Ω(log n)`` is necessary.
+
+Randomness convention (important for differential testing, see DESIGN.md):
+each round draws ``rng.random(size=#active)`` over the active participants
+in ascending node-id order, *including* in the forced final round.  Any
+implementation following this convention produces bit-identical message
+counts for the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.model.message import Phase
+from repro.model.transport import Transport
+from repro.util.intmath import ceil_log2
+
+__all__ = [
+    "ProtocolConfig",
+    "ProtocolOutcome",
+    "maximum_protocol",
+    "minimum_protocol",
+]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables for message accounting and round policy.
+
+    ``charge_start_broadcast``
+        Charge one broadcast when the *coordinator* initiates a protocol run
+        (handler lines 23/25 and each ``FilterReset`` sweep need an
+        announcement; violation-triggered runs are node-initiated and free).
+    ``broadcast_every_round``
+        If True, the coordinator broadcasts its running maximum after
+        *every* round once it has seen at least one value — the verbatim
+        line 18 of the listing ("coordinator broadcasts maximum max_r of
+        all seen values").  If False (default) it broadcasts only when the
+        running maximum strictly improved, which transmits exactly the same
+        information (a node below the last broadcast is already inactive).
+        Both choices keep all bounds; the delta is measured by ablation A3.
+    """
+
+    charge_start_broadcast: bool = True
+    broadcast_every_round: bool = False
+
+
+@dataclass(frozen=True)
+class ProtocolOutcome:
+    """Result of one protocol execution.
+
+    ``winner``/``value`` identify the extremum (ties broken by lowest id);
+    ``node_messages`` is the Theorem 4.2 quantity; ``broadcasts`` counts
+    coordinator round broadcasts (excluding any start broadcast);
+    ``rounds`` is the number of coin-flip rounds executed.
+    """
+
+    winner: int
+    value: int
+    node_messages: int
+    broadcasts: int
+    rounds: int
+
+    @property
+    def total_messages(self) -> int:
+        """Node messages plus coordinator round broadcasts."""
+        return self.node_messages + self.broadcasts
+
+
+def _extremum_protocol(
+    ids: Sequence[int] | np.ndarray,
+    values: Sequence[int] | np.ndarray,
+    upper_bound: int,
+    rng: np.random.Generator,
+    transport: Transport | None,
+    *,
+    sign: int,
+    phase: Phase = Phase.OTHER,
+    coordinator_initiated: bool = False,
+    config: ProtocolConfig | None = None,
+) -> ProtocolOutcome | None:
+    """Shared engine for max (``sign=+1``) and min (``sign=-1``).
+
+    Internally maximizes ``sign * value``; reported values are de-signed.
+    """
+    config = config or ProtocolConfig()
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    vals_arr = np.asarray(values, dtype=np.int64)
+    if ids_arr.shape != vals_arr.shape or ids_arr.ndim != 1:
+        raise ConfigurationError("ids and values must be 1-D arrays of equal length")
+    m = int(ids_arr.size)
+    if m == 0:
+        return None
+    if len(np.unique(ids_arr)) != m:
+        raise ConfigurationError("participant ids must be distinct")
+    upper_bound = int(upper_bound)
+    if upper_bound < m:
+        raise ConfigurationError(f"upper_bound N={upper_bound} smaller than participant count {m}")
+
+    # Canonical ascending-id order (randomness convention).
+    order = np.argsort(ids_arr, kind="stable")
+    ids_arr = ids_arr[order]
+    keyed = sign * vals_arr[order]
+
+    if transport is not None and coordinator_initiated and config.charge_start_broadcast:
+        transport.broadcast(("protocol_start", phase.value), Phase.PROTOCOL_START)
+
+    n_rounds = ceil_log2(upper_bound) + 1 if upper_bound > 1 else 1
+    active = np.ones(m, dtype=bool)
+    best_key: int | None = None  # last *broadcast* running extremum
+    coord_best_key: int | None = None  # best the coordinator has received
+    best_id: int = -1
+    node_messages = 0
+    broadcasts = 0
+    rounds_run = 0
+
+    for r in range(n_rounds):
+        if not active.any():
+            break
+        # Deactivation by the last broadcast value (strict comparison: ties
+        # stay active, which is what makes the tie-broken winner exact).
+        if best_key is not None:
+            active &= keyed >= best_key
+            if not active.any():
+                break
+        rounds_run += 1
+        p = min(1.0, (2.0**r) / upper_bound)
+        active_idx = np.flatnonzero(active)
+        draws = rng.random(active_idx.size)
+        senders = active_idx[draws < p]
+        round_got_message = senders.size > 0
+        improved = False
+        for j in senders:
+            node_messages += 1
+            if transport is not None:
+                transport.node_to_coord(int(ids_arr[j]), (int(ids_arr[j]), int(sign * keyed[j])), phase)
+            key = int(keyed[j])
+            if coord_best_key is None or key > coord_best_key or (key == coord_best_key and int(ids_arr[j]) < best_id):
+                if coord_best_key is None or key > coord_best_key:
+                    improved = True
+                coord_best_key = key
+                best_id = int(ids_arr[j])
+        active[senders] = False
+        if (round_got_message and improved) or (
+            config.broadcast_every_round and coord_best_key is not None
+        ):
+            broadcasts += 1
+            if transport is not None:
+                transport.broadcast(int(sign * coord_best_key), Phase.PROTOCOL_ROUND)
+            best_key = coord_best_key
+
+    if coord_best_key is None:
+        raise ProtocolError("protocol terminated without any message; final round must force sends")
+
+    # Sanity: Las Vegas exactness.
+    true_key = int(keyed.max())
+    if coord_best_key != true_key:
+        raise ProtocolError(
+            f"protocol returned key {coord_best_key} but true extremum key is {true_key}"
+        )
+
+    return ProtocolOutcome(
+        winner=best_id,
+        value=int(sign * coord_best_key),
+        node_messages=node_messages,
+        broadcasts=broadcasts,
+        rounds=rounds_run,
+    )
+
+
+def maximum_protocol(
+    ids: Sequence[int] | np.ndarray,
+    values: Sequence[int] | np.ndarray,
+    upper_bound: int,
+    rng: np.random.Generator,
+    transport: Transport | None = None,
+    *,
+    phase: Phase = Phase.OTHER,
+    coordinator_initiated: bool = False,
+    config: ProtocolConfig | None = None,
+) -> ProtocolOutcome | None:
+    """Run Algorithm 2 over the given participants; returns the maximum.
+
+    ``upper_bound`` is the paper's ``N`` — an upper bound on how many nodes
+    *might* participate (e.g. ``n - k`` when the BOTTOM side runs it), which
+    the participants know even though the actual violator count is unknown.
+    Returns ``None`` when the participant set is empty (no violators ⇒ the
+    coordinator hears nothing, Alg. 1 lines 11-12).
+    """
+    return _extremum_protocol(
+        ids,
+        values,
+        upper_bound,
+        rng,
+        transport,
+        sign=+1,
+        phase=phase,
+        coordinator_initiated=coordinator_initiated,
+        config=config,
+    )
+
+
+def minimum_protocol(
+    ids: Sequence[int] | np.ndarray,
+    values: Sequence[int] | np.ndarray,
+    upper_bound: int,
+    rng: np.random.Generator,
+    transport: Transport | None = None,
+    *,
+    phase: Phase = Phase.OTHER,
+    coordinator_initiated: bool = False,
+    config: ProtocolConfig | None = None,
+) -> ProtocolOutcome | None:
+    """The symmetric MinimumProtocol (maximize the negated values)."""
+    return _extremum_protocol(
+        ids,
+        values,
+        upper_bound,
+        rng,
+        transport,
+        sign=-1,
+        phase=phase,
+        coordinator_initiated=coordinator_initiated,
+        config=config,
+    )

@@ -1,0 +1,23 @@
+"""A message-driven, strictly-local implementation of Algorithm 1.
+
+The faithful engine in :mod:`repro.core.monitor` is written from the
+coordinator's omniscient point of view (it reads the violator sets off the
+value row).  This package re-implements the whole system as **distributed
+state machines**: a :class:`~repro.distributed.node.NodeAgent` sees only its
+own stream, its filter side, the shared bound, and coordinator broadcasts;
+the :class:`~repro.distributed.coordinator.CoordinatorAgent` sees only the
+messages nodes send.  Even side assignment after a ``FilterReset`` is
+learned locally — a sweep winner discovers its rank from the next sweep's
+start broadcast naming it, exactly the information flow available in the
+paper's model.
+
+The runtime follows the shared randomness convention, so all three
+implementations (faithful, vectorized, distributed) produce bit-identical
+trajectories *and* message counts for equal seeds —
+:func:`repro.distributed.runtime.run_distributed` is asserted equal in the
+three-way differential tests.
+"""
+
+from repro.distributed.runtime import DistributedResult, run_distributed
+
+__all__ = ["run_distributed", "DistributedResult"]

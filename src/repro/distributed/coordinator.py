@@ -1,0 +1,109 @@
+"""The coordinator-side state machine.
+
+The coordinator's knowledge is exactly what messages gave it: per-protocol
+running extrema, the identities of sweep winners, and the running
+``T+``/``T-`` since the last reset.  It decides — never reads — node state.
+"""
+
+from __future__ import annotations
+
+from repro.types import Side
+
+__all__ = ["CoordinatorAgent", "ProtocolBook"]
+
+
+class ProtocolBook:
+    """The coordinator's view of one protocol execution."""
+
+    def __init__(self, sign: int):
+        self.sign = sign
+        self.best_keyed: int | None = None
+        self.best_id: int = -1
+        self.announced: int | None = None
+        self.node_messages = 0
+
+    def receive(self, node_id: int, value: int) -> bool:
+        """Record one reply; returns True if the running extremum improved
+        (which obliges a round broadcast)."""
+        self.node_messages += 1
+        keyed = self.sign * int(value)
+        improved = self.best_keyed is None or keyed > self.best_keyed
+        if improved:
+            self.best_keyed = keyed
+            self.best_id = int(node_id)
+        elif keyed == self.best_keyed and int(node_id) < self.best_id:
+            self.best_id = int(node_id)
+        return improved
+
+    def announce(self) -> int:
+        """The keyed extremum to broadcast; remembers it was announced."""
+        assert self.best_keyed is not None
+        self.announced = self.best_keyed
+        return self.best_keyed
+
+    @property
+    def heard_anything(self) -> bool:
+        """Did any node reply during this execution?"""
+        return self.best_keyed is not None
+
+    @property
+    def value(self) -> int:
+        """The de-keyed extremum value."""
+        assert self.best_keyed is not None
+        return self.sign * self.best_keyed
+
+
+class CoordinatorAgent:
+    """The coordinator."""
+
+    def __init__(self, n: int, k: int):
+        self.n = n
+        self.k = k
+        self.t_plus: int = 0
+        self.t_minus: int = 0
+        self.m2: int = 0
+        self.topk: list[int] = []
+        self.resets = 0
+        self.handler_calls = 0
+
+    # Decisions ------------------------------------------------------------
+
+    def needs_handler(self, min_book: ProtocolBook | None, max_book: ProtocolBook | None) -> bool:
+        """Lines 11-12: did any violation protocol communicate a value?"""
+        return bool((min_book and min_book.heard_anything) or (max_book and max_book.heard_anything))
+
+    def missing_side(self, max_book: ProtocolBook | None) -> Side:
+        """Lines 22-26: which side must be polled in full.
+
+        If no maximum was communicated, poll BOTTOM for the max; otherwise
+        (the listing's verbatim behaviour) re-poll TOP for the min.
+        """
+        if max_book is None or not max_book.heard_anything:
+            return Side.BOTTOM
+        return Side.TOP
+
+    def absorb_extremes(self, min_value: int, max_value: int) -> None:
+        """Lines 27-28: fold fresh extremes into the running T+/T-."""
+        self.t_plus = min(self.t_plus, int(min_value))
+        self.t_minus = max(self.t_minus, int(max_value))
+
+    def must_reset(self) -> bool:
+        """Line 29: the top-k set provably changed iff T+ < T-."""
+        return self.t_plus < self.t_minus
+
+    def new_midpoint(self) -> int:
+        """Lines 32-33: the doubled midpoint of [T-, T+]."""
+        self.m2 = self.t_plus + self.t_minus
+        return self.m2
+
+    def finish_reset(self, winners: list[int], winner_values: list[int]) -> int:
+        """Lines 40-41: record the fresh top-k and compute the new bound."""
+        assert len(winners) == self.k + 1
+        self.topk = sorted(winners[: self.k])
+        v_k = winner_values[self.k - 1]
+        v_k1 = winner_values[self.k]
+        self.t_plus = int(v_k)
+        self.t_minus = int(v_k1)
+        self.m2 = int(v_k) + int(v_k1)
+        self.resets += 1
+        return self.m2

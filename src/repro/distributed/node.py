@@ -1,0 +1,152 @@
+"""The node-side state machine.
+
+A node knows: its id, the problem parameters ``(n, k)``, its current value,
+its filter side and the doubled bound ``m2``, and whatever arrives on the
+broadcast channel.  It never reads another node's value or the
+coordinator's internal state — every method here is implementable on a real
+sensor.
+
+Protocol participation is tracked per execution: ``arm`` activates the node
+for one max/min run, coin flips are supplied by the runtime (which owns the
+shared randomness convention), and deactivation happens locally when a
+round broadcast reveals a value that beats the node's own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import Side
+
+__all__ = ["NodeAgent"]
+
+
+@dataclass
+class _ProtocolState:
+    """Local state for one protocol execution the node participates in."""
+
+    sign: int  # +1: maximum protocol, -1: minimum protocol
+    active: bool = True
+    heard_extremum: int | None = None  # keyed (sign-multiplied) value
+
+
+class NodeAgent:
+    """One distributed node."""
+
+    def __init__(self, node_id: int, n: int, k: int):
+        self.id = node_id
+        self.n = n
+        self.k = k
+        self.value: int = 0
+        self.side: Side = Side.BOTTOM
+        self.m2: int = 0
+        self.initialized = False
+        self._proto: _ProtocolState | None = None
+        # Reset bookkeeping: whether this node has been named a sweep winner
+        # during the ongoing reset, and therefore is excluded from later
+        # sweeps; ``_won_rank`` is the 1-based sweep index it won.
+        self._excluded: bool = False
+        self._won_rank: int | None = None
+
+    # ------------------------------------------------------------ stream
+
+    def observe(self, value: int) -> None:
+        """New observation from the node's private stream."""
+        self.value = int(value)
+
+    def violation(self) -> Side | None:
+        """Which protocol (if any) this node must spontaneously join.
+
+        TOP nodes violate below the bound, BOTTOM nodes above it; an
+        uninitialized node never reports (the t=0 reset polls everyone).
+        """
+        if not self.initialized:
+            return None
+        doubled = 2 * self.value
+        if self.side is Side.TOP and doubled < self.m2:
+            return Side.TOP
+        if self.side is Side.BOTTOM and doubled > self.m2:
+            return Side.BOTTOM
+        return None
+
+    # ---------------------------------------------------------- protocol
+
+    def arm(self, sign: int) -> None:
+        """Join a protocol execution (spontaneously or on a start broadcast)."""
+        self._proto = _ProtocolState(sign=sign)
+
+    def disarm(self) -> None:
+        """Leave the current protocol execution."""
+        self._proto = None
+
+    @property
+    def protocol_active(self) -> bool:
+        """Still flipping coins in the current execution?"""
+        return self._proto is not None and self._proto.active
+
+    def keyed_value(self) -> int:
+        """The node's value under the current protocol's orientation."""
+        assert self._proto is not None
+        return self._proto.sign * self.value
+
+    def coin(self, success: bool) -> tuple[int, int] | None:
+        """One round's coin flip; returns the message to send, if any."""
+        if self._proto is None or not self._proto.active:
+            return None
+        if success:
+            self._proto.active = False  # send then leave the protocol
+            return (self.id, self.value)
+        return None
+
+    def hear_round_broadcast(self, keyed_extremum: int) -> None:
+        """Round broadcast: deactivate if strictly beaten (ties stay in)."""
+        if self._proto is None or not self._proto.active:
+            return
+        self._proto.heard_extremum = keyed_extremum
+        if self.keyed_value() < keyed_extremum:
+            self._proto.active = False
+
+    # ----------------------------------------------------------- control
+
+    def hear_start(self, side: Side, sign: int) -> None:
+        """Handler start broadcast: the named side joins a protocol."""
+        if self.initialized and self.side is side:
+            self.arm(sign)
+
+    def hear_midpoint(self, m2: int) -> None:
+        """Midpoint broadcast: tighten the local bound, keep the side."""
+        self.m2 = int(m2)
+
+    def hear_sweep_start(self, previous_winner: int | None, sweep_index: int) -> None:
+        """Reset sweep start: learn whether *I* won the previous sweep.
+
+        Sweep ``j``'s start broadcast names sweep ``j-1``'s winner — the
+        only way a winner ever learns it won, and all a node needs to later
+        derive its side.  Non-excluded nodes arm for the sweep.
+        """
+        if sweep_index == 1:
+            # a fresh reset begins: clear per-reset state
+            self._excluded = False
+            self._won_rank = None
+        if previous_winner == self.id:
+            self._excluded = True
+            self._won_rank = sweep_index - 1
+        if not self._excluded:
+            self.arm(+1)
+        else:
+            self.disarm()
+
+    def hear_reset_bound(self, m2: int, last_winner: int) -> None:
+        """Final reset broadcast: install the new bound and derive the side.
+
+        ``last_winner`` names the (k+1)-st sweep's winner (who would
+        otherwise never be named).  TOP iff this node won one of sweeps
+        ``1..k``.
+        """
+        if last_winner == self.id:
+            self._won_rank = self.k + 1
+            self._excluded = True
+        self.m2 = int(m2)
+        self.side = Side.TOP if (self._won_rank is not None and self._won_rank <= self.k) else Side.BOTTOM
+        self.initialized = True
+        self.disarm()

@@ -1,0 +1,197 @@
+"""The simulation runtime clocking the distributed state machines.
+
+The runtime plays the role of the physical world: it delivers observations,
+clocks protocol rounds, carries messages, and supplies the per-round coin
+vector (following the shared randomness convention, so results are
+bit-comparable with the other two engines).  All *decisions* live in the
+agents; grep this file for ``node.`` / ``coordinator.`` calls to verify the
+runtime never peeks at values beyond delivering them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributed.coordinator import CoordinatorAgent, ProtocolBook
+from repro.distributed.node import NodeAgent
+from repro.errors import ConfigurationError
+from repro.model.ledger import MessageLedger
+from repro.model.message import MessageKind, Phase
+from repro.types import Side
+from repro.util.intmath import ceil_log2
+from repro.util.seeding import derive_rng
+from repro.util.validation import check_k, check_matrix
+
+__all__ = ["DistributedResult", "run_distributed"]
+
+
+@dataclass
+class DistributedResult:
+    """Output of a distributed run (mirrors the other engines' results)."""
+
+    n: int
+    k: int
+    steps: int
+    topk_history: np.ndarray
+    ledger: MessageLedger
+    resets: int = 0
+    handler_calls: int = 0
+    reset_times: list[int] = field(default_factory=list)
+    handler_times: list[int] = field(default_factory=list)
+
+    @property
+    def total_messages(self) -> int:
+        """Total unit-cost messages."""
+        return self.ledger.total
+
+
+class _Runtime:
+    def __init__(self, n: int, k: int, seed):
+        self.nodes = [NodeAgent(i, n, k) for i in range(n)]
+        self.coordinator = CoordinatorAgent(n, k)
+        self.rng = derive_rng(seed, 0)
+        self.ledger = MessageLedger()
+
+    # ------------------------------------------------------- message taxes
+
+    def _charge_node(self, phase: Phase) -> None:
+        self.ledger.charge(MessageKind.NODE_TO_COORD, phase)
+
+    def _charge_broadcast(self, phase: Phase) -> None:
+        self.ledger.charge(MessageKind.BROADCAST, phase)
+
+    # --------------------------------------------------------- protocols
+
+    def run_protocol(self, participants: list[NodeAgent], sign: int, upper_bound: int, phase: Phase) -> ProtocolBook:
+        """Clock one max/min protocol over already-armed participants.
+
+        Participants must be armed; rounds follow Algorithm 2 with the
+        shared randomness convention (one uniform vector per round over the
+        active participants in ascending id order).
+        """
+        book = ProtocolBook(sign)
+        participants = sorted(participants, key=lambda nd: nd.id)
+        n_rounds = ceil_log2(upper_bound) + 1 if upper_bound > 1 else 1
+        for r in range(n_rounds):
+            active = [nd for nd in participants if nd.protocol_active]
+            if not active:
+                break
+            p = min(1.0, (2.0**r) / upper_bound)
+            draws = self.rng.random(len(active))
+            improved_this_round = False
+            got_message = False
+            for nd, u in zip(active, draws):
+                msg = nd.coin(bool(u < p))
+                if msg is not None:
+                    got_message = True
+                    self._charge_node(phase)
+                    if book.receive(*msg):
+                        improved_this_round = True
+            if got_message and improved_this_round:
+                keyed = book.announce()
+                self._charge_broadcast(Phase.PROTOCOL_ROUND)
+                for nd in participants:
+                    nd.hear_round_broadcast(keyed)
+        for nd in participants:
+            nd.disarm()
+        return book
+
+    def start_side_protocol(self, side: Side, sign: int, upper_bound: int, phase: Phase) -> ProtocolBook:
+        """Coordinator-initiated run over one whole side (handler lines 23/25)."""
+        self._charge_broadcast(Phase.PROTOCOL_START)
+        for nd in self.nodes:
+            nd.hear_start(side, sign)
+        participants = [nd for nd in self.nodes if nd.protocol_active]
+        return self.run_protocol(participants, sign, upper_bound, phase)
+
+    def filter_reset(self, t: int, result: DistributedResult) -> None:
+        """Lines 36-42 as k+1 broadcast-initiated sweeps."""
+        winners: list[int] = []
+        winner_values: list[int] = []
+        k = self.coordinator.k
+        for sweep in range(1, k + 2):
+            self._charge_broadcast(Phase.PROTOCOL_START)
+            previous = winners[-1] if winners else None
+            for nd in self.nodes:
+                nd.hear_sweep_start(previous, sweep)
+            participants = [nd for nd in self.nodes if nd.protocol_active]
+            book = self.run_protocol(participants, +1, len(self.nodes), Phase.RESET_PROTOCOL)
+            winners.append(book.best_id)
+            winner_values.append(book.value)
+        m2 = self.coordinator.finish_reset(winners, winner_values)
+        self._charge_broadcast(Phase.RESET_BROADCAST)
+        for nd in self.nodes:
+            nd.hear_reset_bound(m2, winners[-1])
+        result.reset_times.append(t)
+
+    # -------------------------------------------------------------- steps
+
+    def step(self, t: int, row: np.ndarray, result: DistributedResult) -> None:
+        self.ledger.begin_step(t)
+        for nd, v in zip(self.nodes, row):
+            nd.observe(int(v))
+        if t == 0:
+            self.filter_reset(0, result)
+            return
+        coord = self.coordinator
+        n, k = coord.n, coord.k
+
+        # Lines 2-10: violators arm themselves and run their protocols.
+        min_violators = [nd for nd in self.nodes if nd.violation() is Side.TOP]
+        max_violators = [nd for nd in self.nodes if nd.violation() is Side.BOTTOM]
+        min_book = None
+        max_book = None
+        if min_violators:
+            for nd in min_violators:
+                nd.arm(-1)
+            min_book = self.run_protocol(min_violators, -1, max(1, k), Phase.VIOLATION_MIN)
+        if max_violators:
+            for nd in max_violators:
+                nd.arm(+1)
+            max_book = self.run_protocol(max_violators, +1, max(1, n - k), Phase.VIOLATION_MAX)
+
+        if not coord.needs_handler(min_book, max_book):
+            return
+        coord.handler_calls += 1
+        if coord.missing_side(max_book) is Side.BOTTOM:
+            max_book = self.start_side_protocol(Side.BOTTOM, +1, max(1, n - k), Phase.HANDLER_MAX)
+        else:
+            min_book = self.start_side_protocol(Side.TOP, -1, max(1, k), Phase.HANDLER_MIN)
+        assert min_book is not None and max_book is not None
+        coord.absorb_extremes(min_book.value, max_book.value)
+        if coord.must_reset():
+            self.filter_reset(t, result)
+        else:
+            m2 = coord.new_midpoint()
+            self._charge_broadcast(Phase.MIDPOINT_BROADCAST)
+            for nd in self.nodes:
+                nd.hear_midpoint(m2)
+            result.handler_times.append(t)
+
+
+def run_distributed(values: np.ndarray, k: int, *, seed=None) -> DistributedResult:
+    """Run the distributed state-machine implementation on a value matrix.
+
+    Supports the default configuration of the other engines (verbatim
+    handler, broadcast-on-improvement); trajectories and message counts are
+    bit-identical to theirs for equal seeds.
+    """
+    values = check_matrix(values)
+    T, n = values.shape
+    k, n = check_k(k, n)
+    ledger_result: DistributedResult
+    if k == n:
+        history = np.tile(np.arange(n, dtype=np.int64), (T, 1))
+        return DistributedResult(n=n, k=k, steps=T, topk_history=history, ledger=MessageLedger())
+    rt = _Runtime(n, k, seed)
+    history = np.empty((T, k), dtype=np.int64)
+    result = DistributedResult(n=n, k=k, steps=T, topk_history=history, ledger=rt.ledger)
+    for t in range(T):
+        rt.step(t, values[t], result)
+        history[t] = rt.coordinator.topk
+    rt.ledger.end_run()
+    result.resets = rt.coordinator.resets
+    result.handler_calls = rt.coordinator.handler_calls
+    return result

@@ -1,0 +1,22 @@
+"""High-throughput NumPy engine for Algorithm 1.
+
+:mod:`repro.engine.vectorized` re-implements the monitor with pure array
+operations and counter-only accounting — no transports, no message or event
+objects — for large ``(T, n)`` sweeps (experiment E5 and the benchmarks).
+
+:mod:`repro.engine.compare` differentially tests it against the faithful
+object engine: both follow the randomness convention documented in
+:mod:`repro.core.protocols`, so for equal seeds their *entire* output —
+top-k trajectory, reset times, per-phase message counts — must be
+bit-identical (invariant I4).
+"""
+
+from repro.engine.vectorized import VectorizedResult, run_vectorized
+from repro.engine.compare import DifferentialReport, differential_check
+
+__all__ = [
+    "VectorizedResult",
+    "run_vectorized",
+    "DifferentialReport",
+    "differential_check",
+]

@@ -1,0 +1,115 @@
+"""Differential testing between the faithful and vectorized engines.
+
+Both engines implement Algorithm 1 from the paper independently but follow
+the same documented randomness convention, so for the same seed their
+behaviour must match **exactly**:
+
+* top-k trajectory (every step),
+* reset times and non-reset handler times,
+* per-phase message counts.
+
+Any mismatch indicates a semantic bug in one of the implementations; the
+:class:`DifferentialReport` pinpoints the first diverging quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.events import StepKind
+from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.core.protocols import ProtocolConfig
+from repro.engine.vectorized import run_vectorized
+
+__all__ = ["DifferentialReport", "differential_check"]
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Outcome of one differential run."""
+
+    equal: bool
+    detail: str
+    faithful_messages: int
+    vectorized_messages: int
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.equal
+
+
+def differential_check(
+    values: np.ndarray,
+    k: int,
+    *,
+    seed=0,
+    skip_redundant_min: bool = False,
+) -> DifferentialReport:
+    """Run both engines on the same instance and compare everything."""
+    protocol = ProtocolConfig()
+    cfg = MonitorConfig(
+        audit=False,
+        skip_redundant_min=skip_redundant_min,
+        protocol=protocol,
+        collect_events=True,
+    )
+    faithful = TopKMonitor(n=values.shape[1], k=k, seed=seed, config=cfg).run(values)
+    vector = run_vectorized(values, k, seed=seed, skip_redundant_min=skip_redundant_min)
+
+    if not np.array_equal(faithful.topk_history, vector.topk_history):
+        t = int(np.argmax((faithful.topk_history != vector.topk_history).any(axis=1)))
+        return DifferentialReport(
+            False,
+            f"top-k trajectories diverge first at t={t}: "
+            f"faithful={faithful.topk_history[t].tolist()} vectorized={vector.topk_history[t].tolist()}",
+            faithful.total_messages,
+            vector.total_messages,
+        )
+
+    f_resets = faithful.reset_times()
+    if f_resets != vector.reset_times:
+        return DifferentialReport(
+            False,
+            f"reset times differ: faithful={f_resets} vectorized={vector.reset_times}",
+            faithful.total_messages,
+            vector.total_messages,
+        )
+
+    f_handler = faithful.handler_times()
+    if f_handler != vector.handler_times:
+        return DifferentialReport(
+            False,
+            f"handler times differ: faithful={f_handler} vectorized={vector.handler_times}",
+            faithful.total_messages,
+            vector.total_messages,
+        )
+
+    f_phases = {p.value: c for p, c in faithful.ledger.by_phase.items() if c}
+    v_phases = {p: c for p, c in vector.by_phase.items() if c}
+    if f_phases != v_phases:
+        keys = sorted(set(f_phases) | set(v_phases))
+        diffs = [
+            f"{key}: faithful={f_phases.get(key, 0)} vectorized={v_phases.get(key, 0)}"
+            for key in keys
+            if f_phases.get(key, 0) != v_phases.get(key, 0)
+        ]
+        return DifferentialReport(
+            False,
+            "per-phase message counts differ: " + "; ".join(diffs),
+            faithful.total_messages,
+            vector.total_messages,
+        )
+
+    # Redundant final sanity: reset/handler totals.
+    init_resets = sum(1 for e in faithful.events if e.kind is StepKind.INIT_RESET)
+    if faithful.resets != vector.resets or faithful.handler_calls != vector.handler_calls:
+        return DifferentialReport(
+            False,
+            f"counters differ: resets {faithful.resets} vs {vector.resets} "
+            f"(init={init_resets}), handlers {faithful.handler_calls} vs {vector.handler_calls}",
+            faithful.total_messages,
+            vector.total_messages,
+        )
+
+    return DifferentialReport(True, "exact match", faithful.total_messages, vector.total_messages)

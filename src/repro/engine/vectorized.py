@@ -1,0 +1,209 @@
+"""Vectorized re-implementation of Algorithm 1 (counting only).
+
+Independent from :mod:`repro.core.monitor` by design: the protocol round
+loop, violation detection, handler and reset logic are all re-derived here
+from the paper, in flat NumPy, with plain integer counters instead of
+transports.  Differential testing between the two engines (see
+:mod:`repro.engine.compare`) is the strongest correctness check in this
+reproduction — any semantic drift in either implementation breaks exact
+equality of trajectories *and* message counts.
+
+Randomness convention (shared with the faithful engine): every protocol
+round draws ``rng.random(size=#active)`` over active participants in
+ascending node-id order, including the forced final round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.protocols import ProtocolConfig
+from repro.util.intmath import ceil_log2
+from repro.util.seeding import derive_rng
+from repro.util.validation import check_k, check_matrix
+
+__all__ = ["VectorizedResult", "run_vectorized"]
+
+# Phase keys mirrored from repro.model.message.Phase (plain strings here —
+# this module deliberately avoids importing the object model).
+_PHASES = (
+    "violation_min",
+    "violation_max",
+    "handler_max",
+    "handler_min",
+    "protocol_start",
+    "protocol_round",
+    "reset_protocol",
+    "reset_broadcast",
+    "midpoint_broadcast",
+)
+
+
+@dataclass
+class VectorizedResult:
+    """Counters and trajectory produced by :func:`run_vectorized`."""
+
+    n: int
+    k: int
+    steps: int
+    topk_history: np.ndarray
+    by_phase: dict[str, int] = field(default_factory=dict)
+    resets: int = 0
+    handler_calls: int = 0
+    reset_times: list[int] = field(default_factory=list)
+    handler_times: list[int] = field(default_factory=list)
+
+    @property
+    def total_messages(self) -> int:
+        """Sum over all phases."""
+        return sum(self.by_phase.values())
+
+
+def _round_loop(
+    ids: np.ndarray,
+    keyed: np.ndarray,
+    upper_bound: int,
+    rng: np.random.Generator,
+) -> tuple[int, int, int, int]:
+    """One Algorithm-2 execution over ``sign``-keyed values.
+
+    ``ids``/``keyed`` must already be in ascending-id order.  Returns
+    ``(winner_id, keyed_value, node_messages, round_broadcasts)``.
+    """
+    m = ids.size
+    n_rounds = ceil_log2(upper_bound) + 1 if upper_bound > 1 else 1
+    active = np.ones(m, dtype=bool)
+    announced: int | None = None
+    best: int | None = None
+    best_id = -1
+    node_msgs = 0
+    bcasts = 0
+    for r in range(n_rounds):
+        if announced is not None:
+            active &= keyed >= announced
+        if not active.any():
+            break
+        p = min(1.0, (2.0**r) / upper_bound)
+        idx = np.flatnonzero(active)
+        senders = idx[rng.random(idx.size) < p]
+        if senders.size:
+            node_msgs += int(senders.size)
+            sk = keyed[senders]
+            round_best = int(sk.max())
+            round_best_id = int(ids[senders[sk == round_best][0]])
+            improved = best is None or round_best > best
+            if improved:
+                best = round_best
+                best_id = round_best_id
+            elif round_best == best and round_best_id < best_id:
+                best_id = round_best_id
+            if improved:
+                bcasts += 1
+                announced = best
+            active[senders] = False
+    assert best is not None, "final round forces sends"
+    return best_id, best, node_msgs, bcasts
+
+
+def run_vectorized(
+    values: np.ndarray,
+    k: int,
+    *,
+    seed=None,
+    skip_redundant_min: bool = False,
+    protocol: ProtocolConfig | None = None,
+) -> VectorizedResult:
+    """Run Algorithm 1 over a ``(T, n)`` matrix with array-only internals."""
+    values = check_matrix(values)
+    T, n = values.shape
+    k, n = check_k(k, n)
+    protocol = protocol or ProtocolConfig()
+    if protocol.broadcast_every_round:
+        raise NotImplementedError(
+            "the vectorized engine implements the default broadcast-on-improvement "
+            "policy only; use the faithful engine for ablation A3"
+        )
+    rng = derive_rng(seed, 0)
+    counts = {p: 0 for p in _PHASES}
+    history = np.empty((T, k), dtype=np.int64)
+    result = VectorizedResult(n=n, k=k, steps=T, topk_history=history, by_phase=counts)
+
+    if k == n:
+        history[:] = np.arange(n, dtype=np.int64)[None, :]
+        return result
+
+    ids = np.arange(n, dtype=np.int64)
+    sides = np.zeros(n, dtype=bool)
+    m2 = 0
+    t_plus = 0
+    t_minus = 0
+    start_charge = 1 if protocol.charge_start_broadcast else 0
+
+    def protocol_run(participants: np.ndarray, row: np.ndarray, upper: int, sign: int, phase: str, initiated: bool):
+        nonlocal counts
+        if participants.size == 0:
+            return None
+        if initiated:
+            counts["protocol_start"] += start_charge
+        keyed = sign * row[participants]
+        wid, best, msgs, bcasts = _round_loop(participants, keyed, upper, rng)
+        counts[phase] += msgs
+        counts["protocol_round"] += bcasts
+        return wid, sign * best
+
+    def filter_reset(row: np.ndarray, t: int) -> None:
+        nonlocal m2, t_plus, t_minus
+        result.resets += 1
+        result.reset_times.append(t)
+        remaining = np.ones(n, dtype=bool)
+        winner_vals: list[int] = []
+        winners: list[int] = []
+        for _ in range(k + 1):
+            part = ids[remaining]
+            out = protocol_run(part, row, n, +1, "reset_protocol", True)
+            assert out is not None
+            winners.append(out[0])
+            winner_vals.append(out[1])
+            remaining[out[0]] = False
+        counts["reset_broadcast"] += 1
+        sides[:] = False
+        sides[winners[:k]] = True
+        t_plus = winner_vals[k - 1]
+        t_minus = winner_vals[k]
+        m2 = t_plus + t_minus
+
+    # t = 0 initialization.
+    filter_reset(values[0], 0)
+    history[0] = np.flatnonzero(sides)
+
+    bottom_bound = max(1, n - k)
+    top_bound = max(1, k)
+    for t in range(1, T):
+        row = values[t]
+        doubled = 2 * row
+        below = doubled < m2
+        above = doubled > m2
+        viol_top = ids[sides & below]
+        viol_bot = ids[~sides & above]
+        if viol_top.size or viol_bot.size:
+            min_out = protocol_run(viol_top, row, top_bound, -1, "violation_min", False)
+            max_out = protocol_run(viol_bot, row, bottom_bound, +1, "violation_max", False)
+            result.handler_calls += 1
+            result.handler_times.append(t)
+            if max_out is None:
+                max_out = protocol_run(ids[~sides], row, bottom_bound, +1, "handler_max", True)
+            elif not (skip_redundant_min and min_out is not None):
+                min_out = protocol_run(ids[sides], row, top_bound, -1, "handler_min", True)
+            assert min_out is not None and max_out is not None
+            t_plus = min(t_plus, min_out[1])
+            t_minus = max(t_minus, max_out[1])
+            if t_plus < t_minus:
+                filter_reset(row, t)
+                result.handler_times.pop()  # reclassified as a reset step
+            else:
+                m2 = t_plus + t_minus
+                counts["midpoint_broadcast"] += 1
+        history[t] = np.flatnonzero(sides)
+    return result

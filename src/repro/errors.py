@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to distinguish configuration problems from runtime
+protocol failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "WorkloadError",
+    "ProtocolError",
+    "InvariantViolation",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a user supplies invalid parameters.
+
+    Derives from :class:`ValueError` so generic callers that validate
+    arguments with ``except ValueError`` keep working.
+    """
+
+
+class WorkloadError(ReproError, ValueError):
+    """Raised when a stream/workload specification is malformed."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """Raised when a distributed protocol reaches an impossible state.
+
+    This signals a bug in the simulation (e.g. a Las-Vegas protocol
+    terminating without a winner), never a user error.
+    """
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """Raised by audit hooks when a correctness invariant is broken.
+
+    The monitor can run with ``audit=True``, in which case the coordinator's
+    answer is checked against ground truth after every step; a mismatch
+    raises this exception.  Tests rely on it.
+    """
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """Raised by the experiment harness (unknown ids, bad sweep specs)."""

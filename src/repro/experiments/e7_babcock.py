@@ -1,0 +1,122 @@
+"""E7 — comparison with Babcock–Olston style top-k monitoring.
+
+Claims touched (Sect. 1.1 [1]): Babcock & Olston report communication "an
+order of magnitude lower than that of a naive approach"; their setting
+specializes to ours with one object per node.  The structural difference to
+Algorithm 1 is the *resolution*: BO polls the k members (and falls back to
+polling everyone when the border collapses), whereas Algorithm 1 aggregates
+with O(log n)-message randomized protocols.
+
+Method:
+(a) reproduce the order-of-magnitude-vs-naive shape for both schemes on a
+    smooth workload;
+(b) sweep n on the crossing-pair workload (whose swaps invalidate the
+    border every period): BO's per-epoch cost grows ~linearly in n, while
+    Algorithm 1 grows ~logarithmically — the paper's protocol is exactly
+    what removes the linear term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.babcock_olston import BabcockOlstonMonitor
+from repro.baselines.naive import NaiveMonitor
+from repro.core.monitor import TopKMonitor
+from repro.experiments.spec import ExperimentOutput, register, scaled
+from repro.streams import crossing_pair, drifting_staircase, random_walk
+from repro.util.ascii_plot import line_plot
+from repro.util.tables import Table
+
+
+@register("e7", "Babcock–Olston style monitoring vs Algorithm 1")
+def run(scale: str = "default") -> ExperimentOutput:
+    """Regenerate the E7 tables."""
+    out = ExperimentOutput(
+        exp_id="e7",
+        title="Babcock–Olston style monitoring vs Algorithm 1",
+        claim="Sect. 1.1 [1]: filter/constraint schemes beat naive by >= 10x; "
+        "Algorithm 1 replaces BO's O(n) resolutions with O(log n) protocols",
+    )
+    # (a) both schemes vs naive on a smooth workload.
+    n = scaled(scale, 16, 32, 64)
+    k = 4
+    steps = scaled(scale, 300, 2000, 8000)
+    smooth = random_walk(n, steps, seed=2, step_size=2, spread=150).generate()
+    naive = NaiveMonitor(n, k).run(smooth).total_messages
+    bo = BabcockOlstonMonitor(n, k).run(smooth)
+    alg1 = TopKMonitor(n=n, k=k, seed=7).run(smooth)
+    t_a = Table(["algorithm", "messages", "naive/x"], title="E7a: smooth walk")
+    for name, msgs in (("naive", naive), ("babcock_olston", bo.total_messages), ("algorithm1", alg1.total_messages)):
+        t_a.add_row([name, msgs, naive / msgs])
+    out.tables.append(t_a)
+    out.check(
+        "BO-style monitoring beats naive by >= 10x on smooth inputs (their reported shape)",
+        f"naive/BO = {naive / bo.total_messages:.1f}",
+        naive / bo.total_messages >= 10.0,
+    )
+    out.check(
+        "BO audit-clean: border+resolution maintains a correct top-k",
+        f"audit failures = {bo.audit_failures}",
+        bo.audit_failures == 0,
+    )
+
+    # (b) n sweep on the border-invalidating drifting staircase: the entire
+    # field sinks, so BO's certified border collapses periodically and its
+    # recovery polls all n nodes, while Algorithm 1 recovers with O(log n)
+    # protocol runs.
+    ns = scaled(scale, [16, 64, 256], [16, 32, 64, 128, 256], [16, 64, 256, 1024, 4096])
+    sweep_steps = scaled(scale, 400, 1200, 4000)
+    gap, rate = 200, 5
+    t_b = Table(
+        ["n", "BO msgs", "alg1 msgs", "BO/alg1"],
+        title="E7b: drifting staircase (border invalidation), k=4",
+    )
+    bo_series, alg_series = [], []
+    for n_s in ns:
+        values = drifting_staircase(n_s, sweep_steps, gap=gap, rate=rate, seed=3).generate()
+        bo_cost = BabcockOlstonMonitor(n_s, 4).run(values).total_messages
+        alg_cost = TopKMonitor(n=n_s, k=4, seed=8).run(values).total_messages
+        bo_series.append(bo_cost)
+        alg_series.append(alg_cost)
+        t_b.add_row([n_s, bo_cost, alg_cost, bo_cost / alg_cost])
+    out.tables.append(t_b)
+
+    # (c) honest secondary check: on pure boundary swaps (crossing pair) the
+    # border survives and BO resolves in O(k) — comparable to Algorithm 1.
+    n_cp = scaled(scale, 64, 128, 256)
+    cp_steps = scaled(scale, 250, 1000, 2500)
+    cp = crossing_pair(n_cp, cp_steps, k=4, period=25, delta=64, seed=3).generate()
+    bo_cp = BabcockOlstonMonitor(n_cp, 4).run(cp).total_messages
+    alg_cp = TopKMonitor(n=n_cp, k=4, seed=8).run(cp).total_messages
+    t_c = Table(["workload", "BO msgs", "alg1 msgs", "BO/alg1"], title="E7c: boundary swaps only")
+    t_c.add_row(["crossing_pair", bo_cp, alg_cp, bo_cp / alg_cp])
+    out.tables.append(t_c)
+
+    out.figures.append(
+        line_plot(
+            [float(np.log2(x)) for x in ns],
+            {"BO": bo_series, "alg1": alg_series},
+            title="E7b: total cost vs log2 n (BO linear, alg1 logarithmic)",
+            x_label="log2 n",
+        )
+    )
+    bo_growth = bo_series[-1] / bo_series[0]
+    alg_growth = alg_series[-1] / alg_series[0]
+    n_growth = ns[-1] / ns[0]
+    out.check(
+        "BO cost grows ~linearly in n when the border is invalidated",
+        f"BO grew {bo_growth:.1f}x over a {n_growth:.0f}x n increase",
+        bo_growth >= 0.4 * n_growth,
+    )
+    out.check(
+        "Algorithm 1 cost grows only logarithmically in n on the same workload",
+        f"alg1 grew {alg_growth:.1f}x over a {n_growth:.0f}x n increase",
+        alg_growth <= 0.25 * n_growth,
+    )
+    out.check(
+        "when the border survives (pure swaps), BO resolves in O(k) and stays within ~4x of Algorithm 1",
+        f"BO/alg1 on crossing pair = {bo_cp / alg_cp:.2f}",
+        bo_cp <= 4.0 * alg_cp,
+    )
+    return out

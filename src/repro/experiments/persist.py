@@ -1,0 +1,76 @@
+"""Persist experiment outputs as JSON for archival / regression diffing.
+
+``EXPERIMENTS.md`` records prose and tables; this module stores the same
+content machine-readably so future runs can be diffed numerically
+(``topkmon-experiments --all --json results.json`` style usage, and the
+regression test suite compares stored vs fresh smoke-scale results).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ExperimentError
+from repro.experiments.spec import ExperimentOutput, Finding
+from repro.util.tables import Table
+
+__all__ = ["output_to_dict", "output_from_dict", "save_outputs", "load_outputs"]
+
+_SCHEMA_VERSION = 1
+
+
+def output_to_dict(out: ExperimentOutput) -> dict[str, Any]:
+    """Serialize one experiment output (figures included verbatim)."""
+    return {
+        "exp_id": out.exp_id,
+        "title": out.title,
+        "claim": out.claim,
+        "passed": out.passed,
+        "tables": [
+            {
+                "title": t.title,
+                "columns": list(map(str, t.columns)),
+                "rows": [list(r) for r in t.rows],
+            }
+            for t in out.tables
+        ],
+        "figures": list(out.figures),
+        "findings": [
+            {"claim": f.claim, "observed": f.observed, "passed": f.passed} for f in out.findings
+        ],
+    }
+
+
+def output_from_dict(data: dict[str, Any]) -> ExperimentOutput:
+    """Inverse of :func:`output_to_dict`."""
+    out = ExperimentOutput(exp_id=data["exp_id"], title=data["title"], claim=data["claim"])
+    for t in data.get("tables", []):
+        table = Table(columns=t["columns"], title=t.get("title"))
+        table.rows.extend([list(r) for r in t["rows"]])
+        out.tables.append(table)
+    out.figures.extend(data.get("figures", []))
+    for f in data.get("findings", []):
+        out.findings.append(Finding(claim=f["claim"], observed=f["observed"], passed=f["passed"]))
+    return out
+
+
+def save_outputs(outputs: list[ExperimentOutput], path: str | Path, *, scale: str) -> None:
+    """Write a JSON results file."""
+    payload = {
+        "schema": _SCHEMA_VERSION,
+        "scale": scale,
+        "experiments": [output_to_dict(o) for o in outputs],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_outputs(path: str | Path) -> tuple[str, list[ExperimentOutput]]:
+    """Read a JSON results file; returns ``(scale, outputs)``."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ExperimentError(
+            f"unsupported results schema {data.get('schema')!r} (expected {_SCHEMA_VERSION})"
+        )
+    return data["scale"], [output_from_dict(d) for d in data["experiments"]]

@@ -1,0 +1,13 @@
+"""Extensions beyond the paper's main algorithm.
+
+:mod:`repro.extensions.ordered_topk` implements the variant sketched in the
+paper's Summary (Sect. 5): monitoring not only the top-k *set* but also the
+*ordering* of those k nodes, by combining Lam-et-al-style midpoint filters
+inside the top-k with Algorithm 1's boundary machinery.  The paper
+conjectures O(log Δ · log(n-k))-competitiveness; experiment E9 measures the
+empirical shape.
+"""
+
+from repro.extensions.ordered_topk import OrderedResult, OrderedTopKMonitor
+
+__all__ = ["OrderedTopKMonitor", "OrderedResult"]

@@ -1,0 +1,197 @@
+"""Ordered Top-k-Position Monitoring (the paper's Sect. 5 future work).
+
+"For a variant of our Top-k-Position Monitoring problem in which one is not
+only interested in the top-k set but also the ordering of these nodes
+according to their values, we conjecture that a combination of the approach
+by Lam et al. and our protocol might lead to an
+O(log Δ · log(n−k))-competitive algorithm."
+
+Construction implemented here:
+
+* The **boundary** between the top-k and the rest is maintained exactly as
+  in Algorithm 1 (sides + doubled bound ``M2`` + T+/T− + handler + reset).
+* **Inside** the top-k, the coordinator additionally maintains the order of
+  the k members with Lam-style midpoint filters between rank-adjacent
+  members, built from the members' last-reported values.  A member whose
+  value leaves its internal interval — while staying above the boundary —
+  reports directly (one message); the coordinator re-sorts its estimates and
+  pushes refreshed internal intervals to members whose interval changed.
+* A ``FilterReset`` learns all k+1 boundary values, so internal estimates
+  are refreshed for free when the set changes.
+
+Correctness invariant: each member's true value lies inside its internal
+interval intersected with ``[M, ∞)``, so the estimate order equals the true
+order (up to ties at shared interval endpoints) and the set invariant is
+inherited from Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.monitor import MonitorConfig, OnlineSession
+from repro.model.ledger import MessageLedger
+from repro.model.message import MessageKind, Phase
+from repro.util.validation import check_k, check_matrix
+
+__all__ = ["OrderedTopKMonitor", "OrderedResult"]
+
+
+@dataclass
+class OrderedResult:
+    """Result of an ordered monitoring run.
+
+    ``order_history`` is ``(T, k)``: row ``t`` holds the member ids in
+    descending value order.  ``boundary_messages`` /
+    ``order_messages`` split the cost between the Algorithm-1 machinery and
+    the intra-top-k order maintenance.
+    """
+
+    n: int
+    k: int
+    steps: int
+    order_history: np.ndarray
+    ledger: MessageLedger
+    resets: int = 0
+    handler_calls: int = 0
+    order_fixups: int = 0
+    audit_failures: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        """All messages across both mechanisms."""
+        return self.ledger.total
+
+    @property
+    def order_messages(self) -> int:
+        """Messages spent maintaining the internal order."""
+        return self.ledger.by_phase[Phase.ORDER_TRACKING]
+
+    @property
+    def boundary_messages(self) -> int:
+        """Messages spent by the Algorithm-1 boundary machinery."""
+        return self.total_messages - self.order_messages
+
+
+class _InternalOrder:
+    """Lam-style midpoint order tracker over the current top-k members."""
+
+    def __init__(self) -> None:
+        self.members: np.ndarray = np.empty(0, dtype=np.int64)
+        self.est: dict[int, int] = {}
+
+    def rebuild(self, members_ranked: list[int], values_ranked: list[int]) -> None:
+        """Install fresh estimates from a reset's rank-ordered winners."""
+        self.members = np.asarray(members_ranked, dtype=np.int64)
+        self.est = {int(m): int(v) for m, v in zip(members_ranked, values_ranked)}
+
+    def ranked(self) -> list[int]:
+        """Member ids in descending estimate order (ties: lower id first)."""
+        return sorted(self.est, key=lambda i: (-self.est[i], i))
+
+    def intervals(self) -> dict[int, tuple[int | None, int | None]]:
+        """Doubled internal interval per member; None = unbounded side."""
+        ranked = self.ranked()
+        vals = [self.est[i] for i in ranked]
+        bounds = [vals[r] + vals[r + 1] for r in range(len(ranked) - 1)]
+        out: dict[int, tuple[int | None, int | None]] = {}
+        for r, member in enumerate(ranked):
+            hi = bounds[r - 1] if r > 0 else None
+            lo = bounds[r] if r < len(bounds) else None
+            out[member] = (lo, hi)
+        return out
+
+
+class OrderedTopKMonitor:
+    """Monitor the ordered top-k by composing Algorithm 1 with order filters."""
+
+    def __init__(self, n: int, k: int, *, seed=None, config: MonitorConfig | None = None):
+        self.k, self.n = check_k(k, n)
+        if self.k == self.n:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "ordered monitoring requires k < n (with k = n there is no boundary "
+                "and the order of all n nodes is full dominance tracking)"
+            )
+        self.seed = seed
+        self.config = config or MonitorConfig()
+
+    def run(self, values: np.ndarray) -> OrderedResult:
+        """Monitor a ``(T, n)`` matrix; returns ordered history + costs."""
+        values = check_matrix(values, n=self.n)
+        T, n = values.shape
+        k = self.k
+        session = OnlineSession(n, k, seed=self.seed, config=self.config)
+        ledger = session.ledger  # order-tracking messages share the ledger
+        tracker = _InternalOrder()
+        order_history = np.empty((T, k), dtype=np.int64)
+        audit_failures = 0
+        order_fixups = 0
+        prev_members: frozenset[int] = frozenset()
+        prev_resets = 0
+
+        for t in range(T):
+            row = values[t]
+            members = frozenset(int(i) for i in session.observe(row))
+            if session.resets != prev_resets or members != prev_members:
+                # A reset (or the init) re-learned the ranked top-(k+1):
+                # rebuild estimates from ground truth — the reset protocol
+                # revealed each winner's value, so no extra messages.
+                ranked = sorted(members, key=lambda i: (-int(row[i]), i))
+                tracker.rebuild(ranked, [int(row[i]) for i in ranked])
+                prev_members = members
+                prev_resets = session.resets
+            else:
+                order_fixups += self._fixup(tracker, row, ledger)
+            ranked_now = tracker.ranked()
+            order_history[t] = ranked_now
+            # Audit: descending true values along the reported order.
+            vals_now = row[np.asarray(ranked_now)]
+            if np.any(np.diff(vals_now) > 0):
+                audit_failures += 1
+                if self.config.audit:
+                    from repro.errors import InvariantViolation
+
+                    raise InvariantViolation(
+                        f"t={t}: reported order {ranked_now} not descending: {vals_now.tolist()}"
+                    )
+        session.finish()
+        return OrderedResult(
+            n=n,
+            k=k,
+            steps=T,
+            order_history=order_history,
+            ledger=ledger,
+            resets=session.resets,
+            handler_calls=session.handler_calls,
+            order_fixups=order_fixups,
+            audit_failures=audit_failures,
+        )
+
+    @staticmethod
+    def _fixup(tracker: _InternalOrder, row: np.ndarray, ledger: MessageLedger) -> int:
+        """Fix-point: report internal violators, refresh changed intervals.
+
+        Returns the number of fix-up iterations (0 = order already valid).
+        """
+        iterations = 0
+        for _ in range(len(tracker.est) + 1):
+            intervals = tracker.intervals()
+            violators = [
+                m
+                for m, (lo, hi) in intervals.items()
+                if (lo is not None and 2 * int(row[m]) < lo) or (hi is not None and 2 * int(row[m]) > hi)
+            ]
+            if not violators:
+                return iterations
+            iterations += 1
+            ledger.charge(MessageKind.NODE_TO_COORD, Phase.ORDER_TRACKING, len(violators))
+            for m in violators:
+                tracker.est[m] = int(row[m])
+            new_intervals = tracker.intervals()
+            changed = sum(1 for m in new_intervals if new_intervals[m] != intervals[m])
+            ledger.charge(MessageKind.COORD_TO_NODE, Phase.ORDER_TRACKING, changed)
+        raise AssertionError("order fix-point failed to terminate")  # pragma: no cover

@@ -1,0 +1,121 @@
+"""Message-cost accounting.
+
+The only quantity the paper measures is the number of messages, so the
+ledger is the heart of the reproduction's instrumentation.  It tracks
+
+* total message count,
+* counts per :class:`~repro.model.message.MessageKind` (channel),
+* counts per :class:`~repro.model.message.Phase` (mechanism),
+* an optional per-time-step series (for plots of communication over time).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.message import MessageKind, Phase
+
+__all__ = ["MessageLedger", "LedgerSnapshot"]
+
+
+@dataclass(frozen=True)
+class LedgerSnapshot:
+    """Immutable summary of a ledger at a point in time."""
+
+    total: int
+    by_kind: dict[MessageKind, int]
+    by_phase: dict[Phase, int]
+
+    def __sub__(self, other: "LedgerSnapshot") -> "LedgerSnapshot":
+        """Delta between two snapshots (later minus earlier)."""
+        kinds = Counter(self.by_kind)
+        kinds.subtract(Counter(other.by_kind))
+        phases = Counter(self.by_phase)
+        phases.subtract(Counter(other.by_phase))
+        return LedgerSnapshot(
+            total=self.total - other.total,
+            by_kind={k: v for k, v in kinds.items() if v},
+            by_phase={p: v for p, v in phases.items() if v},
+        )
+
+
+@dataclass
+class MessageLedger:
+    """Mutable accumulator of message costs.
+
+    ``track_series=True`` records a per-step total so experiments can plot
+    communication volume over time; it costs one list append per step.
+    """
+
+    track_series: bool = False
+    total: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    by_phase: Counter = field(default_factory=Counter)
+    _series_steps: list[int] = field(default_factory=list)
+    _series_totals: list[int] = field(default_factory=list)
+    _current_step: int = -1
+    _flushed_total: int = 0
+
+    def charge(self, kind: MessageKind, phase: Phase, count: int = 1) -> None:
+        """Record ``count`` messages of the given kind and phase."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        self.total += count
+        self.by_kind[kind] += count
+        self.by_phase[phase] += count
+
+    def begin_step(self, t: int) -> None:
+        """Mark the start of observation step ``t`` (for the series)."""
+        if self.track_series and self._current_step >= 0:
+            self._flush_step()
+        self._current_step = t
+
+    def end_run(self) -> None:
+        """Flush the final step's series entry."""
+        if self.track_series and self._current_step >= 0:
+            self._flush_step()
+            self._current_step = -1
+
+    def _flush_step(self) -> None:
+        self._series_steps.append(self._current_step)
+        self._series_totals.append(self.total - self._flushed_total)
+        self._flushed_total = self.total
+
+    @property
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(steps, per-step message counts)`` arrays (requires tracking)."""
+        return (
+            np.asarray(self._series_steps, dtype=np.int64),
+            np.asarray(self._series_totals, dtype=np.int64),
+        )
+
+    def snapshot(self) -> LedgerSnapshot:
+        """Immutable copy of the current counts."""
+        return LedgerSnapshot(
+            total=self.total,
+            by_kind=dict(self.by_kind),
+            by_phase=dict(self.by_phase),
+        )
+
+    def broadcasts(self) -> int:
+        """Total broadcast messages."""
+        return self.by_kind[MessageKind.BROADCAST]
+
+    def node_messages(self) -> int:
+        """Total node-to-coordinator messages."""
+        return self.by_kind[MessageKind.NODE_TO_COORD]
+
+    def phase_total(self, *phases: Phase) -> int:
+        """Sum of counts over the given phases."""
+        return sum(self.by_phase[p] for p in phases)
+
+    def merge(self, other: "MessageLedger") -> None:
+        """Fold another ledger's counts into this one (series not merged)."""
+        self.total += other.total
+        self.by_kind.update(other.by_kind)
+        self.by_phase.update(other.by_phase)

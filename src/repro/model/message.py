@@ -1,0 +1,120 @@
+"""Message types for the coordinator/nodes communication model.
+
+Every unit of communication in the simulation is represented (or at least
+counted) as a :class:`Message`.  Messages carry a :class:`MessageKind`
+(the channel used, which determines the unit cost) and a :class:`Phase`
+(which part of Algorithm 1/2 produced it) so experiments can break down the
+communication volume per mechanism — e.g. how much of the total is spent in
+``FilterReset`` vs. midpoint broadcasts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.intmath import ceil_log2
+
+__all__ = ["MessageKind", "Phase", "Message", "message_size_bits", "COORDINATOR"]
+
+#: Sentinel id used for the coordinator in ``src``/``dst`` fields.
+COORDINATOR: int = -1
+
+
+class MessageKind(enum.Enum):
+    """The channel a message travels on.  All kinds cost one unit."""
+
+    #: A node sends to the coordinator (e.g. a ``(id, value)`` protocol reply).
+    NODE_TO_COORD = "node_to_coord"
+    #: The coordinator sends to a single node.
+    COORD_TO_NODE = "coord_to_node"
+    #: The coordinator broadcasts; received by all nodes simultaneously.
+    BROADCAST = "broadcast"
+
+
+class Phase(enum.Enum):
+    """Which algorithmic mechanism caused a message (for cost breakdowns)."""
+
+    #: Algorithm 2 replies sent by filter-violating TOP nodes (Alg. 1 line 5).
+    VIOLATION_MIN = "violation_min"
+    #: Algorithm 2 replies sent by filter-violating BOTTOM nodes (line 7).
+    VIOLATION_MAX = "violation_max"
+    #: Handler-initiated MaximumProtocol over all BOTTOM nodes (line 23).
+    HANDLER_MAX = "handler_max"
+    #: Handler-initiated MinimumProtocol over all TOP nodes (line 25).
+    HANDLER_MIN = "handler_min"
+    #: Broadcast announcing a handler-initiated protocol run.
+    PROTOCOL_START = "protocol_start"
+    #: Running-extremum broadcasts inside Algorithm 2.
+    PROTOCOL_ROUND = "protocol_round"
+    #: The k+1 MaximumProtocol sweeps inside FilterReset (lines 37-39).
+    RESET_PROTOCOL = "reset_protocol"
+    #: The final broadcast of M installing fresh filters (line 41).
+    RESET_BROADCAST = "reset_broadcast"
+    #: Midpoint broadcast updating filter bounds without a reset (line 33).
+    MIDPOINT_BROADCAST = "midpoint_broadcast"
+    #: Baseline algorithms' traffic (naive, periodic, Lam, BO, ...).
+    BASELINE = "baseline"
+    #: Intra-top-k order maintenance (the Sect. 5 ordered-top-k extension).
+    ORDER_TRACKING = "order_tracking"
+    #: Anything not attributable (used by standalone protocol runs).
+    OTHER = "other"
+
+
+#: Phases that represent protocol payloads from nodes.
+NODE_PHASES = frozenset(
+    {
+        Phase.VIOLATION_MIN,
+        Phase.VIOLATION_MAX,
+        Phase.HANDLER_MAX,
+        Phase.HANDLER_MIN,
+        Phase.RESET_PROTOCOL,
+    }
+)
+
+
+def message_size_bits(n: int, max_value: int) -> int:
+    """Size budget of one message in bits: ``O(log n + log max_value)``.
+
+    The paper allows messages of size logarithmic in ``n`` and in the largest
+    observed value; an ``(id, value)`` pair fits.  Exposed so tests can check
+    that no message payload exceeds the model's budget.
+    """
+    id_bits = ceil_log2(max(2, n))
+    value_bits = ceil_log2(max(2, abs(int(max_value)) + 1)) + 1  # +1 sign bit
+    return id_bits + value_bits
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One message.  ``src``/``dst`` use ``-1`` for the coordinator.
+
+    ``payload`` is free-form (protocol replies use ``(node_id, value)``
+    tuples; broadcasts carry bounds or protocol-start descriptors).
+    ``time`` is the observation step during whose protocol window the
+    message was sent.
+    """
+
+    kind: MessageKind
+    phase: Phase
+    src: int
+    dst: int
+    payload: Any
+    time: int
+
+    def __post_init__(self) -> None:
+        if self.kind is MessageKind.NODE_TO_COORD:
+            if self.src < 0 or self.dst != COORDINATOR:
+                raise ValueError(f"node->coord message must have src>=0, dst=-1: {self}")
+        elif self.kind is MessageKind.COORD_TO_NODE:
+            if self.src != COORDINATOR or self.dst < 0:
+                raise ValueError(f"coord->node message must have src=-1, dst>=0: {self}")
+        elif self.kind is MessageKind.BROADCAST:
+            if self.src != COORDINATOR:
+                raise ValueError(f"broadcast must originate at the coordinator: {self}")
+
+    @property
+    def cost(self) -> int:
+        """Unit cost per the model: every message costs one."""
+        return 1

@@ -1,0 +1,91 @@
+"""Human-readable timeline rendering of a monitoring run.
+
+Turns a :class:`~repro.core.events.MonitorResult` into a step-by-step text
+timeline — which steps were quiet, where the handler halved the gap, where
+full resets happened, and what each cost — the view a person debugging a
+deployment (or studying the algorithm) actually wants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.events import MonitorResult, StepKind
+from repro.util.ascii_plot import sparkline
+
+__all__ = ["render_timeline", "render_phase_summary"]
+
+_KIND_GLYPH = {
+    StepKind.INIT_RESET: "I",
+    StepKind.HANDLER_RESET: "R",
+    StepKind.HANDLER_MIDPOINT: "h",
+    StepKind.QUIET: ".",
+}
+
+
+def render_timeline(
+    result: MonitorResult,
+    *,
+    width: int = 80,
+    max_events: int = 40,
+) -> str:
+    """Render a run as a glyph strip plus an event log.
+
+    Glyphs: ``I`` init reset, ``R`` handler reset, ``h`` midpoint handler,
+    ``.`` quiet.  Long runs are bucketed to ``width`` columns; a bucket
+    shows its most severe event.
+    """
+    severity = {StepKind.QUIET: 0, StepKind.HANDLER_MIDPOINT: 1, StepKind.HANDLER_RESET: 2, StepKind.INIT_RESET: 3}
+    kinds = [StepKind.QUIET] * result.steps
+    for e in result.events:
+        kinds[e.time] = e.kind
+
+    if result.steps <= width:
+        strip = "".join(_KIND_GLYPH[k] for k in kinds)
+    else:
+        edges = np.linspace(0, result.steps, width + 1).astype(int)
+        cells = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            bucket = max(kinds[lo:hi], key=lambda k: severity[k], default=StepKind.QUIET)
+            cells.append(_KIND_GLYPH[bucket])
+        strip = "".join(cells)
+
+    lines = [
+        f"timeline (T={result.steps}, I=init R=reset h=midpoint .=quiet):",
+        f"  {strip}",
+    ]
+    per_step = None
+    if result.ledger.track_series:
+        _, counts = result.ledger.series
+        if counts.size:
+            per_step = counts
+    if per_step is not None:
+        if per_step.size > width:
+            edges = np.linspace(0, per_step.size, width + 1).astype(int)
+            series = [float(per_step[lo:hi].sum()) for lo, hi in zip(edges[:-1], edges[1:])]
+        else:
+            series = per_step.astype(float).tolist()
+        lines.append("messages:")
+        lines.append(f"  {sparkline(series)}")
+
+    lines.append("")
+    lines.append(f"events ({len(result.events)} total, showing up to {max_events}):")
+    for e in result.events[:max_events]:
+        gap = "-" if e.gap is None else str(e.gap)
+        lines.append(
+            f"  t={e.time:<6} {e.kind.value:<16} violators(top={e.top_violators}, "
+            f"bottom={e.bottom_violators}) msgs={e.messages:<5} gap={gap}"
+        )
+    if len(result.events) > max_events:
+        lines.append(f"  ... {len(result.events) - max_events} more")
+    return "\n".join(lines)
+
+
+def render_phase_summary(result: MonitorResult) -> str:
+    """One line per mechanism with message count and share of total."""
+    total = max(1, result.total_messages)
+    lines = [f"total messages: {result.total_messages}"]
+    for phase, count in sorted(result.ledger.by_phase.items(), key=lambda kv: -kv[1]):
+        bar = "#" * int(round(40 * count / total))
+        lines.append(f"  {phase.value:<20} {count:>8}  {bar}")
+    return "\n".join(lines)

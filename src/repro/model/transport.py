@@ -1,0 +1,135 @@
+"""Transports: how protocol logic emits messages.
+
+Protocol and monitor code never touches the ledger directly; it calls a
+:class:`Transport`.  Two implementations exist:
+
+* :class:`CountingTransport` — only accumulates costs in a
+  :class:`~repro.model.ledger.MessageLedger` (fast path; used by benchmarks
+  and the vectorized engine),
+* :class:`RecordingTransport` — additionally materializes every
+  :class:`~repro.model.message.Message` object (used for tracing, debugging
+  and the message-size model tests).
+
+Keeping one protocol implementation and swapping the transport eliminates
+the risk of the "fast" and the "traced" code paths diverging.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.model.ledger import MessageLedger
+from repro.model.message import COORDINATOR, Message, MessageKind, Phase
+
+__all__ = ["Transport", "CountingTransport", "RecordingTransport"]
+
+
+class Transport(abc.ABC):
+    """Send operations available to protocol/monitor code."""
+
+    def __init__(self, ledger: MessageLedger | None = None):
+        self.ledger = ledger if ledger is not None else MessageLedger()
+        self.time: int = 0
+
+    def set_time(self, t: int) -> None:
+        """Advance the logical observation step (stamped onto messages)."""
+        self.time = t
+        self.ledger.begin_step(t)
+
+    @abc.abstractmethod
+    def _emit(self, message: Message) -> None:
+        """Implementation hook: record/act on one message."""
+
+    def node_to_coord(self, src: int, payload: Any, phase: Phase) -> None:
+        """A node sends ``payload`` to the coordinator (cost 1)."""
+        self.ledger.charge(MessageKind.NODE_TO_COORD, phase)
+        self._emit(
+            Message(
+                kind=MessageKind.NODE_TO_COORD,
+                phase=phase,
+                src=src,
+                dst=COORDINATOR,
+                payload=payload,
+                time=self.time,
+            )
+        )
+
+    def coord_to_node(self, dst: int, payload: Any, phase: Phase) -> None:
+        """The coordinator sends ``payload`` to node ``dst`` (cost 1)."""
+        self.ledger.charge(MessageKind.COORD_TO_NODE, phase)
+        self._emit(
+            Message(
+                kind=MessageKind.COORD_TO_NODE,
+                phase=phase,
+                src=COORDINATOR,
+                dst=dst,
+                payload=payload,
+                time=self.time,
+            )
+        )
+
+    def broadcast(self, payload: Any, phase: Phase) -> None:
+        """The coordinator broadcasts ``payload`` to all nodes (cost 1)."""
+        self.ledger.charge(MessageKind.BROADCAST, phase)
+        self._emit(
+            Message(
+                kind=MessageKind.BROADCAST,
+                phase=phase,
+                src=COORDINATOR,
+                dst=COORDINATOR,
+                payload=payload,
+                time=self.time,
+            )
+        )
+
+
+class CountingTransport(Transport):
+    """Cost-only transport; message objects are never created.
+
+    ``_emit`` receives an already-constructed message in the base class; to
+    avoid that construction cost entirely this class overrides the three
+    send operations with ledger-only versions.
+    """
+
+    def _emit(self, message: Message) -> None:  # pragma: no cover - bypassed
+        pass
+
+    def node_to_coord(self, src: int, payload: Any, phase: Phase) -> None:
+        self.ledger.charge(MessageKind.NODE_TO_COORD, phase)
+
+    def coord_to_node(self, dst: int, payload: Any, phase: Phase) -> None:
+        self.ledger.charge(MessageKind.COORD_TO_NODE, phase)
+
+    def broadcast(self, payload: Any, phase: Phase) -> None:
+        self.ledger.charge(MessageKind.BROADCAST, phase)
+
+
+class RecordingTransport(Transport):
+    """Transport that stores every message for later inspection.
+
+    ``max_messages`` guards against accidentally recording a multi-million
+    message run into RAM; exceeding it raises :class:`MemoryError` early
+    with an explanatory message.
+    """
+
+    def __init__(self, ledger: MessageLedger | None = None, *, max_messages: int = 2_000_000):
+        super().__init__(ledger)
+        self.messages: list[Message] = []
+        self.max_messages = max_messages
+
+    def _emit(self, message: Message) -> None:
+        if len(self.messages) >= self.max_messages:
+            raise MemoryError(
+                f"RecordingTransport exceeded max_messages={self.max_messages}; "
+                "use CountingTransport for large runs"
+            )
+        self.messages.append(message)
+
+    def of_phase(self, phase: Phase) -> list[Message]:
+        """All recorded messages of one phase."""
+        return [m for m in self.messages if m.phase is phase]
+
+    def of_kind(self, kind: MessageKind) -> list[Message]:
+        """All recorded messages of one kind."""
+        return [m for m in self.messages if m.kind is kind]

@@ -1,0 +1,60 @@
+"""Workload generators for distributed-stream experiments.
+
+Every generator produces a ``(T, n)`` int64 matrix — row ``t`` holds all
+nodes' observations at time ``t`` — via a single vectorized construction
+(cumulative sums / broadcasting), never a per-step Python loop.
+
+Generators are small dataclasses with a ``generate()`` method so workloads
+are *specifications* (hashable, printable, reusable across seeds) rather
+than bare arrays; the experiment harness stores them in results.
+
+Families
+--------
+* :func:`iid_uniform`, :func:`iid_zipf`, :func:`iid_lognormal` — fresh
+  independent draws each step (high-churn regime),
+* :func:`random_walk` — lazy integer random walks ("similar" inputs, the
+  regime Algorithm 1 is designed for; Sect. 2.1 of the paper),
+* :func:`sensor_field` — diurnal sine + drift + noise, the paper's
+  motivating temperature/frequency scenario,
+* :func:`bursty` — regime-switching walks (calm/violent periods),
+* :func:`adversarial_rotation`, :func:`crossing_pair`,
+  :func:`churn_below_boundary` — structured worst cases used by E6/E8,
+* :func:`replay` — wrap an existing matrix,
+* :func:`staircase` — deterministic separated levels (unit-test anchor).
+"""
+
+from repro.streams.base import StreamSpec, WorkloadResult
+from repro.streams.iid import iid_lognormal, iid_uniform, iid_zipf
+from repro.streams.walks import bursty, drifting_staircase, random_walk
+from repro.streams.sensor import sensor_field
+from repro.streams.adversarial import (
+    adversarial_rotation,
+    churn_below_boundary,
+    crossing_pair,
+)
+from repro.streams.replay import replay, staircase
+from repro.streams.mixtures import concat, offset, stitch
+from repro.streams.catalog import WORKLOADS, get_workload, list_workloads
+
+__all__ = [
+    "StreamSpec",
+    "WorkloadResult",
+    "iid_uniform",
+    "iid_zipf",
+    "iid_lognormal",
+    "random_walk",
+    "bursty",
+    "drifting_staircase",
+    "sensor_field",
+    "adversarial_rotation",
+    "crossing_pair",
+    "churn_below_boundary",
+    "replay",
+    "concat",
+    "offset",
+    "stitch",
+    "staircase",
+    "WORKLOADS",
+    "get_workload",
+    "list_workloads",
+]

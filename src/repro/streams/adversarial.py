@@ -1,0 +1,192 @@
+"""Structured adversarial workloads.
+
+Three families used by experiments E6 and E8:
+
+* :class:`AdversarialRotation` — the paper's worst case ("the position of
+  the maximum changes considerably from round to round"): node ranks rotate
+  every ``period`` steps, forcing the top-k set to change constantly.  Any
+  algorithm — including OPT — must communicate every period, so the
+  competitive *ratio* stays small even though absolute cost is huge.
+* :class:`CrossingPair` — exactly two nodes repeatedly swap across the
+  k/k+1 boundary while everyone else is frozen.  OPT pays 1 filter update
+  per swap; the online algorithm pays O(log Δ + k) — the tight instance
+  family for Theorem 3.3.
+* :class:`ChurnBelowBoundary` — heavy value churn strictly *below* the
+  top-k boundary (and strictly above the bottom): the top-k set never
+  changes, OPT pays nothing after initialization, and any full
+  dominance-tracking algorithm (Lam et al.) pays per step.  Used by E8 to
+  demonstrate why dominance tracking is not competitive for this problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.streams.base import StreamSpec
+
+__all__ = [
+    "AdversarialRotation",
+    "CrossingPair",
+    "ChurnBelowBoundary",
+    "adversarial_rotation",
+    "crossing_pair",
+    "churn_below_boundary",
+]
+
+
+@dataclass(frozen=True)
+class AdversarialRotation(StreamSpec):
+    """Ranks rotate by one position every ``period`` steps.
+
+    At epoch ``e``, node ``(i + e) mod n`` holds rank ``i``'s level.  Levels
+    are ``base + rank*gap``; every epoch the entire order shifts, so every
+    epoch changes the top-k set (for any k < n).
+    """
+
+    period: int = 1
+    gap: int = 100
+    base: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period < 1:
+            raise WorkloadError(f"period must be >= 1, got {self.period}")
+        if self.gap < 1:
+            raise WorkloadError(f"gap must be >= 1, got {self.gap}")
+
+    def _build(self) -> np.ndarray:
+        T, n = self.shape
+        epochs = np.arange(T, dtype=np.int64) // self.period
+        node = np.arange(n, dtype=np.int64)
+        # rank of node i at epoch e: (i - e) mod n ; value = base + rank*gap
+        rank = (node[None, :] - epochs[:, None]) % n
+        return self.base + rank * self.gap
+
+
+@dataclass(frozen=True)
+class CrossingPair(StreamSpec):
+    """Two designated nodes swap across the boundary every ``period`` steps.
+
+    Node A and node B alternate between levels ``mid + delta`` and
+    ``mid - delta``; all other nodes hold fixed, well-separated levels with
+    exactly ``k-1`` of them above ``mid + delta``.  Each swap changes the
+    top-k set by exactly one element.  ``delta`` controls the paper's Δ.
+    """
+
+    k: int = 1
+    period: int = 10
+    delta: int = 64
+    base: int = 1_000_000
+    separation: int = 1_000
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.n < max(3, self.k + 2):
+            raise WorkloadError(f"CrossingPair needs n >= max(3, k+2), got n={self.n}, k={self.k}")
+        if not 1 <= self.k < self.n:
+            raise WorkloadError(f"k must be in [1, n-1], got {self.k}")
+        if self.period < 1 or self.delta < 1:
+            raise WorkloadError("period and delta must be >= 1")
+        if 2 * self.separation <= self.delta:
+            raise WorkloadError("separation must exceed delta/2 to keep static nodes clear of the pair")
+
+    def _build(self) -> np.ndarray:
+        T, n = self.shape
+        k = self.k
+        mid = self.base
+        values = np.empty((T, n), dtype=np.int64)
+        # Static scaffolding: k-1 nodes far above, n-k-1 nodes far below.
+        high_levels = mid + self.separation * (2 + np.arange(k - 1, dtype=np.int64))
+        low_levels = mid - self.separation * (2 + np.arange(n - k - 1, dtype=np.int64))
+        values[:, : k - 1] = high_levels[None, :]
+        values[:, k + 1 :] = low_levels[None, :]
+        # The crossing pair occupies columns k-1 and k.
+        phase = (np.arange(T, dtype=np.int64) // self.period) % 2
+        a = np.where(phase == 0, mid + self.delta, mid - self.delta)
+        b = np.where(phase == 0, mid - self.delta, mid + self.delta)
+        values[:, k - 1] = a
+        values[:, k] = b
+        return values
+
+
+@dataclass(frozen=True)
+class ChurnBelowBoundary(StreamSpec):
+    """Top-k frozen; nodes below the boundary permute violently every step.
+
+    The k top nodes hold fixed levels far above everyone else.  The
+    remaining ``n - k`` nodes swap *ranks amongst themselves* every step
+    (without ever approaching the boundary), so the top-k answer never
+    changes and OPT needs no communication after initialization, yet any
+    algorithm tracking the full dominance order must react every step.
+    """
+
+    k: int = 1
+    base: int = 1_000_000
+    boundary_gap: int = 10_000
+    churn_gap: int = 10
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 1 <= self.k < self.n:
+            raise WorkloadError(f"k must be in [1, n-1], got {self.k}")
+        if self.n - self.k < 2:
+            raise WorkloadError("need at least 2 nodes below the boundary to churn")
+        if self.boundary_gap <= self.churn_gap * (self.n - self.k):
+            raise WorkloadError("boundary_gap must exceed the full churn band")
+
+    def _build(self) -> np.ndarray:
+        rng = self.rng(0)
+        T, n = self.shape
+        k = self.k
+        values = np.empty((T, n), dtype=np.int64)
+        top_levels = self.base + self.boundary_gap * (1 + np.arange(k, dtype=np.int64))
+        values[:, :k] = top_levels[None, :]
+        m = n - k
+        # Each step draws a fresh permutation of m churn levels below base.
+        churn_levels = self.base - self.churn_gap * (1 + np.arange(m, dtype=np.int64))
+        perms = np.argsort(rng.random((T, m)), axis=1)
+        values[:, k:] = churn_levels[perms]
+        return values
+
+
+def adversarial_rotation(
+    n: int, steps: int, *, period: int = 1, gap: int = 100, base: int = 1_000_000, seed: int = 0
+) -> AdversarialRotation:
+    """Rank-rotation worst-case workload spec."""
+    return AdversarialRotation(n=n, steps=steps, seed=seed, period=period, gap=gap, base=base)
+
+
+def crossing_pair(
+    n: int,
+    steps: int,
+    *,
+    k: int = 1,
+    period: int = 10,
+    delta: int = 64,
+    base: int = 1_000_000,
+    separation: int = 1_000,
+    seed: int = 0,
+) -> CrossingPair:
+    """Boundary-swap workload spec (Theorem 3.3's tight family)."""
+    return CrossingPair(
+        n=n, steps=steps, seed=seed, k=k, period=period, delta=delta, base=base, separation=separation
+    )
+
+
+def churn_below_boundary(
+    n: int,
+    steps: int,
+    *,
+    k: int = 1,
+    base: int = 1_000_000,
+    boundary_gap: int = 10_000,
+    churn_gap: int = 10,
+    seed: int = 0,
+) -> ChurnBelowBoundary:
+    """Below-boundary churn workload spec (E8's separator)."""
+    return ChurnBelowBoundary(
+        n=n, steps=steps, seed=seed, k=k, base=base, boundary_gap=boundary_gap, churn_gap=churn_gap
+    )

@@ -1,0 +1,97 @@
+"""Workload specification base class.
+
+A :class:`StreamSpec` describes a workload (family + parameters + seed) and
+produces the concrete ``(T, n)`` value matrix on demand.  Experiments store
+the spec, not the matrix, so reports stay small and reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import asdict, dataclass, fields
+from typing import Any
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.types import INT_DTYPE, ValueMatrix
+from repro.util.seeding import derive_rng
+from repro.util.validation import check_positive
+
+__all__ = ["StreamSpec", "WorkloadResult"]
+
+
+@dataclass(frozen=True)
+class StreamSpec(abc.ABC):
+    """Base for all workload specs.
+
+    Subclasses are frozen dataclasses with at least ``n``, ``steps`` and
+    ``seed`` fields; :meth:`generate` must be deterministic in the spec.
+    """
+
+    n: int
+    steps: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        check_positive("n", self.n)
+        check_positive("steps", self.steps)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(steps, n)`` of the generated matrix."""
+        return (self.steps, self.n)
+
+    def rng(self, *keys: int) -> np.random.Generator:
+        """Derive the component generator for this spec."""
+        return derive_rng(self.seed, *keys)
+
+    @abc.abstractmethod
+    def _build(self) -> np.ndarray:
+        """Produce the raw matrix (any integer-convertible array)."""
+
+    def generate(self) -> ValueMatrix:
+        """Build, validate, and return the ``(steps, n)`` int64 matrix."""
+        arr = np.asarray(self._build())
+        if arr.shape != self.shape:
+            raise WorkloadError(
+                f"{type(self).__name__} produced shape {arr.shape}, expected {self.shape}"
+            )
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise WorkloadError(f"{type(self).__name__} produced non-integer dtype {arr.dtype}")
+        return np.ascontiguousarray(arr, dtype=INT_DTYPE)
+
+    def params(self) -> dict[str, Any]:
+        """The spec's parameters as a plain dict (for reports)."""
+        return asdict(self)
+
+    def describe(self) -> str:
+        """Short one-line description, e.g. ``random_walk(n=32, steps=1000, ...)``."""
+        kv = ", ".join(f"{f.name}={getattr(self, f.name)!r}" for f in fields(self))
+        return f"{type(self).__name__}({kv})"
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """A generated workload paired with ground-truth statistics.
+
+    ``delta`` is the paper's Δ: ``max_t (v_(k) - v_(k+1))`` for a given k —
+    computed lazily because it depends on k.
+    """
+
+    spec: StreamSpec
+    values: ValueMatrix
+
+    def delta(self, k: int) -> int:
+        """``max_t`` gap between the k-th and (k+1)-st largest values."""
+        T, n = self.values.shape
+        if not 1 <= k < n:
+            raise WorkloadError(f"delta requires 1 <= k < n, got k={k}, n={n}")
+        part = np.partition(self.values, (n - k - 1, n - k), axis=1)
+        return int((part[:, n - k] - part[:, n - k - 1]).max())
+
+    def topk_changes(self, k: int) -> int:
+        """How many steps change the (canonical) top-k set — churn measure."""
+        order = np.argsort(self.values, axis=1, kind="stable")[:, ::-1][:, :k]
+        sets = [frozenset(row.tolist()) for row in order]
+        return sum(1 for a, b in zip(sets, sets[1:]) if a != b)

@@ -1,0 +1,58 @@
+"""Named workload registry.
+
+Experiments refer to workloads by name so sweep tables stay readable
+("random_walk_spread" rather than a parameter soup).  Every entry is a
+factory ``(n, steps, seed, **overrides) -> StreamSpec``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.streams.adversarial import adversarial_rotation, churn_below_boundary, crossing_pair
+from repro.streams.base import StreamSpec
+from repro.streams.iid import iid_lognormal, iid_uniform, iid_zipf
+from repro.streams.replay import staircase
+from repro.streams.sensor import sensor_field
+from repro.streams.walks import bursty, drifting_staircase, random_walk
+
+__all__ = ["WORKLOADS", "get_workload", "list_workloads"]
+
+WorkloadFactory = Callable[..., StreamSpec]
+
+WORKLOADS: dict[str, WorkloadFactory] = {
+    # filter-friendly regimes
+    "random_walk": lambda n, steps, seed=0, **kw: random_walk(n, steps, seed=seed, **kw),
+    "random_walk_spread": lambda n, steps, seed=0, **kw: random_walk(
+        n, steps, seed=seed, **{"spread": 200, **kw}
+    ),
+    "lazy_walk": lambda n, steps, seed=0, **kw: random_walk(
+        n, steps, seed=seed, **{"move_prob": 0.2, "spread": 100, **kw}
+    ),
+    "sensor_field": lambda n, steps, seed=0, **kw: sensor_field(n, steps, seed=seed, **kw),
+    "bursty": lambda n, steps, seed=0, **kw: bursty(n, steps, seed=seed, **kw),
+    "staircase": lambda n, steps, seed=0, **kw: staircase(n, steps, seed=seed, **kw),
+    "drifting_staircase": lambda n, steps, seed=0, **kw: drifting_staircase(n, steps, seed=seed, **kw),
+    # churn-heavy regimes
+    "iid_uniform": lambda n, steps, seed=0, **kw: iid_uniform(n, steps, seed=seed, **kw),
+    "iid_zipf": lambda n, steps, seed=0, **kw: iid_zipf(n, steps, seed=seed, **kw),
+    "iid_lognormal": lambda n, steps, seed=0, **kw: iid_lognormal(n, steps, seed=seed, **kw),
+    "adversarial_rotation": lambda n, steps, seed=0, **kw: adversarial_rotation(n, steps, seed=seed, **kw),
+    "crossing_pair": lambda n, steps, seed=0, **kw: crossing_pair(n, steps, seed=seed, **kw),
+    "churn_below_boundary": lambda n, steps, seed=0, **kw: churn_below_boundary(n, steps, seed=seed, **kw),
+}
+
+
+def list_workloads() -> list[str]:
+    """Sorted names of all registered workloads."""
+    return sorted(WORKLOADS)
+
+
+def get_workload(name: str, n: int, steps: int, *, seed: int = 0, **overrides) -> StreamSpec:
+    """Instantiate a registered workload by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(f"unknown workload {name!r}; known: {', '.join(list_workloads())}") from None
+    return factory(n, steps, seed=seed, **overrides)

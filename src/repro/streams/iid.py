@@ -1,0 +1,90 @@
+"""I.i.d. workloads: every step draws fresh independent values.
+
+These are the paper's *worst-case-like* inputs ("the position of the
+maximum changes considerably from round to round", Sect. 2.1): filters help
+little, and a per-round recomputation baseline is near-optimal.  They bound
+the filter approach from below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.streams.base import StreamSpec
+
+__all__ = ["IidUniform", "IidZipf", "IidLognormal", "iid_uniform", "iid_zipf", "iid_lognormal"]
+
+
+@dataclass(frozen=True)
+class IidUniform(StreamSpec):
+    """Uniform integers in ``[low, high]`` each step."""
+
+    low: int = 0
+    high: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.low > self.high:
+            raise WorkloadError(f"low must be <= high, got [{self.low}, {self.high}]")
+
+    def _build(self) -> np.ndarray:
+        return self.rng(0).integers(self.low, self.high + 1, size=self.shape)
+
+
+@dataclass(frozen=True)
+class IidZipf(StreamSpec):
+    """Heavy-tailed Zipf draws (exponent ``alpha > 1``), clipped at ``cap``.
+
+    Models skewed magnitudes such as per-flow packet counts; the clip keeps
+    values inside the int64-safe range required by the doubled-bound
+    arithmetic.
+    """
+
+    alpha: float = 2.0
+    cap: int = 10**12
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.alpha > 1.0:
+            raise WorkloadError(f"alpha must be > 1, got {self.alpha}")
+        if self.cap < 1:
+            raise WorkloadError(f"cap must be >= 1, got {self.cap}")
+
+    def _build(self) -> np.ndarray:
+        draws = self.rng(0).zipf(self.alpha, size=self.shape)
+        return np.minimum(draws, self.cap)
+
+
+@dataclass(frozen=True)
+class IidLognormal(StreamSpec):
+    """Rounded lognormal draws — smooth heavy tail without Zipf's atoms."""
+
+    mean: float = 10.0
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.sigma <= 0:
+            raise WorkloadError(f"sigma must be > 0, got {self.sigma}")
+
+    def _build(self) -> np.ndarray:
+        draws = self.rng(0).lognormal(self.mean, self.sigma, size=self.shape)
+        return np.rint(np.clip(draws, 0, 2.0**62)).astype(np.int64)
+
+
+def iid_uniform(n: int, steps: int, *, low: int = 0, high: int = 1_000_000, seed: int = 0) -> IidUniform:
+    """Uniform i.i.d. workload spec."""
+    return IidUniform(n=n, steps=steps, seed=seed, low=low, high=high)
+
+
+def iid_zipf(n: int, steps: int, *, alpha: float = 2.0, cap: int = 10**12, seed: int = 0) -> IidZipf:
+    """Zipf i.i.d. workload spec."""
+    return IidZipf(n=n, steps=steps, seed=seed, alpha=alpha, cap=cap)
+
+
+def iid_lognormal(n: int, steps: int, *, mean: float = 10.0, sigma: float = 1.0, seed: int = 0) -> IidLognormal:
+    """Lognormal i.i.d. workload spec."""
+    return IidLognormal(n=n, steps=steps, seed=seed, mean=mean, sigma=sigma)

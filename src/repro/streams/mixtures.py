@@ -1,0 +1,122 @@
+"""Composite workloads: concatenate, interleave, and transform specs.
+
+Real monitoring traces are regime mixtures — calm nights, bursty days,
+occasional reconfigurations.  These combinators build such traces from the
+primitive generators while staying inside the :class:`StreamSpec` contract
+(hashable spec, deterministic ``generate``), so composite workloads can be
+used anywhere a primitive one can (experiments, sweeps, replay files).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.streams.base import StreamSpec
+
+__all__ = ["Concat", "Offset", "Stitch", "concat", "offset", "stitch"]
+
+
+@dataclass(frozen=True)
+class Concat(StreamSpec):
+    """Play several specs back to back (same ``n``; steps add up)."""
+
+    parts: tuple[StreamSpec, ...] = ()
+
+    @staticmethod
+    def of(*parts: StreamSpec) -> "Concat":
+        """Build a concatenation; validates matching node counts."""
+        if not parts:
+            raise WorkloadError("Concat needs at least one part")
+        n = parts[0].n
+        if any(p.n != n for p in parts):
+            raise WorkloadError(f"all parts must share n={n}")
+        total = sum(p.steps for p in parts)
+        return Concat(n=n, steps=total, seed=parts[0].seed, parts=tuple(parts))
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.parts and sum(p.steps for p in self.parts) != self.steps:
+            raise WorkloadError("Concat steps must equal the sum of part steps")
+
+    def _build(self) -> np.ndarray:
+        return np.concatenate([p.generate() for p in self.parts], axis=0)
+
+
+@dataclass(frozen=True)
+class Offset(StreamSpec):
+    """Shift every value of an inner spec by a constant (re-basing levels)."""
+
+    inner: StreamSpec | None = None
+    shift: int = 0
+
+    @staticmethod
+    def of(inner: StreamSpec, shift: int) -> "Offset":
+        """Wrap ``inner``, adding ``shift`` to every observation."""
+        return Offset(n=inner.n, steps=inner.steps, seed=inner.seed, inner=inner, shift=int(shift))
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.inner is not None and (self.inner.n, self.inner.steps) != (self.n, self.steps):
+            raise WorkloadError("Offset dims must match the inner spec")
+
+    def _build(self) -> np.ndarray:
+        assert self.inner is not None
+        return self.inner.generate() + self.shift
+
+
+@dataclass(frozen=True)
+class Stitch(StreamSpec):
+    """Continuity-preserving concatenation: each part is re-based so its
+    first row equals the previous part's last row.
+
+    ``Concat`` jumps between regimes (every node teleports to the next
+    spec's start level — itself a useful stress); ``Stitch`` produces a
+    *continuous* regime change, which is what physical signals do.
+    """
+
+    parts: tuple[StreamSpec, ...] = ()
+
+    @staticmethod
+    def of(*parts: StreamSpec) -> "Stitch":
+        """Build a stitched concatenation; validates matching node counts."""
+        if not parts:
+            raise WorkloadError("Stitch needs at least one part")
+        n = parts[0].n
+        if any(p.n != n for p in parts):
+            raise WorkloadError(f"all parts must share n={n}")
+        total = sum(p.steps for p in parts)
+        return Stitch(n=n, steps=total, seed=parts[0].seed, parts=tuple(parts))
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.parts and sum(p.steps for p in self.parts) != self.steps:
+            raise WorkloadError("Stitch steps must equal the sum of part steps")
+
+    def _build(self) -> np.ndarray:
+        chunks = []
+        anchor: np.ndarray | None = None
+        for part in self.parts:
+            block = part.generate()
+            if anchor is not None:
+                block = block + (anchor - block[0])[None, :]
+            chunks.append(block)
+            anchor = block[-1]
+        return np.concatenate(chunks, axis=0)
+
+
+def concat(*parts: StreamSpec) -> Concat:
+    """Concatenate workload specs back to back."""
+    return Concat.of(*parts)
+
+
+def offset(inner: StreamSpec, shift: int) -> Offset:
+    """Shift a workload's values by a constant."""
+    return Offset.of(inner, shift)
+
+
+def stitch(*parts: StreamSpec) -> Stitch:
+    """Concatenate workload specs with value continuity at the seams."""
+    return Stitch.of(*parts)

@@ -1,0 +1,74 @@
+"""Replay and deterministic anchor workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.streams.base import StreamSpec
+from repro.util.validation import as_value_matrix
+
+__all__ = ["Replay", "Staircase", "replay", "staircase"]
+
+
+@dataclass(frozen=True)
+class Replay(StreamSpec):
+    """Wrap an existing matrix as a spec (e.g. recorded production traces).
+
+    The matrix is stored as an immutable tuple-of-tuples so the spec stays
+    hashable; :meth:`generate` reconstitutes the array.
+    """
+
+    data: tuple = field(default_factory=tuple)
+
+    @staticmethod
+    def from_array(values) -> "Replay":
+        """Build a replay spec from any ``(T, n)`` integer array."""
+        arr = as_value_matrix(values)
+        return Replay(
+            n=arr.shape[1],
+            steps=arr.shape[0],
+            seed=0,
+            data=tuple(tuple(int(v) for v in row) for row in arr),
+        )
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.data) != self.steps or (self.data and len(self.data[0]) != self.n):
+            raise WorkloadError("Replay data does not match (steps, n)")
+
+    def _build(self) -> np.ndarray:
+        return np.asarray(self.data, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class Staircase(StreamSpec):
+    """Fully static, well-separated levels: node ``i`` holds ``base + i*gap``.
+
+    The simplest possible workload — after initialization, Algorithm 1 must
+    never send another message.  Unit tests anchor on it.
+    """
+
+    gap: int = 100
+    base: int = 1_000
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.gap < 1:
+            raise WorkloadError(f"gap must be >= 1, got {self.gap}")
+
+    def _build(self) -> np.ndarray:
+        level = self.base + np.arange(self.n, dtype=np.int64) * self.gap
+        return np.broadcast_to(level, self.shape).copy()
+
+
+def replay(values) -> Replay:
+    """Replay an existing ``(T, n)`` integer matrix as a workload."""
+    return Replay.from_array(values)
+
+
+def staircase(n: int, steps: int, *, gap: int = 100, base: int = 1_000, seed: int = 0) -> Staircase:
+    """Static well-separated workload spec."""
+    return Staircase(n=n, steps=steps, seed=seed, gap=gap, base=base)

@@ -1,0 +1,188 @@
+"""Random-walk workloads: the "similar consecutive values" regime.
+
+These are the inputs Algorithm 1 is designed for (Sect. 2.1: "instances in
+which the new observed values are similar to the values observed in the
+last round").  Each node performs a lazy integer random walk; the `spread`
+parameter controls how far apart the nodes' base levels sit — large spread
+means rare top-k changes, spread 0 means heavily intermixed walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.streams.base import StreamSpec
+
+__all__ = ["RandomWalk", "Bursty", "DriftingStaircase", "random_walk", "bursty", "drifting_staircase"]
+
+
+@dataclass(frozen=True)
+class RandomWalk(StreamSpec):
+    """Lazy random walks: step ``U{-step_size..step_size}`` w.p. ``move_prob``.
+
+    ``spread`` separates the nodes' starting levels (node ``i`` starts at
+    ``base + i*spread``), so the top-k boundary gap Δ scales with ``spread``
+    — the knob used by the Δ-sweep in E5.
+    """
+
+    step_size: int = 3
+    move_prob: float = 1.0
+    base: int = 1_000_000
+    spread: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.step_size < 0:
+            raise WorkloadError(f"step_size must be >= 0, got {self.step_size}")
+        if not 0.0 <= self.move_prob <= 1.0:
+            raise WorkloadError(f"move_prob must be in [0,1], got {self.move_prob}")
+        if self.spread < 0:
+            raise WorkloadError(f"spread must be >= 0, got {self.spread}")
+
+    def _build(self) -> np.ndarray:
+        rng = self.rng(0)
+        steps = rng.integers(-self.step_size, self.step_size + 1, size=self.shape)
+        if self.move_prob < 1.0:
+            lazy = rng.random(self.shape) < self.move_prob
+            steps = steps * lazy
+        steps[0] = 0  # row 0 is the starting level
+        start = self.base + np.arange(self.n, dtype=np.int64) * self.spread
+        return start[None, :] + np.cumsum(steps, axis=0)
+
+
+@dataclass(frozen=True)
+class Bursty(StreamSpec):
+    """Regime-switching walks: calm (small steps) vs violent (large jumps).
+
+    A two-state Markov chain per node toggles between regimes; violent
+    phases reorder nodes and force resets, calm phases reward filters.
+    """
+
+    calm_step: int = 1
+    burst_step: int = 200
+    burst_prob: float = 0.01
+    recover_prob: float = 0.2
+    base: int = 1_000_000
+    spread: int = 50
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for name in ("calm_step", "burst_step"):
+            if getattr(self, name) < 0:
+                raise WorkloadError(f"{name} must be >= 0")
+        for name in ("burst_prob", "recover_prob"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise WorkloadError(f"{name} must be in [0,1]")
+
+    def _build(self) -> np.ndarray:
+        rng = self.rng(0)
+        T, n = self.shape
+        # Vectorized two-state chain: sample transitions per step, then scan.
+        to_burst = rng.random((T, n)) < self.burst_prob
+        to_calm = rng.random((T, n)) < self.recover_prob
+        state = np.zeros((T, n), dtype=bool)
+        cur = np.zeros(n, dtype=bool)
+        for t in range(T):  # single O(T) scan over rows; columns vectorized
+            cur = np.where(cur, ~to_calm[t], to_burst[t])
+            state[t] = cur
+        magnitude = np.where(state, self.burst_step, self.calm_step)
+        steps = rng.integers(-1, 2, size=(T, n)) * magnitude
+        steps[0] = 0
+        start = self.base + np.arange(n, dtype=np.int64) * self.spread
+        return start[None, :] + np.cumsum(steps, axis=0)
+
+
+@dataclass(frozen=True)
+class DriftingStaircase(StreamSpec):
+    """Well-separated levels under a shared downward drift (the ebbing tide).
+
+    Node ``i`` observes ``base + i*gap - t*rate (+ noise)``: the *order*
+    never changes (OPT-friendly when noise=0 would be... it is not — see
+    below), but absolute values sink steadily, so any fixed filter boundary
+    is eventually undercut by the entire field.  This is the border-
+    invalidation workload: schemes whose recovery must poll all nodes
+    (Babcock–Olston's full reallocation) pay Θ(n) per invalidation, while
+    Algorithm 1 recovers with O(log n) protocols — the E7b separator.
+
+    Note OPT also communicates here: Lemma 3.2 feasibility fails once the
+    k-th value drifts below the (k+1)-st value's old maximum, so epochs have
+    length ~ gap/rate and per-epoch comparisons stay meaningful.
+    """
+
+    gap: int = 200
+    rate: int = 5
+    noise: int = 0
+    base: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.gap < 1 or self.rate < 0 or self.noise < 0:
+            raise WorkloadError("gap must be >= 1; rate and noise must be >= 0")
+
+    def _build(self) -> np.ndarray:
+        T, n = self.shape
+        levels = self.base + np.arange(n, dtype=np.int64) * self.gap
+        tide = np.arange(T, dtype=np.int64) * self.rate
+        values = levels[None, :] - tide[:, None]
+        if self.noise:
+            values = values + self.rng(0).integers(-self.noise, self.noise + 1, size=(T, n))
+        return values
+
+
+def drifting_staircase(
+    n: int,
+    steps: int,
+    *,
+    gap: int = 200,
+    rate: int = 5,
+    noise: int = 0,
+    base: int = 1_000_000,
+    seed: int = 0,
+) -> DriftingStaircase:
+    """Drifting-staircase workload spec (border-invalidation regime)."""
+    return DriftingStaircase(n=n, steps=steps, seed=seed, gap=gap, rate=rate, noise=noise, base=base)
+
+
+def random_walk(
+    n: int,
+    steps: int,
+    *,
+    step_size: int = 3,
+    move_prob: float = 1.0,
+    base: int = 1_000_000,
+    spread: int = 0,
+    seed: int = 0,
+) -> RandomWalk:
+    """Lazy random-walk workload spec."""
+    return RandomWalk(
+        n=n, steps=steps, seed=seed, step_size=step_size, move_prob=move_prob, base=base, spread=spread
+    )
+
+
+def bursty(
+    n: int,
+    steps: int,
+    *,
+    calm_step: int = 1,
+    burst_step: int = 200,
+    burst_prob: float = 0.01,
+    recover_prob: float = 0.2,
+    base: int = 1_000_000,
+    spread: int = 50,
+    seed: int = 0,
+) -> Bursty:
+    """Regime-switching workload spec."""
+    return Bursty(
+        n=n,
+        steps=steps,
+        seed=seed,
+        calm_step=calm_step,
+        burst_step=burst_step,
+        burst_prob=burst_prob,
+        recover_prob=recover_prob,
+        base=base,
+        spread=spread,
+    )

@@ -1,0 +1,31 @@
+"""Utility helpers: integer math, seeding, validation, ASCII rendering."""
+
+from repro.util.intmath import (
+    ceil_log2,
+    floor_log2,
+    is_power_of_two,
+    midpoint,
+    next_power_of_two,
+)
+from repro.util.seeding import SeedStream, derive_rng, normalize_seed
+from repro.util.validation import (
+    check_k,
+    check_matrix,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ceil_log2",
+    "floor_log2",
+    "is_power_of_two",
+    "midpoint",
+    "next_power_of_two",
+    "SeedStream",
+    "derive_rng",
+    "normalize_seed",
+    "check_k",
+    "check_matrix",
+    "check_positive",
+    "check_probability",
+]

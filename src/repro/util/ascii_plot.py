@@ -1,0 +1,122 @@
+"""Terminal line/bar charts for experiment output.
+
+matplotlib is not available in the reproduction environment, so experiment
+"figures" are rendered as ASCII charts.  These are deliberately simple:
+they show *shape* (growth curves, crossovers), which is what the
+reproduction must demonstrate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["line_plot", "bar_chart", "sparkline"]
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.2e}"
+    return f"{v:.3g}"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line intensity plot of a series (for progress output)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_CHARS[len(_SPARK_CHARS) // 2] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    log_scale: bool = False,
+) -> str:
+    """Horizontal bar chart; with ``log_scale`` bars are proportional to log10.
+
+    Log scale is the right default when comparing message counts spanning
+    orders of magnitude (e.g. naive vs filter-based).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    vals = [float(v) for v in values]
+    if log_scale:
+        scaled = [math.log10(max(v, 1.0)) for v in vals]
+    else:
+        scaled = vals
+    peak = max(scaled) if scaled else 0.0
+    label_w = max((len(str(l)) for l in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, raw, s in zip(labels, vals, scaled):
+        bar_len = 0 if peak <= 0 else max(0, int(round(s / peak * width)))
+        lines.append(f"{str(label).ljust(label_w)} | {'#' * bar_len} {_fmt(raw)}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "x",
+) -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    Each series gets a marker character; points are mapped onto a
+    ``height x width`` grid spanning the data range.
+    """
+    markers = "ox+*@^%&"
+    xs = [float(x) for x in xs]
+    if not xs:
+        raise ValueError("xs must be non-empty")
+    all_ys = [float(y) for ys in series.values() for y in ys]
+    if not all_ys:
+        raise ValueError("series must contain data")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_ys), max(all_ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (_, ys) in enumerate(series.items()):
+        if len(ys) != len(xs):
+            raise ValueError("every series must have one y per x")
+        marker = markers[s_idx % len(markers)]
+        for x, y in zip(xs, ys):
+            col = int((float(x) - x_lo) / x_span * (width - 1))
+            row = int((float(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_s, y_lo_s = _fmt(y_hi), _fmt(y_lo)
+    margin = max(len(y_hi_s), len(y_lo_s))
+    for r, row_chars in enumerate(grid):
+        prefix = y_hi_s.rjust(margin) if r == 0 else (y_lo_s.rjust(margin) if r == height - 1 else " " * margin)
+        lines.append(f"{prefix} |{''.join(row_chars)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    lines.append(" " * margin + f"  {_fmt(x_lo)} .. {_fmt(x_hi)}  ({x_label})")
+    legend = "   ".join(f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series))
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Exact integer math helpers used by protocols and filter arithmetic.
+
+The paper's analysis counts *halvings* of the gap between the running
+extremes ``T+`` and ``T-`` (proof of Theorem 3.3) and runs Algorithm 2 for
+``log N`` rounds.  Getting these right for non-powers-of-two and for tiny
+inputs requires exact integer log/midpoint helpers rather than
+``math.log2`` float calls, which go wrong near 2**53.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ceil_log2",
+    "floor_log2",
+    "next_power_of_two",
+    "is_power_of_two",
+    "midpoint",
+    "halvings_to_close",
+]
+
+
+def floor_log2(x: int) -> int:
+    """Largest ``e`` with ``2**e <= x``; exact for arbitrarily large ints.
+
+    Raises :class:`ConfigurationError` for ``x < 1``.
+    """
+    x = int(x)
+    if x < 1:
+        raise ConfigurationError(f"floor_log2 requires x >= 1, got {x}")
+    return x.bit_length() - 1
+
+
+def ceil_log2(x: int) -> int:
+    """Smallest ``e`` with ``2**e >= x``; exact for arbitrarily large ints."""
+    x = int(x)
+    if x < 1:
+        raise ConfigurationError(f"ceil_log2 requires x >= 1, got {x}")
+    return (x - 1).bit_length()
+
+
+def next_power_of_two(x: int) -> int:
+    """Smallest power of two ``>= x`` (and ``>= 1``)."""
+    x = int(x)
+    if x <= 1:
+        return 1
+    return 1 << ceil_log2(x)
+
+
+def is_power_of_two(x: int) -> bool:
+    """Whether ``x`` is a positive power of two."""
+    x = int(x)
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def midpoint(lo: int | Fraction, hi: int | Fraction) -> Fraction:
+    """Exact midpoint of two points as a :class:`fractions.Fraction`.
+
+    Filter bounds live at midpoints of integer values, hence at half-integer
+    positions after a reset and at dyadic positions after repeated halving.
+    Using :class:`~fractions.Fraction` keeps the halving count exact: the
+    interval ``[T-, T+]`` contracts by exactly 1/2 per handler call, so the
+    ``log Δ`` bound in Theorem 3.3 is observable without float drift.
+    """
+    return (Fraction(lo) + Fraction(hi)) / 2
+
+
+def halvings_to_close(gap: int | Fraction, *, floor_gap: int | Fraction = 1) -> int:
+    """How many halvings shrink ``gap`` to at most ``floor_gap``.
+
+    This is the paper's ``log Δ`` quantity: the number of handler calls
+    (each of which at least halves ``T+ - T-``) that can occur before a
+    reset becomes inevitable for integer-valued streams.
+    """
+    gap = Fraction(gap)
+    floor_gap = Fraction(floor_gap)
+    if floor_gap <= 0:
+        raise ConfigurationError("floor_gap must be positive")
+    if gap <= floor_gap:
+        return 0
+    count = 0
+    while gap > floor_gap:
+        gap = gap / 2
+        count += 1
+    return count

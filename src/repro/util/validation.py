@@ -1,0 +1,92 @@
+"""Argument validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.types import INT_DTYPE, ValueMatrix
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_k",
+    "check_matrix",
+    "as_value_matrix",
+]
+
+
+def check_positive(name: str, value: Any) -> int:
+    """Require an integer ``>= 1``; return it as ``int``."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_non_negative(name: str, value: Any) -> int:
+    """Require an integer ``>= 0``; return it as ``int``."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_probability(name: str, value: Any) -> float:
+    """Require a float in ``[0, 1]``; return it as ``float``."""
+    try:
+        p = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be a number, got {value!r}") from exc
+    if not (0.0 <= p <= 1.0) or np.isnan(p):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+    return p
+
+
+def check_k(k: Any, n: Any) -> tuple[int, int]:
+    """Validate a ``(k, n)`` pair for top-k monitoring.
+
+    Requires ``1 <= k <= n``.  ``k == n`` is allowed (the problem becomes
+    trivial and the monitor short-circuits it); ``k == 0`` is rejected, as in
+    the paper ``k`` ranges over ``1..n``.
+    """
+    n = check_positive("n", n)
+    k = check_positive("k", k)
+    if k > n:
+        raise ConfigurationError(f"k must be <= n, got k={k}, n={n}")
+    return k, n
+
+
+def as_value_matrix(values: Any) -> ValueMatrix:
+    """Coerce input into a C-contiguous ``(T, n)`` int64 matrix.
+
+    Accepts lists of rows or numpy arrays; floats are rejected (the paper's
+    values are integers, and silent truncation would corrupt gap/Δ
+    measurements).
+    """
+    arr = np.asarray(values)
+    if arr.ndim != 2:
+        raise WorkloadError(f"value matrix must be 2-D (T, n), got shape {arr.shape}")
+    if arr.size == 0:
+        raise WorkloadError("value matrix must be non-empty")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if np.issubdtype(arr.dtype, np.floating) and np.all(arr == np.trunc(arr)):
+            raise WorkloadError(
+                "value matrix has float dtype; cast explicitly with .astype(np.int64) "
+                "if the values are intended to be integers"
+            )
+        raise WorkloadError(f"value matrix must have an integer dtype, got {arr.dtype}")
+    return np.ascontiguousarray(arr, dtype=INT_DTYPE)
+
+
+def check_matrix(values: Any, *, n: int | None = None) -> ValueMatrix:
+    """Validate a value matrix and (optionally) its node count."""
+    arr = as_value_matrix(values)
+    if n is not None and arr.shape[1] != n:
+        raise WorkloadError(f"value matrix has {arr.shape[1]} columns, expected n={n}")
+    return arr

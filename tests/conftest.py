@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams import random_walk, sensor_field, staircase
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for ad-hoc draws inside tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_walk():
+    """A small random-walk matrix exercised by many monitor tests."""
+    return random_walk(n=12, steps=300, seed=5, step_size=4, spread=30).generate()
+
+
+@pytest.fixture
+def tight_walk():
+    """Heavily intermixed walks (no spread): frequent top-k churn."""
+    return random_walk(n=10, steps=200, seed=9, step_size=5, spread=0).generate()
+
+
+@pytest.fixture
+def sensor_matrix():
+    """A sensor-field matrix (the paper's motivating workload)."""
+    return sensor_field(n=16, steps=400, seed=11).generate()
+
+
+@pytest.fixture
+def static_matrix():
+    """Fully static well-separated values: zero communication after init."""
+    return staircase(n=8, steps=100, seed=0).generate()
+
+
+def true_topk(row: np.ndarray, k: int) -> set[int]:
+    """Ground-truth top-k with lowest-id tie-break."""
+    order = np.lexsort((np.arange(row.size), -row))
+    return set(int(i) for i in order[:k])
+
+
+def is_valid_topk(row: np.ndarray, members, k: int) -> bool:
+    """Validity of a top-k set under ties (the audit criterion)."""
+    members = set(int(m) for m in members)
+    if len(members) != k:
+        return False
+    mask = np.zeros(row.size, dtype=bool)
+    mask[list(members)] = True
+    if k == row.size:
+        return True
+    return row[mask].min() >= row[~mask].max()

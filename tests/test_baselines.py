@@ -1,0 +1,227 @@
+"""Tests for the baseline algorithms (naive, periodic, Lam, BO, shout-echo,
+sequential max)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    BabcockOlstonMonitor,
+    DominanceTrackingMonitor,
+    NaiveMonitor,
+    PeriodicRecomputeMonitor,
+    naive_message_count,
+    sequential_max,
+    shout_echo_max,
+    shout_echo_select,
+)
+from repro.core.events import MonitorResult
+from repro.errors import ConfigurationError
+from repro.streams import (
+    churn_below_boundary,
+    crossing_pair,
+    drifting_staircase,
+    iid_uniform,
+    random_walk,
+    staircase,
+)
+
+from tests.conftest import is_valid_topk
+
+
+class TestNaive:
+    def test_count_unchanged_is_tn(self):
+        values = random_walk(4, 25, seed=0).generate()
+        assert naive_message_count(values, count_unchanged=True) == 100
+
+    def test_static_counts_first_row_only(self):
+        values = staircase(6, 50).generate()
+        assert naive_message_count(values) == 6
+
+    def test_change_suppression(self):
+        values = np.array([[1, 1], [1, 2], [3, 2]], dtype=np.int64)
+        # first row: 2 msgs; t=1: node1 changed; t=2: node0 changed
+        assert naive_message_count(values) == 4
+
+    def test_exact_answers(self):
+        values = iid_uniform(8, 60, seed=1).generate()
+        res = NaiveMonitor(8, 3).run(values)
+        assert MonitorResult.check_history(res.topk_history, values, 3) == 0
+        assert res.total_messages == naive_message_count(values)
+
+
+class TestPeriodic:
+    def test_interval_one_always_correct(self):
+        values = iid_uniform(8, 60, seed=2).generate()
+        res = PeriodicRecomputeMonitor(8, 3, seed=5).run(values)
+        assert res.audit_failures == 0
+        assert MonitorResult.check_history(res.topk_history, values, 3) == 0
+
+    def test_cost_scales_with_t_k_logn(self):
+        values = iid_uniform(32, 200, seed=3).generate()
+        res = PeriodicRecomputeMonitor(32, 4, seed=5).run(values)
+        # O(T * k * log n): sanity band, not exact constants.
+        per_step = res.total_messages / 200
+        assert 4 <= per_step <= 4 * (2 * np.log2(32) + 2) + 8
+
+    def test_larger_interval_cheaper_but_stale(self):
+        values = iid_uniform(8, 100, seed=4).generate()
+        every = PeriodicRecomputeMonitor(8, 2, interval=1, seed=5).run(values)
+        sampled = PeriodicRecomputeMonitor(8, 2, interval=10, seed=5).run(values)
+        assert sampled.total_messages < every.total_messages
+        assert sampled.audit_failures > 0  # stale between recomputes on iid
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicRecomputeMonitor(4, 2, interval=0)
+
+    def test_k_equals_n(self):
+        values = iid_uniform(4, 20, seed=5).generate()
+        res = PeriodicRecomputeMonitor(4, 4, seed=6).run(values)
+        assert res.total_messages == 0
+        assert res.audit_failures == 0
+
+
+class TestSequentialMax:
+    def test_exact_max(self):
+        out = sequential_max(np.array([3, 9, 2, 9]))
+        assert out.value == 9
+        assert out.winner == 1  # first probe reaching the max
+
+    def test_answers_equal_records(self):
+        vals = np.array([2, 5, 3, 7, 1, 9])
+        out = sequential_max(vals)
+        # records: 2, 5, 7, 9 -> 4 answers
+        assert out.answers == 4
+        assert out.broadcasts == 4
+
+    def test_probe_order(self):
+        vals = np.array([1, 2, 3])
+        out = sequential_max(vals, probe_order=np.array([2, 1, 0]))
+        assert out.answers == 1  # max probed first; everyone else silent
+
+    def test_charge_probes(self):
+        vals = np.array([1, 2])
+        out = sequential_max(vals, charge_probes=True)
+        assert out.probes == 2
+        assert out.total_messages == out.answers + out.broadcasts + 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sequential_max(np.array([]))
+        with pytest.raises(ConfigurationError):
+            sequential_max(np.array([1, 2]), probe_order=np.array([0, 0]))
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_always_finds_max(self, vals):
+        out = sequential_max(np.asarray(vals, dtype=np.int64))
+        assert out.value == max(vals)
+
+
+class TestShoutEcho:
+    def test_max_cost(self):
+        out = shout_echo_max(np.array([4, 9, 1]))
+        assert out.value == 9
+        assert out.messages == 4  # 1 shout + 3 echoes
+        assert out.cycles == 1
+
+    def test_select_finds_kth(self):
+        vals = np.array([10, 40, 20, 30])
+        for k, expect in [(1, 40), (2, 30), (3, 20), (4, 10)]:
+            assert shout_echo_select(vals, k).value == expect
+
+    def test_select_cycle_cost(self):
+        vals = np.arange(1, 1025)
+        out = shout_echo_select(vals, 7)
+        # binary search over range 1..1024: ~log2(1023)+1 cycles
+        assert out.cycles <= 13
+        assert out.messages == out.cycles * (1024 + 1)
+
+    def test_select_validation(self):
+        with pytest.raises(ConfigurationError):
+            shout_echo_select(np.array([1, 2]), 3)
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=25), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_select_matches_sort(self, vals, data):
+        arr = np.asarray(vals, dtype=np.int64)
+        k = data.draw(st.integers(1, arr.size))
+        expect = int(np.sort(arr)[::-1][k - 1])
+        assert shout_echo_select(arr, k).value == expect
+
+
+class TestDominanceTracking:
+    def test_correct_topk_throughout(self):
+        values = random_walk(8, 120, seed=7, step_size=4).generate()
+        res = DominanceTrackingMonitor(8, 3).run(values)
+        assert res.audit_failures == 0
+        for t in range(values.shape[0]):
+            assert is_valid_topk(values[t], res.topk_history[t], 3)
+
+    def test_static_only_init(self):
+        values = staircase(6, 40).generate()
+        res = DominanceTrackingMonitor(6, 2).run(values)
+        assert res.total_messages == 12  # n reports + n filter installs
+
+    def test_pays_for_subboundary_churn(self):
+        values = churn_below_boundary(10, 80, k=2, seed=1).generate()
+        lam = DominanceTrackingMonitor(10, 2).run(values)
+        # every step reorders the bottom: >= 1 report per step after init
+        assert lam.total_messages >= 80
+
+    def test_tie_heavy_instances(self):
+        gen = np.random.default_rng(0)
+        values = gen.integers(0, 4, (50, 6)).astype(np.int64)
+        res = DominanceTrackingMonitor(6, 2).run(values)
+        assert res.audit_failures == 0
+
+
+class TestBabcockOlston:
+    def test_correct_topk_throughout(self):
+        values = random_walk(8, 150, seed=8, step_size=4).generate()
+        res = BabcockOlstonMonitor(8, 3).run(values)
+        assert res.audit_failures == 0
+        for t in range(values.shape[0]):
+            assert is_valid_topk(values[t], res.topk_history[t], 3)
+
+    def test_static_only_init(self):
+        values = staircase(6, 40).generate()
+        res = BabcockOlstonMonitor(6, 2).run(values)
+        assert res.handler_calls == 1  # the init reallocation only
+        assert res.resets == 1
+
+    def test_crossing_pair_resolves_without_reallocation(self):
+        values = crossing_pair(12, 100, k=3, period=10, delta=16, seed=0).generate()
+        res = BabcockOlstonMonitor(12, 3).run(values)
+        assert res.audit_failures == 0
+        assert res.resets == 1  # only init: swaps certified locally
+
+    def test_drift_forces_reallocation(self):
+        values = drifting_staircase(12, 300, gap=100, rate=5, seed=0).generate()
+        res = BabcockOlstonMonitor(12, 3).run(values)
+        assert res.resets > 3  # the sinking field invalidates the border
+
+    def test_unicast_mode_more_expensive(self):
+        values = drifting_staircase(12, 200, gap=100, rate=5, seed=0).generate()
+        with_bcast = BabcockOlstonMonitor(12, 3, use_broadcast=True).run(values)
+        without = BabcockOlstonMonitor(12, 3, use_broadcast=False).run(values)
+        assert without.total_messages > with_bcast.total_messages
+        assert np.array_equal(with_bcast.topk_history, without.topk_history)
+
+    def test_k_equals_n_trivial(self):
+        values = random_walk(4, 20, seed=1).generate()
+        res = BabcockOlstonMonitor(4, 4).run(values)
+        assert res.total_messages == 0
+
+    @given(st.integers(0, 10**5))
+    @settings(max_examples=25, deadline=None)
+    def test_validity_property(self, seed):
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(3, 10))
+        k = int(gen.integers(1, n))
+        T = int(gen.integers(2, 50))
+        values = np.cumsum(gen.integers(-5, 6, (T, n)), axis=0).astype(np.int64) + 500
+        res = BabcockOlstonMonitor(n, k).run(values)
+        assert res.audit_failures == 0

@@ -1,0 +1,94 @@
+"""Tests for the predictive cost model (theory-to-practice bridge)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cost_model import (
+    CostBreakdown,
+    predict_from_result,
+    predict_messages,
+)
+from repro.core.monitor import TopKMonitor
+from repro.errors import ConfigurationError
+from repro.streams import crossing_pair, random_walk, sensor_field, staircase
+
+WORKLOADS = [
+    ("walk", lambda: (random_walk(24, 1200, seed=1, step_size=4, spread=50).generate(), 4)),
+    ("sensor", lambda: (sensor_field(24, 800, seed=2).generate(), 4)),
+    ("crossing", lambda: (crossing_pair(24, 800, k=4, period=25, delta=64, seed=3).generate(), 4)),
+    ("walk_big_n", lambda: (random_walk(128, 600, seed=4, step_size=4, spread=80).generate(), 8)),
+]
+
+
+class TestPredictFromResult:
+    @pytest.mark.parametrize("name,factory", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+    def test_upper_bound_mode_bounds_measurement(self, name, factory):
+        values, k = factory()
+        res = TopKMonitor(n=values.shape[1], k=k, seed=9).run(values)
+        pred = predict_from_result(res)
+        assert res.total_messages <= pred.total * 1.05, name
+
+    @pytest.mark.parametrize("name,factory", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+    def test_point_estimate_within_band(self, name, factory):
+        values, k = factory()
+        res = TopKMonitor(n=values.shape[1], k=k, seed=9).run(values)
+        pred = predict_from_result(res)
+        ratio = res.total_messages / pred.point_estimate
+        assert 0.6 <= ratio <= 1.5, f"{name}: measured/point = {ratio:.2f}"
+
+    def test_quiet_run_prediction(self):
+        values = staircase(16, 100).generate()
+        res = TopKMonitor(n=16, k=3, seed=1).run(values)
+        pred = predict_from_result(res)
+        # only the init reset contributes
+        assert pred.handler_cost == 0.0
+        assert pred.violation_cost == 0.0
+        assert res.total_messages <= pred.reset_cost + 1
+
+    def test_breakdown_sums(self):
+        b = CostBreakdown(reset_cost=10.0, handler_cost=5.0, violation_cost=2.5)
+        assert b.total == 17.5
+        assert b.point_estimate < b.total
+
+
+class TestPredictMessages:
+    def test_monotone_in_events(self):
+        base = predict_messages(32, 4, resets=1, midpoint_handlers=0).total
+        more_resets = predict_messages(32, 4, resets=3, midpoint_handlers=0).total
+        more_handlers = predict_messages(32, 4, resets=1, midpoint_handlers=5).total
+        assert more_resets > base
+        assert more_handlers > base
+
+    def test_reset_dominates_handler(self):
+        """One reset should cost more than one midpoint handler (k+1 sweeps)."""
+        reset = predict_messages(64, 8, resets=2, midpoint_handlers=0)
+        handler = predict_messages(64, 8, resets=1, midpoint_handlers=1)
+        assert reset.total > handler.total
+
+    def test_scales_with_k(self):
+        small = predict_messages(64, 2, resets=2, midpoint_handlers=0).total
+        big = predict_messages(64, 16, resets=2, midpoint_handlers=0).total
+        assert big > 2 * small
+
+    def test_k_equals_n_zero(self):
+        assert predict_messages(8, 8, resets=5, midpoint_handlers=5).total == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            predict_messages(4, 5, resets=1, midpoint_handlers=0)
+        with pytest.raises(ConfigurationError):
+            predict_messages(4, 2, resets=-1, midpoint_handlers=0)
+
+
+class TestCapacityPlanningScenario:
+    def test_prediction_transfers_across_seeds(self):
+        """Fit events on one seed, predict message totals for other seeds."""
+        spec_factory = lambda s: random_walk(32, 1000, seed=s, step_size=4, spread=60).generate()
+        res0 = TopKMonitor(n=32, k=4, seed=0).run(spec_factory(0))
+        pred = predict_from_result(res0)
+        for seed in (1, 2, 3):
+            res = TopKMonitor(n=32, k=4, seed=seed).run(spec_factory(seed))
+            # workload statistics are stationary: prediction from seed 0's
+            # event profile should bound other seeds' totals within ~2x.
+            assert res.total_messages <= pred.total * 2.0
+            assert res.total_messages >= pred.point_estimate * 0.3

@@ -1,0 +1,121 @@
+"""Differential tests between the faithful and vectorized engines (I4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import MonitorResult
+from repro.core.protocols import ProtocolConfig
+from repro.engine import differential_check, run_vectorized
+from repro.streams import (
+    adversarial_rotation,
+    churn_below_boundary,
+    crossing_pair,
+    iid_uniform,
+    random_walk,
+    sensor_field,
+    staircase,
+)
+
+
+class TestVectorizedBasics:
+    def test_static_only_init(self):
+        values = staircase(8, 50).generate()
+        res = run_vectorized(values, 3, seed=1)
+        assert res.resets == 1
+        assert res.handler_calls == 0
+        assert res.total_messages == res.by_phase["reset_protocol"] + res.by_phase[
+            "protocol_round"
+        ] + res.by_phase["protocol_start"] + res.by_phase["reset_broadcast"]
+
+    def test_answers_valid(self):
+        values = random_walk(10, 200, seed=2, step_size=5).generate()
+        res = run_vectorized(values, 4, seed=3)
+        assert MonitorResult.check_history(res.topk_history, values, 4) == 0
+
+    def test_k_equals_n(self):
+        values = random_walk(5, 30, seed=1).generate()
+        res = run_vectorized(values, 5, seed=1)
+        assert res.total_messages == 0
+        assert np.array_equal(res.topk_history[0], np.arange(5))
+
+    def test_rejects_every_round_policy(self):
+        values = staircase(4, 5).generate()
+        with pytest.raises(NotImplementedError):
+            run_vectorized(values, 2, seed=0, protocol=ProtocolConfig(broadcast_every_round=True))
+
+    def test_handler_vs_reset_times_disjoint(self):
+        values = random_walk(10, 300, seed=4, step_size=6).generate()
+        res = run_vectorized(values, 3, seed=5)
+        assert not (set(res.handler_times) & set(res.reset_times))
+
+
+WORKLOAD_CASES = [
+    ("walk_tight", lambda: random_walk(12, 400, seed=1, step_size=5, spread=0).generate(), 3),
+    ("walk_spread", lambda: random_walk(12, 400, seed=2, step_size=5, spread=80).generate(), 3),
+    ("iid", lambda: iid_uniform(9, 250, seed=3).generate(), 4),
+    ("rotation", lambda: adversarial_rotation(8, 200, seed=4).generate(), 2),
+    ("crossing", lambda: crossing_pair(10, 300, k=3, period=12, delta=32, seed=5).generate(), 3),
+    ("churn_below", lambda: churn_below_boundary(10, 200, k=3, seed=6).generate(), 3),
+    ("sensor", lambda: sensor_field(10, 300, seed=7).generate(), 3),
+]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("name,factory,k", WORKLOAD_CASES, ids=[c[0] for c in WORKLOAD_CASES])
+    def test_exact_match_across_workloads(self, name, factory, k):
+        values = factory()
+        report = differential_check(values, k, seed=42)
+        assert report.equal, report.detail
+        assert report.faithful_messages == report.vectorized_messages
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 9])
+    def test_exact_match_across_k(self, k):
+        values = random_walk(10, 300, seed=8, step_size=4, spread=30).generate()
+        report = differential_check(values, k, seed=7)
+        assert report.equal, report.detail
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_exact_match_across_seeds(self, seed):
+        values = random_walk(8, 250, seed=9, step_size=5).generate()
+        report = differential_check(values, 3, seed=seed)
+        assert report.equal, report.detail
+
+    def test_skip_redundant_min_variant(self):
+        values = random_walk(10, 300, seed=10, step_size=5).generate()
+        report = differential_check(values, 3, seed=1, skip_redundant_min=True)
+        assert report.equal, report.detail
+
+    @given(st.integers(0, 10**5))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_match_property(self, seed):
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(2, 10))
+        k = int(gen.integers(1, n + 1))
+        T = int(gen.integers(2, 80))
+        style = int(gen.integers(0, 2))
+        if style == 0:
+            values = gen.integers(0, 25, (T, n)).astype(np.int64)
+        else:
+            values = np.cumsum(gen.integers(-4, 5, (T, n)), axis=0).astype(np.int64) + 200
+        report = differential_check(values, k, seed=seed % 97)
+        assert report.equal, f"seed={seed}: {report.detail}"
+
+
+class TestVectorizedSpeedup:
+    def test_faster_than_faithful_on_large_instance(self):
+        """The vectorized engine exists to be faster; verify it is."""
+        import time
+
+        values = random_walk(128, 1500, seed=11, step_size=4, spread=60).generate()
+        from repro.core.monitor import TopKMonitor
+
+        t0 = time.perf_counter()
+        TopKMonitor(n=128, k=8, seed=1).run(values)
+        faithful = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        run_vectorized(values, 8, seed=1)
+        vector = time.perf_counter() - t0
+        # Generous margin: CI machines are noisy; it must at least not be slower.
+        assert vector <= faithful * 1.2, f"vectorized {vector:.3f}s vs faithful {faithful:.3f}s"

@@ -1,0 +1,107 @@
+"""Tests for step events and MonitorResult aggregation."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.events import MonitorResult, StepEvent, StepKind, valid_topk_set
+from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.model.ledger import MessageLedger
+from repro.streams import random_walk, staircase
+
+
+class TestValidTopkSet:
+    def test_exact_set(self):
+        assert valid_topk_set(np.array([5, 3, 9]), [2, 0], 2)
+
+    def test_tie_equivalent_sets(self):
+        row = np.array([5, 5, 1])
+        assert valid_topk_set(row, [0], 1)
+        assert valid_topk_set(row, [1], 1)
+
+    def test_wrong_set(self):
+        assert not valid_topk_set(np.array([5, 3, 9]), [1, 0], 2)
+
+    def test_wrong_cardinality(self):
+        assert not valid_topk_set(np.array([5, 3, 9]), [2], 2)
+
+    def test_k_equals_n(self):
+        assert valid_topk_set(np.array([1, 2]), [0, 1], 2)
+
+
+class TestMonitorResult:
+    @pytest.fixture
+    def result(self):
+        values = random_walk(10, 200, seed=1, step_size=5, spread=15).generate()
+        return TopKMonitor(n=10, k=3, seed=2, config=MonitorConfig(track_series=True)).run(values), values
+
+    def test_counters_consistent(self, result):
+        res, values = result
+        assert res.steps == values.shape[0]
+        reset_like = [e for e in res.events if e.kind in (StepKind.HANDLER_RESET, StepKind.INIT_RESET)]
+        assert len(reset_like) == res.resets
+        midpoints = [e for e in res.events if e.kind is StepKind.HANDLER_MIDPOINT]
+        assert len(midpoints) + len(reset_like) - 1 == res.handler_calls  # init isn't a handler call
+
+    def test_event_messages_sum_to_total(self, result):
+        res, _ = result
+        assert sum(e.messages for e in res.events) == res.total_messages
+
+    def test_series_sums_to_total(self, result):
+        res, _ = result
+        _, counts = res.ledger.series
+        assert counts.sum() == res.total_messages
+
+    def test_quiet_steps_complement_events(self, result):
+        res, _ = result
+        assert res.quiet_steps == res.steps - len(res.events)
+
+    def test_reset_and_handler_times_sorted_disjoint(self, result):
+        res, _ = result
+        rt, ht = res.reset_times(), res.handler_times()
+        assert rt == sorted(rt) and ht == sorted(ht)
+        assert not set(rt) & set(ht)
+
+    def test_describe_mentions_key_counts(self, result):
+        res, _ = result
+        text = res.describe()
+        assert str(res.total_messages) in text
+        assert f"{res.resets} resets" in text
+
+    def test_messages_per_step(self, result):
+        res, _ = result
+        assert res.messages_per_step() == pytest.approx(res.total_messages / res.steps)
+
+    def test_check_history_detects_corruption(self):
+        values = staircase(6, 10).generate()
+        res = TopKMonitor(n=6, k=2, seed=1).run(values)
+        assert MonitorResult.check_history(res.topk_history, values, 2) == 0
+        corrupted = res.topk_history.copy()
+        corrupted[5] = [0, 1]  # lowest two values: invalid
+        assert MonitorResult.check_history(corrupted, values, 2) == 1
+
+    def test_topk_at(self, result):
+        res, values = result
+        assert res.topk_at(0) == set(res.topk_history[0].tolist())
+
+
+class TestStepEvent:
+    def test_gap_fraction(self):
+        e = StepEvent(
+            time=3,
+            kind=StepKind.HANDLER_MIDPOINT,
+            top_violators=1,
+            bottom_violators=0,
+            messages=7,
+            gap=Fraction(5),
+        )
+        assert e.gap == 5
+        assert e.kind is StepKind.HANDLER_MIDPOINT
+
+    def test_empty_ledger_result(self):
+        res = MonitorResult(
+            n=4, k=2, steps=0, topk_history=np.empty((0, 2), dtype=np.int64), ledger=MessageLedger()
+        )
+        assert res.messages_per_step() == 0.0
+        assert res.total_messages == 0

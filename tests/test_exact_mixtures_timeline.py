@@ -1,0 +1,155 @@
+"""Tests for the Lemma-4.1 exact sums, stream combinators, and timelines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.exact import (
+    lemma41_expected_messages,
+    lemma41_send_probability,
+    theorem42_closed_form,
+)
+from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.core.protocols import maximum_protocol
+from repro.errors import ConfigurationError, WorkloadError
+from repro.model.timeline import render_phase_summary, render_timeline
+from repro.streams import random_walk, staircase
+from repro.streams.mixtures import concat, offset, stitch
+from repro.util.seeding import derive_rng
+
+
+class TestLemma41:
+    def test_probability_decreasing_in_rank(self):
+        probs = [lemma41_send_probability(i, 64) for i in range(0, 64, 4)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_rank0_near_certain(self):
+        # The maximum's bound sums every round's probability: >= ~1.
+        assert lemma41_send_probability(0, 256) == 1.0
+
+    def test_deep_rank_near_floor(self):
+        # A very dominated node almost never sends: bound approaches 1/N + tiny.
+        assert lemma41_send_probability(10_000, 64) < 0.1
+
+    def test_sum_below_closed_form(self):
+        """Lemma 4.1 sum <= Theorem 4.2 closed form for every N (the proof's step)."""
+        for e in range(0, 14):
+            n = 2**e
+            assert lemma41_expected_messages(n) <= theorem42_closed_form(n) + 1e-9, n
+
+    def test_sum_upper_bounds_measurement(self):
+        """Measured mean <= Lemma 4.1 exact sum (statistically)."""
+        n, reps = 128, 600
+        rng = derive_rng(5, 0)
+        vals_rng = derive_rng(6, 0)
+        ids = np.arange(n)
+        total = 0
+        for _ in range(reps):
+            vals = vals_rng.permutation(n).astype(np.int64)
+            total += maximum_protocol(ids, vals, n, rng).node_messages
+        measured = total / reps
+        exact = lemma41_expected_messages(n)
+        assert measured <= exact * 1.08  # CI slack
+
+    def test_upper_bound_parameter(self):
+        # Participants fewer than N (the Alg. 1 violation case).
+        partial = lemma41_expected_messages(4, upper_bound=64)
+        full = lemma41_expected_messages(64, upper_bound=64)
+        assert partial < full
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lemma41_send_probability(-1, 4)
+        with pytest.raises(ConfigurationError):
+            lemma41_expected_messages(0)
+        with pytest.raises(ConfigurationError):
+            lemma41_expected_messages(8, upper_bound=4)
+        with pytest.raises(ConfigurationError):
+            theorem42_closed_form(0)
+
+    @given(st.integers(1, 2**12))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_at_most_n(self, n):
+        assert lemma41_expected_messages(n) <= n + 1e-9
+
+
+class TestMixtures:
+    def test_concat_shapes(self):
+        a = staircase(4, 10)
+        b = random_walk(4, 15, seed=1)
+        c = concat(a, b)
+        m = c.generate()
+        assert m.shape == (25, 4)
+        assert np.array_equal(m[:10], a.generate())
+        assert np.array_equal(m[10:], b.generate())
+
+    def test_concat_rejects_mismatched_n(self):
+        with pytest.raises(WorkloadError):
+            concat(staircase(4, 5), staircase(5, 5))
+        with pytest.raises(WorkloadError):
+            concat()
+
+    def test_offset_shifts(self):
+        base = staircase(3, 5, base=100)
+        shifted = offset(base, 50)
+        assert np.array_equal(shifted.generate(), base.generate() + 50)
+
+    def test_stitch_continuity(self):
+        a = random_walk(4, 20, seed=2, step_size=3)
+        b = random_walk(4, 20, seed=3, step_size=3, base=999_999_000)  # far-off base
+        m = stitch(a, b).generate()
+        # continuity at the seam: step from t=19 to t=20 is a walk step, not a jump
+        assert np.abs(m[20] - m[19]).max() <= 3
+        assert m.shape == (40, 4)
+
+    def test_stitch_first_part_unmodified(self):
+        a = staircase(3, 5)
+        b = staircase(3, 5, base=50_000)
+        m = stitch(a, b).generate()
+        assert np.array_equal(m[:5], a.generate())
+
+    def test_monitor_runs_on_composite(self):
+        calm = random_walk(6, 80, seed=4, step_size=1, spread=100)
+        stormy = random_walk(6, 80, seed=5, step_size=40, spread=0)
+        spec = stitch(calm, stormy, calm)
+        values = spec.generate()
+        res = TopKMonitor(n=6, k=2, seed=6, config=MonitorConfig(audit=True)).run(values)
+        assert res.audit_failures == 0
+        assert res.steps == 240
+
+    def test_specs_hashable(self):
+        a = concat(staircase(3, 5), staircase(3, 5))
+        b = concat(staircase(3, 5), staircase(3, 5))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestTimeline:
+    @pytest.fixture
+    def result(self):
+        values = random_walk(8, 120, seed=7, step_size=5, spread=20).generate()
+        cfg = MonitorConfig(track_series=True)
+        return TopKMonitor(n=8, k=3, seed=8, config=cfg).run(values)
+
+    def test_timeline_contains_glyphs(self, result):
+        text = render_timeline(result)
+        assert "timeline (T=120" in text
+        assert "I" in text  # init reset visible
+        assert "events (" in text
+
+    def test_timeline_bucketing_long_run(self):
+        values = random_walk(6, 500, seed=9, step_size=4, spread=30).generate()
+        res = TopKMonitor(n=6, k=2, seed=10, config=MonitorConfig(track_series=True)).run(values)
+        text = render_timeline(res, width=60)
+        strip = text.splitlines()[1].strip()
+        assert len(strip) == 60
+
+    def test_timeline_event_cap(self, result):
+        text = render_timeline(result, max_events=1)
+        if len(result.events) > 1:
+            assert "more" in text
+
+    def test_phase_summary_shares(self, result):
+        text = render_phase_summary(result)
+        assert f"total messages: {result.total_messages}" in text
+        assert "#" in text

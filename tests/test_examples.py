@@ -1,0 +1,74 @@
+"""The example scripts must run end-to-end (small parameters)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = _run("quickstart.py", "--n", "12", "--k", "3", "--steps", "300")
+        assert proc.returncode == 0, proc.stderr
+        assert "communication saving" in proc.stdout
+        assert "top-3 at t=299" in proc.stdout
+
+    def test_sensor_network(self):
+        proc = _run("sensor_network.py", "--stations", "16", "--k", "3", "--days", "1")
+        assert proc.returncode == 0, proc.stderr
+        assert "hottest 3 stations" in proc.stdout
+        assert "offline OPT filter epochs" in proc.stdout
+
+    def test_server_fleet(self):
+        proc = _run("server_fleet.py", "--servers", "12", "--k", "3", "--steps", "400")
+        assert proc.returncode == 0, proc.stderr
+        assert "hot set at end of trace" in proc.stdout
+        assert "algorithm 1 vs naive" in proc.stdout
+
+    def test_protocol_demo(self):
+        proc = _run("protocol_demo.py", "--n", "32", "--reps", "200")
+        assert proc.returncode == 0, proc.stderr
+        assert "message trace of one execution" in proc.stdout
+        assert "Theorem 4.2 upper bound" in proc.stdout
+
+    def test_competitive_analysis(self):
+        proc = _run("competitive_analysis.py", "--n", "10", "--k", "2", "--steps", "150")
+        assert proc.returncode == 0, proc.stderr
+        assert "OPT epochs" in proc.stdout
+
+    def test_failover(self):
+        proc = _run("failover.py", "--n", "12", "--k", "3", "--steps", "300", "--crash-at", "150")
+        assert proc.returncode == 0, proc.stderr
+        assert "answers identical to reference: True" in proc.stdout
+
+    def test_failover_rejects_bad_crash_point(self):
+        proc = _run("failover.py", "--steps", "100", "--crash-at", "100")
+        assert proc.returncode != 0
+
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "sensor_network.py",
+            "server_fleet.py",
+            "protocol_demo.py",
+            "competitive_analysis.py",
+            "failover.py",
+        ],
+    )
+    def test_help_flag(self, script):
+        proc = _run(script, "--help")
+        assert proc.returncode == 0
+        assert "usage" in proc.stdout.lower()

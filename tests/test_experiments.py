@@ -1,0 +1,128 @@
+"""Tests for the experiment harness (registry, outputs, CLI plumbing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+    render_output,
+    render_summary,
+)
+from repro.experiments.report import render_markdown
+from repro.experiments.spec import ExperimentOutput, Finding, register, scaled
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        ids = {e for e, _ in list_experiments()}
+        assert {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1"} <= ids
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("E1").exp_id == "e1"
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("e99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExperimentError):
+
+            @register("e1", "dup")
+            def _dup(scale):  # pragma: no cover
+                raise AssertionError
+
+    def test_scaled_helper(self):
+        assert scaled("smoke", 1, 2, 3) == 1
+        assert scaled("full", 1, 2, 3) == 3
+        with pytest.raises(ExperimentError):
+            scaled("huge", 1, 2, 3)
+
+
+class TestOutputs:
+    def test_output_passed_logic(self):
+        out = ExperimentOutput(exp_id="x", title="t", claim="c")
+        assert out.passed  # vacuous
+        out.check("ok", "obs", True)
+        assert out.passed
+        out.check("bad", "obs", False)
+        assert not out.passed
+
+    def test_render_output_includes_findings(self):
+        out = ExperimentOutput(exp_id="x", title="Title", claim="Claim")
+        out.check("claim-a", "obs-a", True)
+        text = render_output(out)
+        assert "Title" in text and "[PASS] claim-a" in text and "obs-a" in text
+
+    def test_render_summary(self):
+        a = ExperimentOutput(exp_id="a", title="A", claim="")
+        b = ExperimentOutput(exp_id="b", title="B", claim="")
+        b.findings.append(Finding("f", "o", False))
+        text = render_summary([a, b])
+        assert "1/2 experiments passed" in text
+
+    def test_render_markdown(self):
+        out = ExperimentOutput(exp_id="x", title="T", claim="C")
+        out.check("good", "obs", True)
+        md = render_markdown(out)
+        assert md.startswith("### X — T")
+        assert "✅" in md
+
+
+class TestExperimentRuns:
+    """Each experiment runs at smoke scale and passes its findings.
+
+    (These are the same checks the benchmark harness performs; running them
+    here keeps `pytest tests/` self-contained.)
+    """
+
+    @pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+    def test_smoke_scale_passes(self, exp_id):
+        out = get_experiment(exp_id).runner("smoke")
+        failed = [f.claim for f in out.findings if not f.passed]
+        assert out.passed, f"{exp_id} failed findings: {failed}"
+        assert out.tables, f"{exp_id} produced no tables"
+        assert out.findings, f"{exp_id} recorded no findings"
+
+    def test_e1_table_columns(self):
+        out = get_experiment("e1").runner("smoke")
+        main_table = out.tables[0]
+        assert main_table.columns[0] == "n"
+        assert len(main_table.rows) >= 6  # >=3 exponents x 3 profiles at smoke
+
+    def test_runs_deterministic(self):
+        a = get_experiment("e3").runner("smoke")
+        b = get_experiment("e3").runner("smoke")
+        assert [r for t in a.tables for r in t.rows] == [r for t in b.tables for r in t.rows]
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["e1", "--scale", "smoke"])
+        assert args.experiments == ["e1"]
+        assert args.scale == "smoke"
+
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "a1" in out
+
+    def test_no_selection_error(self, capsys):
+        assert main([]) == 2
+
+    def test_run_single_experiment(self, capsys):
+        code = main(["e3", "--scale", "smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E3" in out and "experiments passed" in out
+
+    def test_markdown_output(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        code = main(["e3", "--scale", "smoke", "--markdown", str(path)])
+        assert code == 0
+        content = path.read_text()
+        assert content.startswith("# Experiment report")
+        assert "### E3" in content

@@ -1,0 +1,83 @@
+"""Tests for the ordered top-k extension (paper Sect. 5 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.monitor import MonitorConfig
+from repro.errors import ConfigurationError
+from repro.extensions.ordered_topk import OrderedTopKMonitor
+from repro.model.message import Phase
+from repro.streams import crossing_pair, random_walk, staircase
+
+
+def _order_is_valid(values_row, order):
+    vals = values_row[np.asarray(order)]
+    return bool(np.all(np.diff(vals) <= 0))
+
+
+class TestOrderedBasics:
+    def test_static_order_exact(self):
+        values = staircase(6, 30, gap=10).generate()
+        res = OrderedTopKMonitor(6, 3, seed=1).run(values)
+        # staircase: node 5 > 4 > 3 ...
+        assert res.order_history[10].tolist() == [5, 4, 3]
+        assert res.audit_failures == 0
+        assert res.order_messages == 0  # nothing moves
+
+    def test_rejects_k_equals_n(self):
+        with pytest.raises(ConfigurationError):
+            OrderedTopKMonitor(4, 4)
+
+    def test_order_valid_on_walks(self):
+        values = random_walk(10, 250, seed=2, step_size=4, spread=50).generate()
+        res = OrderedTopKMonitor(10, 4, seed=3).run(values)
+        assert res.audit_failures == 0
+        for t in range(values.shape[0]):
+            assert _order_is_valid(values[t], res.order_history[t]), f"t={t}"
+
+    def test_order_valid_under_set_changes(self):
+        values = crossing_pair(10, 200, k=3, period=15, delta=32, seed=1).generate()
+        res = OrderedTopKMonitor(10, 3, seed=4).run(values)
+        assert res.audit_failures == 0
+        assert res.resets >= 2
+
+    def test_cost_split_consistent(self):
+        values = random_walk(12, 300, seed=5, step_size=5, spread=40).generate()
+        res = OrderedTopKMonitor(12, 4, seed=6).run(values)
+        assert res.total_messages == res.boundary_messages + res.order_messages
+        assert res.ledger.by_phase[Phase.ORDER_TRACKING] == res.order_messages
+
+    def test_k1_no_order_cost(self):
+        values = random_walk(8, 200, seed=7, step_size=4).generate()
+        res = OrderedTopKMonitor(8, 1, seed=8).run(values)
+        assert res.order_messages == 0  # one member: no internal boundaries
+
+    def test_audit_raise_mode(self):
+        values = random_walk(8, 100, seed=9, step_size=3, spread=50).generate()
+        cfg = MonitorConfig(audit=True)
+        res = OrderedTopKMonitor(8, 3, seed=10, config=cfg).run(values)
+        assert res.audit_failures == 0
+
+    def test_costs_more_than_set_only_monitor(self):
+        """Ordering costs extra vs the plain set monitor (same workload)."""
+        from repro.core.monitor import TopKMonitor
+
+        values = random_walk(12, 400, seed=11, step_size=5, spread=30).generate()
+        plain = TopKMonitor(n=12, k=4, seed=12).run(values)
+        ordered = OrderedTopKMonitor(12, 4, seed=12).run(values)
+        assert ordered.total_messages >= plain.total_messages
+
+    @given(st.integers(0, 10**5))
+    @settings(max_examples=20, deadline=None)
+    def test_order_valid_property(self, seed):
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(3, 10))
+        k = int(gen.integers(1, n))
+        T = int(gen.integers(2, 60))
+        values = np.cumsum(gen.integers(-4, 5, (T, n)), axis=0).astype(np.int64) + 300
+        res = OrderedTopKMonitor(n, k, seed=seed % 91).run(values)
+        assert res.audit_failures == 0
+        for t in range(T):
+            assert _order_is_valid(values[t], res.order_history[t])

@@ -1,0 +1,130 @@
+"""Failure injection: corrupt coordinator state and observe recovery.
+
+The paper's algorithm has a built-in self-healing property this suite pins
+down: any state corruption that causes a filter violation is repaired by
+the very next handler invocation (the handler recomputes both extremes from
+live protocols, and an inconsistent pair forces a full reset, which rebuilds
+*all* state from live values).  Corruption that never triggers a violation
+can persist — which is exactly why the audit hook exists.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.events import valid_topk_set
+from repro.core.monitor import MonitorConfig, OnlineSession
+from repro.errors import InvariantViolation
+from repro.streams import random_walk, staircase
+from repro.types import Side
+
+
+def _drive(session, values, start, end):
+    for t in range(start, end):
+        session.observe(values[t])
+
+
+class TestSideCorruption:
+    def test_reset_heals_flipped_side(self):
+        """Marking a true top member BOTTOM forces a violation -> reset -> healed."""
+        values = staircase(8, 60, gap=100).generate()
+        session = OnlineSession(8, 3, seed=1)
+        _drive(session, values, 0, 10)
+        # Corrupt: the strongest node (id 7) is demoted to BOTTOM.
+        session._sides[7] = False
+        assert not valid_topk_set(values[10], session.topk, 3)
+        # Node 7's value is far above M -> BOTTOM violation -> handler.
+        session.observe(values[10])
+        assert valid_topk_set(values[10], session.topk, 3)
+        assert session.resets >= 2  # healing required a reset
+
+    def test_promoting_a_bottom_node_heals_too(self):
+        values = staircase(8, 60, gap=100).generate()
+        session = OnlineSession(8, 3, seed=2)
+        _drive(session, values, 0, 10)
+        session._sides[0] = True  # weakest node marked TOP
+        session.observe(values[10])  # node 0 violates [M, inf) immediately
+        assert valid_topk_set(values[10], session.topk, 3)
+
+    def test_side_corruption_cannot_stay_silent(self):
+        """With distinct values, *any* side corruption violates some filter.
+
+        This is Lemma 2.2 acting as a tripwire: a TOP-marked node must sit
+        at or above M and a BOTTOM-marked node at or below it, so flipping
+        sides necessarily puts somebody outside their filter — and the next
+        step's handler heals the state.  Even replacing the whole TOP side
+        with the three weakest nodes recovers within one observation.
+        """
+        values = staircase(8, 30, gap=100).generate()
+        session = OnlineSession(8, 3, seed=3, config=MonitorConfig(audit=True))
+        _drive(session, values, 0, 5)
+        session._sides[:] = False
+        session._sides[[0, 1, 2]] = True  # the three *weakest* nodes
+        session.observe(values[5])  # audit=True: would raise if unhealed
+        assert valid_topk_set(values[5], session.topk, 3)
+        assert session.resets >= 2
+
+    def test_audit_machinery_raises_on_bad_answers(self):
+        """The audit hook itself: a session reporting garbage must raise."""
+        values = staircase(8, 30, gap=100).generate()
+        session = OnlineSession(8, 3, seed=3, config=MonitorConfig(audit=True))
+        _drive(session, values, 0, 5)
+
+        class _Broken(OnlineSession):
+            @property
+            def topk(self):  # report the weakest nodes, never heal
+                return np.array([0, 1, 2], dtype=np.int64)
+
+        session.__class__ = _Broken
+        with pytest.raises(InvariantViolation):
+            session.observe(values[5])
+
+
+class TestBoundCorruption:
+    def test_bound_pushed_up_heals(self):
+        """Raising M above the TOP side's values triggers min-violations."""
+        values = staircase(8, 40, gap=100).generate()
+        session = OnlineSession(8, 3, seed=4)
+        _drive(session, values, 0, 10)
+        session._m2 += 10_000  # all TOP members now violate
+        session.observe(values[10])
+        assert valid_topk_set(values[10], session.topk, 3)
+        # Bound is back between the true k-th and (k+1)-st doubled values.
+        row = np.sort(values[10])[::-1]
+        assert 2 * row[3] <= session._m2 <= 2 * row[2]
+
+    def test_bound_pushed_down_heals(self):
+        values = staircase(8, 40, gap=100).generate()
+        session = OnlineSession(8, 3, seed=5)
+        _drive(session, values, 0, 10)
+        session._m2 -= 10_000  # all BOTTOM members now violate
+        session.observe(values[10])
+        assert valid_topk_set(values[10], session.topk, 3)
+
+    def test_extremes_corruption_forces_reset_not_wrong_answer(self):
+        """Garbage T+/T- can cause a spurious reset but never a wrong set."""
+        values = random_walk(8, 80, seed=6, step_size=3, spread=60).generate()
+        session = OnlineSession(8, 3, seed=7)
+        _drive(session, values, 0, 40)
+        session._t_plus = session._t_minus - 1  # inconsistent pair
+        # A violation may or may not occur in the next steps; whenever the
+        # handler runs it sees T+ < T- and resets.  Either way answers stay
+        # valid at every step.
+        for t in range(40, 80):
+            session.observe(values[t])
+            assert valid_topk_set(values[t], session.topk, 3)
+
+
+class TestRecoveryCost:
+    def test_healing_costs_one_reset_not_a_restart(self):
+        """Self-healing is O(k log n), far below re-initializing all n nodes."""
+        n = 256
+        values = staircase(n, 30, gap=100).generate()
+        session = OnlineSession(n, 4, seed=8)
+        _drive(session, values, 0, 10)
+        before = session.ledger.total
+        session._sides[n - 1] = False  # corrupt
+        session.observe(values[10])
+        healing_cost = session.ledger.total - before
+        # one reset ~ (k+1) protocol sweeps; far below polling all n nodes
+        assert healing_cost < 3 * (4 + 1) * (2 * np.log2(n) + 3)
+        assert healing_cost < n

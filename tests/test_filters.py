@@ -1,0 +1,130 @@
+"""Tests for filter intervals and the Lemma 2.2 validity predicate."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.filters import Filter, FilterSet, filters_from_sides
+from repro.errors import ConfigurationError
+from repro.types import Side
+
+
+class TestFilter:
+    def test_contains_closed_bounds(self):
+        f = Filter.make(2, 5)
+        assert f.contains(2) and f.contains(5) and f.contains(3)
+        assert not f.contains(1) and not f.contains(6)
+
+    def test_half_integer_bounds(self):
+        f = Filter.top(Fraction(7, 2))
+        assert f.contains(4)
+        assert not f.contains(3)
+
+    def test_infinite_sides(self):
+        assert Filter.top(10).contains(10**18)
+        assert Filter.bottom(10).contains(-(10**18))
+        assert Filter.unbounded().contains(0)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Filter.make(5, 4)
+
+    def test_violated_by(self):
+        assert Filter.top(3).violated_by(2)
+        assert not Filter.top(3).violated_by(3)
+
+    def test_str(self):
+        assert str(Filter.make(1, None)) == "[1, +inf]"
+
+
+class TestFilterSetValidity:
+    def test_lemma22_textbook_case(self):
+        # values: node0=10 (top-1), node1=5, node2=3; boundary at 7.
+        fs = FilterSet([Filter.top(7), Filter.bottom(7), Filter.bottom(7)])
+        assert fs.is_valid([0], k=1)
+        assert fs.is_valid_for_values([10, 5, 3], k=1)
+
+    def test_overlapping_filters_invalid(self):
+        fs = FilterSet([Filter.top(5), Filter.bottom(7), Filter.bottom(7)])
+        assert not fs.is_valid([0], k=1)
+
+    def test_shared_boundary_point_allowed(self):
+        # Lemma 2.2 allows touching at a single point.
+        fs = FilterSet([Filter.top(7), Filter.bottom(7)])
+        assert fs.is_valid([0], k=1)
+
+    def test_containment_required(self):
+        fs = FilterSet([Filter.top(7), Filter.bottom(7)])
+        # node 0 value dropped below its filter: containment fails.
+        assert not fs.is_valid_for_values([6, 3], k=1)
+
+    def test_tie_at_boundary_either_choice(self):
+        # Two nodes tied at the k-th value: filters protecting either are OK.
+        fs = FilterSet([Filter.top(5), Filter.bottom(5), Filter.bottom(5)])
+        assert fs.is_valid_for_values([5, 5, 1], k=1)
+
+    def test_wrong_cardinality(self):
+        fs = FilterSet([Filter.top(7), Filter.bottom(7)])
+        assert not fs.is_valid([0, 1], k=1)
+
+    def test_degenerate_all_topk(self):
+        fs = FilterSet([Filter.unbounded(), Filter.unbounded()])
+        assert fs.is_valid([0, 1], k=2)
+
+    def test_violations_lists_ids(self):
+        fs = FilterSet([Filter.top(7), Filter.bottom(7), Filter.bottom(7)])
+        assert fs.violations([6, 9, 3]) == [0, 1]
+
+    def test_empty_filterset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FilterSet([])
+
+
+class TestFiltersFromSides:
+    def test_two_sided_family(self):
+        fs = filters_from_sides([Side.TOP, Side.BOTTOM, Side.TOP], Fraction(9, 2))
+        assert fs[0].lo == Fraction(9, 2) and fs[0].hi is None
+        assert fs[1].hi == Fraction(9, 2) and fs[1].lo is None
+
+
+@st.composite
+def _rows_and_k(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    row = draw(st.lists(st.integers(0, 100), min_size=n, max_size=n))
+    k = draw(st.integers(min_value=1, max_value=n - 1))
+    return row, k
+
+
+class TestLemma22Property:
+    """Property: midpoint filters built from the true top-k are always valid."""
+
+    @given(_rows_and_k())
+    def test_midpoint_filters_valid(self, case):
+        row, k = case
+        arr = np.asarray(row)
+        order = np.lexsort((np.arange(arr.size), -arr))
+        sides = [Side.BOTTOM] * arr.size
+        for i in order[:k]:
+            sides[int(i)] = Side.TOP
+        v_k, v_k1 = int(arr[order[k - 1]]), int(arr[order[k]])
+        bound = Fraction(v_k + v_k1, 2)
+        fs = filters_from_sides(sides, bound)
+        assert fs.is_valid([int(i) for i in order[:k]], k=k)
+        assert fs.is_valid_for_values(row, k=k)
+
+    @given(_rows_and_k())
+    def test_lemma22_iff_direction(self, case):
+        """is_valid agrees with the brute-force Lemma 2.2 statement."""
+        row, k = case
+        arr = np.asarray(row)
+        order = np.lexsort((np.arange(arr.size), -arr))
+        topk = [int(i) for i in order[:k]]
+        # Random-ish but deterministic interval construction around values.
+        filters = [Filter.make(int(v) - (i % 3), int(v) + ((i * 7) % 5)) for i, v in enumerate(row)]
+        fs = FilterSet(filters)
+        min_top_lower = min(filters[i].lower for i in topk)
+        max_bot_upper = max(filters[j].upper for j in range(arr.size) if j not in topk)
+        assert fs.is_valid(topk, k=k) == (min_top_lower >= max_bot_upper)

@@ -1,0 +1,149 @@
+"""Tests for growth fitting, JSON persistence, and the top-level CLI."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fits import (
+    classify_growth,
+    fit_constant,
+    fit_linear,
+    fit_log,
+    fit_power,
+)
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.persist import (
+    load_outputs,
+    output_from_dict,
+    output_to_dict,
+    save_outputs,
+)
+from repro.experiments.spec import ExperimentOutput
+from repro.util.tables import Table
+from repro.__main__ import main as cli_main
+
+
+class TestFits:
+    def test_constant_series(self):
+        xs = [1, 2, 4, 8]
+        assert classify_growth(xs, [5, 5, 5, 5]) == "constant"
+
+    def test_log_series(self):
+        xs = [2**e for e in range(2, 10)]
+        ys = [3 * np.log2(x) + 1 for x in xs]
+        assert classify_growth(xs, ys) == "log"
+        fit = fit_log(xs, ys)
+        assert fit.params[0] == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_linear_series(self):
+        xs = [1, 2, 3, 4, 5, 10, 20]
+        ys = [2 * x + 3 for x in xs]
+        assert classify_growth(xs, ys) == "linear"
+
+    def test_power_series(self):
+        xs = [2**e for e in range(1, 9)]
+        ys = [0.5 * x**1.7 for x in xs]
+        fit = fit_power(xs, ys)
+        assert fit.params[0] == pytest.approx(1.7, rel=1e-6)
+        assert classify_growth(xs, ys) == "power"
+
+    def test_noise_does_not_upgrade_constant(self):
+        rng = np.random.default_rng(0)
+        xs = [2**e for e in range(2, 10)]
+        ys = 10 + rng.normal(0, 0.05, len(xs))
+        assert classify_growth(xs, ys.tolist()) == "constant"
+
+    def test_unclassified(self):
+        rng = np.random.default_rng(1)
+        xs = list(range(1, 11))
+        ys = rng.normal(0, 100, 10).tolist()
+        assert classify_growth(xs, ys) == "unclassified"
+
+    def test_predict_roundtrip(self):
+        fit = fit_linear([1, 2, 3], [2, 4, 6])
+        assert fit.predict(np.array([10.0]))[0] == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_log([0, 1], [1, 2])
+        with pytest.raises(ConfigurationError):
+            fit_power([1, 2], [0, 1])
+        with pytest.raises(ConfigurationError):
+            fit_constant([1], [2])
+
+    @given(st.floats(0.5, 5.0), st.floats(0.1, 10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_power_recovery_property(self, a, b):
+        xs = np.array([2.0**e for e in range(1, 8)])
+        ys = b * xs**a
+        fit = fit_power(xs, ys)
+        assert fit.params[0] == pytest.approx(a, rel=1e-6)
+        assert fit.params[1] == pytest.approx(b, rel=1e-6)
+
+
+class TestPersist:
+    def _sample_output(self):
+        out = ExperimentOutput(exp_id="e3", title="T", claim="C")
+        t = Table(["n", "mean"], title="tbl")
+        t.add_row([16, 3.4])
+        out.tables.append(t)
+        out.figures.append("ascii fig")
+        out.check("claim-x", "obs-x", True)
+        return out
+
+    def test_roundtrip_dict(self):
+        out = self._sample_output()
+        back = output_from_dict(output_to_dict(out))
+        assert back.exp_id == out.exp_id
+        assert back.tables[0].rows == out.tables[0].rows
+        assert back.findings == out.findings
+        assert back.passed
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_outputs([self._sample_output()], path, scale="smoke")
+        scale, outputs = load_outputs(path)
+        assert scale == "smoke"
+        assert outputs[0].exp_id == "e3"
+
+    def test_schema_rejection(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 999, "scale": "smoke", "experiments": []}')
+        with pytest.raises(ExperimentError):
+            load_outputs(path)
+
+    def test_cli_json_flag(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main as exp_main
+
+        path = tmp_path / "out.json"
+        assert exp_main(["e3", "--scale", "smoke", "--json", str(path)]) == 0
+        scale, outputs = load_outputs(path)
+        assert scale == "smoke" and outputs[0].exp_id == "e3"
+
+
+class TestTopLevelCli:
+    def test_list_workloads(self, capsys):
+        assert cli_main(["--list-workloads"]) == 0
+        assert "random_walk" in capsys.readouterr().out
+
+    def test_basic_run(self, capsys):
+        code = cli_main(["--workload", "staircase", "--n", "8", "--k", "2", "--steps", "50", "--audit"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cost breakdown" in out
+        assert "TopKMonitor(n=8, k=2)" in out
+
+    def test_compare_and_opt(self, capsys):
+        code = cli_main(
+            ["--workload", "random_walk", "--n", "10", "--k", "3", "--steps", "120", "--compare", "--opt"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline comparison" in out
+        assert "offline OPT epochs" in out
+
+    def test_unknown_workload(self, capsys):
+        assert cli_main(["--workload", "nope"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,153 @@
+"""End-to-end integration tests across modules.
+
+These tie workloads → monitor → baselines → analysis together the way the
+experiment harness does, and pin the cross-module invariants that no unit
+test can see (theorem-shaped statements measured on real runs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import competitive_bound, max_protocol_expected_bound
+from repro.analysis.competitive import competitive_outcome
+from repro.baselines import NaiveMonitor, PeriodicRecomputeMonitor, naive_message_count
+from repro.baselines.offline_opt import opt_result
+from repro.core.events import StepKind
+from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.model.message import NODE_PHASES, MessageKind, message_size_bits
+from repro.model.transport import RecordingTransport
+from repro.streams import (
+    WorkloadResult,
+    crossing_pair,
+    get_workload,
+    random_walk,
+    sensor_field,
+)
+
+
+class TestTheorem33Shape:
+    """Measured competitive ratios respect the Theorem 3.3/4.4 structure."""
+
+    def test_ratio_below_constant_times_bound(self):
+        hidden_constants = []
+        for seed in range(5):
+            values = random_walk(16, 400, seed=seed, step_size=5, spread=100).generate()
+            oc = competitive_outcome(values, 4, seed=seed + 50)
+            hidden_constants.append(oc.normalized)
+        assert max(hidden_constants) <= 12.0
+
+    def test_handler_calls_per_epoch_bounded_by_log_delta(self):
+        """Between OPT communications: at most O(log Δ) handler calls."""
+        values = random_walk(12, 500, seed=3, step_size=4, spread=50).generate()
+        res = TopKMonitor(n=12, k=4, seed=4).run(values)
+        opt = opt_result(values, 4)
+        delta = WorkloadResult(spec=None, values=values).delta(4)
+        per_epoch_budget = np.log2(max(2, delta)) + 2
+        # average handler calls per epoch must respect the budget shape
+        assert res.handler_calls / opt.epochs <= 2 * per_epoch_budget
+
+    def test_resets_at_most_epochs_plus_one(self):
+        """A reset implies the top-k set changed, which ends an OPT epoch."""
+        for seed in (0, 1, 2):
+            values = random_walk(10, 300, seed=seed, step_size=6, spread=40).generate()
+            res = TopKMonitor(n=10, k=3, seed=seed).run(values)
+            opt = opt_result(values, 3)
+            assert res.resets <= opt.epochs + 1, f"seed {seed}"
+
+
+class TestMessageModel:
+    def test_all_payloads_fit_size_budget(self):
+        """No protocol message carries more than O(log n + log maxv) bits."""
+        values = random_walk(12, 150, seed=5, step_size=5, spread=30).generate()
+        cfg = MonitorConfig(record_messages=True)
+        mon = TopKMonitor(n=12, k=3, seed=6, config=cfg)
+        session = mon.session()
+        transport = session.transport
+        for t in range(values.shape[0]):
+            session.observe(values[t])
+        assert isinstance(transport, RecordingTransport)
+        budget_bits = message_size_bits(12, int(values.max()))
+        for msg in transport.messages:
+            if msg.kind is MessageKind.NODE_TO_COORD:
+                node, value = msg.payload
+                need = int(node).bit_length() + int(abs(value)).bit_length() + 1
+                assert need <= budget_bits + 8
+
+    def test_phase_attribution_complete(self):
+        values = random_walk(12, 300, seed=7, step_size=5, spread=10).generate()
+        res = TopKMonitor(n=12, k=3, seed=8).run(values)
+        assert sum(res.ledger.by_phase.values()) == res.total_messages
+        # node messages come only from protocol phases
+        node_msgs = res.ledger.node_messages()
+        assert node_msgs == sum(res.ledger.by_phase[p] for p in NODE_PHASES)
+
+    def test_broadcasts_are_broadcast_kind(self):
+        from repro.model.message import Phase
+
+        values = random_walk(8, 200, seed=9, step_size=5, spread=10).generate()
+        res = TopKMonitor(n=8, k=2, seed=10).run(values)
+        bc_phases = (
+            Phase.PROTOCOL_START,
+            Phase.PROTOCOL_ROUND,
+            Phase.RESET_BROADCAST,
+            Phase.MIDPOINT_BROADCAST,
+        )
+        assert res.ledger.broadcasts() == sum(res.ledger.by_phase[p] for p in bc_phases)
+
+
+class TestCrossAlgorithmAgreement:
+    """All correct monitors agree on every instance (up to ties)."""
+
+    @pytest.mark.parametrize(
+        "workload,kwargs",
+        [("random_walk", dict(spread=60)), ("sensor_field", {}), ("iid_uniform", {})],
+    )
+    def test_monitors_agree(self, workload, kwargs):
+        values = get_workload(workload, 10, 150, seed=11, **kwargs).generate()
+        k = 3
+        alg1 = TopKMonitor(n=10, k=k, seed=12).run(values)
+        naive = NaiveMonitor(10, k).run(values)
+        periodic = PeriodicRecomputeMonitor(10, k, seed=13).run(values)
+        for t in range(values.shape[0]):
+            row = values[t]
+            for res in (alg1, naive, periodic):
+                members = res.topk_history[t]
+                mask = np.zeros(10, dtype=bool)
+                mask[members] = True
+                assert row[mask].min() >= row[~mask].max()
+
+    def test_cost_ordering_on_smooth_workload(self):
+        """naive >> periodic >> algorithm1 on filter-friendly inputs.
+
+        The classical recompute beats naive only when its per-step cost
+        k·log n is below the ~n values changing per step, so use n >> k.
+        """
+        values = random_walk(256, 300, seed=14, step_size=2, spread=200).generate()
+        naive = naive_message_count(values)
+        periodic = PeriodicRecomputeMonitor(256, 2, seed=15).run(values).total_messages
+        alg1 = TopKMonitor(n=256, k=2, seed=16).run(values).total_messages
+        assert alg1 < periodic < naive
+
+
+class TestTheorem42Integration:
+    def test_reset_cost_shape(self):
+        """A reset costs ~ (k+1) protocol runs: measure on a forced reset."""
+        k, n = 5, 64
+        values = crossing_pair(n, 60, k=k, period=30, delta=64, seed=0).generate()
+        res = TopKMonitor(n=n, k=k, seed=17).run(values)
+        resets = [e for e in res.events if e.kind in (StepKind.HANDLER_RESET, StepKind.INIT_RESET)]
+        bound_per_protocol = max_protocol_expected_bound(n) + np.log2(n) + 2
+        for event in resets:
+            # generous stochastic envelope: (k+1) protocols + handler + bcasts
+            assert event.messages <= 4 * (k + 2) * bound_per_protocol
+
+    def test_quiet_dominates_on_separated_workload(self):
+        values = sensor_field(24, 500, base_spread=2000, noise=3, drift_strength=0.5, seed=18).generate()
+        res = TopKMonitor(n=24, k=4, seed=19).run(values)
+        assert res.quiet_steps >= 0.7 * res.steps
+
+    def test_bound_formula_consistency(self):
+        oc = competitive_outcome(
+            random_walk(16, 200, seed=20, step_size=4, spread=120).generate(), 4, seed=21
+        )
+        assert oc.bound == pytest.approx(competitive_bound(oc.delta, 4, 16))

@@ -1,0 +1,116 @@
+"""Unit and property tests for exact integer math helpers."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.util.intmath import (
+    ceil_log2,
+    floor_log2,
+    halvings_to_close,
+    is_power_of_two,
+    midpoint,
+    next_power_of_two,
+)
+
+
+class TestFloorCeilLog2:
+    def test_powers_of_two_agree(self):
+        for e in range(0, 70):
+            x = 1 << e
+            assert floor_log2(x) == e
+            assert ceil_log2(x) == e
+
+    def test_between_powers(self):
+        assert floor_log2(5) == 2
+        assert ceil_log2(5) == 3
+        assert floor_log2(1023) == 9
+        assert ceil_log2(1023) == 10
+
+    def test_one(self):
+        assert floor_log2(1) == 0
+        assert ceil_log2(1) == 0
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ConfigurationError):
+            floor_log2(bad)
+        with pytest.raises(ConfigurationError):
+            ceil_log2(bad)
+
+    def test_huge_values_exact(self):
+        # Float log2 would misround near 2**53; ours must not.
+        x = (1 << 53) + 1
+        assert floor_log2(x) == 53
+        assert ceil_log2(x) == 54
+
+    @given(st.integers(min_value=1, max_value=1 << 80))
+    def test_sandwich_property(self, x):
+        f, c = floor_log2(x), ceil_log2(x)
+        assert (1 << f) <= x <= (1 << c)
+        assert c - f in (0, 1)
+        assert (c == f) == is_power_of_two(x)
+
+
+class TestNextPowerOfTwo:
+    @given(st.integers(min_value=1, max_value=1 << 60))
+    def test_minimality(self, x):
+        p = next_power_of_two(x)
+        assert is_power_of_two(p)
+        assert p >= x
+        assert p // 2 < x
+
+    def test_small_inputs(self):
+        assert next_power_of_two(0) == 1
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+
+
+class TestIsPowerOfTwo:
+    def test_examples(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-2)
+        assert not is_power_of_two(6)
+
+
+class TestMidpoint:
+    def test_exact_half_integers(self):
+        assert midpoint(3, 4) == Fraction(7, 2)
+        assert midpoint(10, 10) == Fraction(10)
+
+    def test_fraction_inputs(self):
+        assert midpoint(Fraction(1, 2), Fraction(3, 2)) == Fraction(1)
+
+    @given(st.integers(-(10**12), 10**12), st.integers(-(10**12), 10**12))
+    def test_between_endpoints(self, a, b):
+        lo, hi = sorted((a, b))
+        m = midpoint(lo, hi)
+        assert Fraction(lo) <= m <= Fraction(hi)
+        # midpoint is equidistant
+        assert m - Fraction(lo) == Fraction(hi) - m
+
+
+class TestHalvings:
+    def test_closed_form(self):
+        assert halvings_to_close(1) == 0
+        assert halvings_to_close(2) == 1
+        assert halvings_to_close(1024) == 10
+        assert halvings_to_close(1025) == 11
+
+    def test_floor_gap(self):
+        assert halvings_to_close(100, floor_gap=25) == 2
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(ConfigurationError):
+            halvings_to_close(10, floor_gap=0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_matches_ceil_log2(self, gap):
+        # halvings to reach <= 1 is exactly ceil(log2(gap)).
+        assert halvings_to_close(gap) == ceil_log2(gap)

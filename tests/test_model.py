@@ -1,0 +1,124 @@
+"""Tests for the communication-model substrate (messages, ledger, transports)."""
+
+import numpy as np
+import pytest
+
+from repro.model.ledger import MessageLedger
+from repro.model.message import Message, MessageKind, Phase, message_size_bits
+from repro.model.transport import CountingTransport, RecordingTransport
+
+
+class TestMessage:
+    def test_node_to_coord_valid(self):
+        m = Message(MessageKind.NODE_TO_COORD, Phase.OTHER, src=3, dst=-1, payload=(3, 7), time=0)
+        assert m.cost == 1
+
+    def test_node_to_coord_invalid(self):
+        with pytest.raises(ValueError):
+            Message(MessageKind.NODE_TO_COORD, Phase.OTHER, src=-1, dst=-1, payload=None, time=0)
+        with pytest.raises(ValueError):
+            Message(MessageKind.NODE_TO_COORD, Phase.OTHER, src=1, dst=2, payload=None, time=0)
+
+    def test_coord_to_node_invalid(self):
+        with pytest.raises(ValueError):
+            Message(MessageKind.COORD_TO_NODE, Phase.OTHER, src=0, dst=1, payload=None, time=0)
+
+    def test_broadcast_origin(self):
+        with pytest.raises(ValueError):
+            Message(MessageKind.BROADCAST, Phase.OTHER, src=2, dst=-1, payload=None, time=0)
+
+    def test_size_model_logarithmic(self):
+        small = message_size_bits(8, 100)
+        big = message_size_bits(8 * 1024, 100 * 2**20)
+        assert small < big
+        assert big <= 2 * small + 40  # grows additively in the exponents
+
+
+class TestLedger:
+    def test_charge_accumulates(self):
+        led = MessageLedger()
+        led.charge(MessageKind.NODE_TO_COORD, Phase.VIOLATION_MIN, 3)
+        led.charge(MessageKind.BROADCAST, Phase.MIDPOINT_BROADCAST)
+        assert led.total == 4
+        assert led.node_messages() == 3
+        assert led.broadcasts() == 1
+        assert led.phase_total(Phase.VIOLATION_MIN) == 3
+
+    def test_charge_zero_noop(self):
+        led = MessageLedger()
+        led.charge(MessageKind.BROADCAST, Phase.OTHER, 0)
+        assert led.total == 0
+        assert not led.by_kind
+
+    def test_charge_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MessageLedger().charge(MessageKind.BROADCAST, Phase.OTHER, -1)
+
+    def test_series_per_step(self):
+        led = MessageLedger(track_series=True)
+        led.begin_step(0)
+        led.charge(MessageKind.BROADCAST, Phase.OTHER, 2)
+        led.begin_step(1)  # quiet step
+        led.begin_step(2)
+        led.charge(MessageKind.BROADCAST, Phase.OTHER, 5)
+        led.end_run()
+        steps, counts = led.series
+        assert steps.tolist() == [0, 1, 2]
+        assert counts.tolist() == [2, 0, 5]
+
+    def test_snapshot_delta(self):
+        led = MessageLedger()
+        led.charge(MessageKind.BROADCAST, Phase.OTHER, 2)
+        snap1 = led.snapshot()
+        led.charge(MessageKind.NODE_TO_COORD, Phase.BASELINE, 3)
+        delta = led.snapshot() - snap1
+        assert delta.total == 3
+        assert delta.by_kind == {MessageKind.NODE_TO_COORD: 3}
+
+    def test_merge(self):
+        a, b = MessageLedger(), MessageLedger()
+        a.charge(MessageKind.BROADCAST, Phase.OTHER, 1)
+        b.charge(MessageKind.BROADCAST, Phase.OTHER, 2)
+        a.merge(b)
+        assert a.total == 3
+
+
+class TestTransports:
+    def test_counting_transport_cheap(self):
+        tr = CountingTransport()
+        tr.set_time(5)
+        tr.node_to_coord(1, (1, 10), Phase.VIOLATION_MAX)
+        tr.broadcast("m", Phase.MIDPOINT_BROADCAST)
+        tr.coord_to_node(2, "f", Phase.BASELINE)
+        assert tr.ledger.total == 3
+
+    def test_recording_transport_stores_messages(self):
+        tr = RecordingTransport()
+        tr.set_time(7)
+        tr.node_to_coord(4, (4, 99), Phase.VIOLATION_MIN)
+        tr.broadcast(("midpoint", 10), Phase.MIDPOINT_BROADCAST)
+        assert len(tr.messages) == 2
+        assert tr.messages[0].time == 7
+        assert tr.of_kind(MessageKind.BROADCAST)[0].payload == ("midpoint", 10)
+        assert tr.of_phase(Phase.VIOLATION_MIN)[0].src == 4
+
+    def test_recording_transport_cap(self):
+        tr = RecordingTransport(max_messages=2)
+        tr.broadcast(1, Phase.OTHER)
+        tr.broadcast(2, Phase.OTHER)
+        with pytest.raises(MemoryError):
+            tr.broadcast(3, Phase.OTHER)
+
+    def test_ledger_agreement_between_transports(self):
+        """Counting and recording transports charge identically."""
+        ops = [
+            ("node_to_coord", (1, "x", Phase.VIOLATION_MAX)),
+            ("broadcast", ("b", Phase.PROTOCOL_ROUND)),
+            ("coord_to_node", (0, "f", Phase.BASELINE)),
+            ("broadcast", ("c", Phase.RESET_BROADCAST)),
+        ]
+        c, r = CountingTransport(), RecordingTransport()
+        for name, args in ops:
+            getattr(c, name)(*args)
+            getattr(r, name)(*args)
+        assert c.ledger.snapshot() == r.ledger.snapshot()

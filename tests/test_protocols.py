@@ -1,0 +1,197 @@
+"""Tests for Algorithm 2 (maximum / minimum protocols).
+
+Covers the Las-Vegas correctness invariant (I3), tie-breaking, message
+accounting, the Theorem 4.2 expectation bound (I7, statistically), and the
+randomness convention.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocols import (
+    ProtocolConfig,
+    maximum_protocol,
+    minimum_protocol,
+)
+from repro.errors import ConfigurationError
+from repro.model.message import MessageKind, Phase
+from repro.model.transport import RecordingTransport
+from repro.util.intmath import ceil_log2
+from repro.util.seeding import derive_rng
+
+
+def _rng(seed=0):
+    return derive_rng(seed, 0)
+
+
+class TestCorrectness:
+    def test_exact_maximum_small(self):
+        vals = np.array([5, 9, 1, 7])
+        out = maximum_protocol(np.arange(4), vals, 4, _rng())
+        assert out.value == 9
+        assert out.winner == 1
+
+    def test_exact_minimum_small(self):
+        vals = np.array([5, 9, 1, 7])
+        out = minimum_protocol(np.arange(4), vals, 4, _rng())
+        assert out.value == 1
+        assert out.winner == 2
+
+    def test_single_participant(self):
+        out = maximum_protocol([3], [42], 1, _rng())
+        assert out.value == 42 and out.winner == 3
+        assert out.node_messages == 1
+
+    def test_empty_participants_returns_none(self):
+        assert maximum_protocol([], [], 5, _rng()) is None
+
+    def test_tie_breaks_to_lowest_id(self):
+        ids = np.array([9, 2, 5])
+        vals = np.array([100, 100, 100])
+        for seed in range(25):
+            out = maximum_protocol(ids, vals, 3, _rng(seed))
+            assert out.value == 100
+            assert out.winner == 2
+
+    @given(
+        st.lists(st.integers(-(10**9), 10**9), min_size=1, max_size=40),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_las_vegas_property(self, vals, seed):
+        """I3: every input, every seed — the exact max is returned."""
+        arr = np.asarray(vals, dtype=np.int64)
+        ids = np.arange(arr.size)
+        out = maximum_protocol(ids, arr, arr.size, _rng(seed))
+        assert out.value == int(arr.max())
+        best_ids = ids[arr == arr.max()]
+        assert out.winner == int(best_ids.min())
+
+    @given(
+        st.lists(st.integers(-(10**9), 10**9), min_size=1, max_size=40),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_min_protocol_mirror(self, vals, seed):
+        arr = np.asarray(vals, dtype=np.int64)
+        out = minimum_protocol(np.arange(arr.size), arr, arr.size, _rng(seed))
+        assert out.value == int(arr.min())
+
+    def test_upper_bound_larger_than_participants(self):
+        # The paper's Alg-1 calls use N = k or N = n-k with fewer violators.
+        out = maximum_protocol([0, 1], [4, 8], 64, _rng())
+        assert out.value == 8
+
+    def test_rounds_bound(self):
+        for n in (1, 2, 3, 7, 16, 100):
+            vals = np.arange(n)
+            out = maximum_protocol(np.arange(n), vals, n, _rng(1))
+            assert out.rounds <= ceil_log2(max(2, n)) + 1
+
+
+class TestValidation:
+    def test_mismatched_shapes(self):
+        with pytest.raises(ConfigurationError):
+            maximum_protocol([1, 2], [3], 2, _rng())
+
+    def test_duplicate_ids(self):
+        with pytest.raises(ConfigurationError):
+            maximum_protocol([1, 1], [3, 4], 2, _rng())
+
+    def test_upper_bound_too_small(self):
+        with pytest.raises(ConfigurationError):
+            maximum_protocol([0, 1, 2], [1, 2, 3], 2, _rng())
+
+
+class TestAccounting:
+    def test_transport_messages_match_outcome(self):
+        tr = RecordingTransport()
+        out = maximum_protocol(np.arange(16), np.arange(16), 16, _rng(3), tr, phase=Phase.HANDLER_MAX)
+        sent = tr.of_kind(MessageKind.NODE_TO_COORD)
+        assert len(sent) == out.node_messages
+        bcasts = [m for m in tr.of_kind(MessageKind.BROADCAST) if m.phase is Phase.PROTOCOL_ROUND]
+        assert len(bcasts) == out.broadcasts
+
+    def test_start_broadcast_charged_when_coordinator_initiated(self):
+        tr = RecordingTransport()
+        maximum_protocol(np.arange(4), np.arange(4), 4, _rng(), tr, coordinator_initiated=True)
+        starts = tr.of_phase(Phase.PROTOCOL_START)
+        assert len(starts) == 1
+
+    def test_start_broadcast_suppressed_by_config(self):
+        tr = RecordingTransport()
+        cfg = ProtocolConfig(charge_start_broadcast=False)
+        maximum_protocol(np.arange(4), np.arange(4), 4, _rng(), tr, coordinator_initiated=True, config=cfg)
+        assert not tr.of_phase(Phase.PROTOCOL_START)
+
+    def test_broadcast_every_round_at_least_on_improvement(self):
+        cfg = ProtocolConfig(broadcast_every_round=True)
+        a = maximum_protocol(np.arange(32), np.arange(32), 32, _rng(5), config=cfg)
+        b = maximum_protocol(np.arange(32), np.arange(32), 32, _rng(5))
+        assert a.broadcasts >= b.broadcasts
+        assert a.value == b.value
+
+    def test_message_payload_is_id_value_pair(self):
+        tr = RecordingTransport()
+        vals = np.array([10, 30, 20])
+        maximum_protocol(np.arange(3), vals, 3, _rng(), tr)
+        for m in tr.of_kind(MessageKind.NODE_TO_COORD):
+            nid, v = m.payload
+            assert vals[nid] == v
+
+
+class TestExpectationBound:
+    """Theorem 4.2: E[node messages] <= 2 log2 N + 1 (statistical check)."""
+
+    @pytest.mark.parametrize("n", [4, 16, 64, 256])
+    def test_mean_below_bound(self, n):
+        reps = 400
+        vals = np.arange(n, dtype=np.int64)  # sorted ascending = worst-ish
+        rng_master = derive_rng(777, n)
+        total = 0
+        for _ in range(reps):
+            out = maximum_protocol(np.arange(n), vals, n, rng_master)
+            total += out.node_messages
+        mean = total / reps
+        bound = 2 * np.log2(n) + 1
+        # Allow 3-sigma-ish slack: per-run variance is O(log n).
+        assert mean <= bound * 1.15, f"n={n}: mean {mean:.2f} vs bound {bound:.2f}"
+
+    def test_random_values_cheaper_than_sorted(self):
+        n, reps = 128, 200
+        rng_master = derive_rng(88, 0)
+        perm_rng = np.random.default_rng(5)
+
+        def avg(vals_factory):
+            s = 0
+            for _ in range(reps):
+                out = maximum_protocol(np.arange(n), vals_factory(), n, rng_master)
+                s += out.node_messages
+            return s / reps
+
+        sorted_mean = avg(lambda: np.arange(n))
+        rand_mean = avg(lambda: perm_rng.permutation(n))
+        bound = 2 * np.log2(n) + 1
+        assert rand_mean <= bound * 1.15
+        assert sorted_mean <= bound * 1.15
+
+
+class TestDeterminism:
+    def test_same_seed_same_counts(self):
+        vals = np.random.default_rng(1).permutation(100)
+        a = maximum_protocol(np.arange(100), vals, 100, _rng(42))
+        b = maximum_protocol(np.arange(100), vals, 100, _rng(42))
+        assert (a.node_messages, a.broadcasts, a.rounds) == (b.node_messages, b.broadcasts, b.rounds)
+
+    def test_id_order_invariance_of_result(self):
+        """Participants given in any order produce the same winner/value."""
+        vals = np.array([4, 9, 9, 1])
+        ids = np.array([7, 3, 5, 2])
+        out1 = maximum_protocol(ids, vals, 4, _rng(9))
+        shuffle = np.array([2, 0, 3, 1])
+        out2 = maximum_protocol(ids[shuffle], vals[shuffle], 4, _rng(9))
+        assert (out1.winner, out1.value) == (out2.winner, out2.value)
+        # Same canonical order => same coin stream => same counts.
+        assert out1.node_messages == out2.node_messages

@@ -1,0 +1,221 @@
+"""Tests for repeated-max selection and the full Algorithm 1 monitor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import StepKind, valid_topk_set
+from repro.core.monitor import MonitorConfig, OnlineSession, TopKMonitor
+from repro.core.selection import select_top_k
+from repro.errors import ConfigurationError
+from repro.model.message import Phase
+from repro.streams import crossing_pair, random_walk, staircase
+from repro.util.seeding import derive_rng
+
+from tests.conftest import is_valid_topk, true_topk
+
+
+def _rng(seed=0):
+    return derive_rng(seed, 0)
+
+
+class TestSelection:
+    def test_orders_by_rank(self):
+        vals = np.array([10, 50, 30, 40, 20])
+        sel = select_top_k(np.arange(5), vals, 3, _rng())
+        assert sel.winners == (1, 3, 2)
+        assert sel.values == (50, 40, 30)
+
+    def test_full_selection(self):
+        vals = np.array([3, 1, 2])
+        sel = select_top_k(np.arange(3), vals, 3, _rng())
+        assert sel.values == (3, 2, 1)
+
+    def test_ties_lowest_id_first(self):
+        vals = np.array([5, 5, 5])
+        sel = select_top_k(np.arange(3), vals, 2, _rng())
+        assert sel.winners == (0, 1)
+
+    def test_invalid_m(self):
+        with pytest.raises(ConfigurationError):
+            select_top_k(np.arange(3), np.arange(3), 4, _rng())
+        with pytest.raises(ConfigurationError):
+            select_top_k(np.arange(3), np.arange(3), 0, _rng())
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_selection_matches_sort(self, seed):
+        rng_vals = np.random.default_rng(seed)
+        n = int(rng_vals.integers(2, 20))
+        vals = rng_vals.integers(0, 50, n)
+        m = int(rng_vals.integers(1, n + 1))
+        sel = select_top_k(np.arange(n), vals, m, _rng(seed))
+        expect = sorted(range(n), key=lambda i: (-vals[i], i))[:m]
+        assert list(sel.winners) == expect
+
+
+class TestMonitorBasics:
+    def test_static_staircase_only_init_messages(self, static_matrix):
+        res = TopKMonitor(n=8, k=3, seed=1, config=MonitorConfig(audit=True)).run(static_matrix)
+        assert res.resets == 1  # only the t=0 initialization
+        assert res.handler_calls == 0
+        init_msgs = res.events[0].messages
+        assert res.total_messages == init_msgs
+        assert res.quiet_steps == static_matrix.shape[0] - 1
+
+    def test_reports_true_topk_on_separated_workload(self, static_matrix):
+        res = TopKMonitor(n=8, k=2, seed=1).run(static_matrix)
+        for t in range(static_matrix.shape[0]):
+            assert res.topk_at(t) == true_topk(static_matrix[t], 2)
+
+    def test_audit_passes_on_walks(self, small_walk):
+        cfg = MonitorConfig(audit=True)
+        res = TopKMonitor(n=12, k=4, seed=3, config=cfg).run(small_walk)
+        assert res.audit_failures == 0
+        assert res.steps == small_walk.shape[0]
+
+    def test_validity_post_hoc(self, tight_walk):
+        res = TopKMonitor(n=10, k=3, seed=3).run(tight_walk)
+        from repro.core.events import MonitorResult
+
+        assert MonitorResult.check_history(res.topk_history, tight_walk, 3) == 0
+
+    def test_trivial_k_equals_n(self):
+        values = random_walk(n=5, steps=50, seed=0).generate()
+        res = TopKMonitor(n=5, k=5, seed=0, config=MonitorConfig(audit=True)).run(values)
+        assert res.total_messages == 0
+        assert res.topk_at(10) == {0, 1, 2, 3, 4}
+
+    def test_k1_and_k_n_minus_1(self):
+        values = random_walk(n=6, steps=200, seed=2, step_size=5).generate()
+        for k in (1, 5):
+            res = TopKMonitor(n=6, k=k, seed=4, config=MonitorConfig(audit=True)).run(values)
+            assert res.audit_failures == 0
+
+    def test_input_validation(self):
+        mon = TopKMonitor(n=4, k=2)
+        with pytest.raises(Exception):
+            mon.run(np.zeros((10, 3), dtype=np.int64))  # wrong width
+        with pytest.raises(ConfigurationError):
+            TopKMonitor(n=4, k=0)
+
+    def test_row_validation_in_session(self):
+        s = OnlineSession(4, 2, seed=0)
+        with pytest.raises(ConfigurationError):
+            s.observe(np.zeros(3, dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            s.observe(np.zeros(4, dtype=np.float64))
+
+
+class TestMonitorSemantics:
+    def test_two_phase_event_kinds(self):
+        # crossing pair forces resets; between swaps: quiet or midpoint steps.
+        values = crossing_pair(n=6, steps=120, k=2, period=20, delta=32, seed=0).generate()
+        res = TopKMonitor(n=6, k=2, seed=5, config=MonitorConfig(audit=True)).run(values)
+        kinds = {e.kind for e in res.events}
+        assert StepKind.INIT_RESET in kinds
+        assert StepKind.HANDLER_RESET in kinds
+        assert res.resets >= 2
+
+    def test_gap_halving_invariant(self, small_walk):
+        """I5: the tracked gap at least halves per midpoint handler call."""
+        res = TopKMonitor(n=12, k=4, seed=6).run(small_walk)
+        last_gap = None
+        for e in res.events:
+            if e.kind is StepKind.HANDLER_MIDPOINT:
+                if last_gap is not None:
+                    assert e.gap <= last_gap / 2 + 0  # exact halving or better
+                last_gap = e.gap
+            else:
+                last_gap = None  # reset reopens the gap
+
+    def test_midpoint_calls_bounded_by_log_delta(self):
+        """Between consecutive resets: at most ~log2(Delta) midpoint calls."""
+        values = random_walk(n=10, steps=400, seed=8, step_size=3, spread=60).generate()
+        res = TopKMonitor(n=10, k=3, seed=9, config=MonitorConfig(audit=True)).run(values)
+        # Compute per-reset-interval midpoint counts.
+        events = res.events
+        run = 0
+        max_run = 0
+        initial_gap = None
+        for e in events:
+            if e.kind in (StepKind.HANDLER_RESET, StepKind.INIT_RESET):
+                run = 0
+            else:
+                run += 1
+                max_run = max(max_run, run)
+        # Delta of this workload bounds the initial gap of every interval.
+        from repro.streams.base import WorkloadResult
+
+        delta = WorkloadResult(spec=None, values=values).delta(3)
+        assert max_run <= int(np.log2(max(2, delta))) + 2
+
+    def test_quiet_steps_have_zero_messages(self, small_walk):
+        cfg = MonitorConfig(track_series=True)
+        res = TopKMonitor(n=12, k=4, seed=3, config=cfg).run(small_walk)
+        steps, counts = res.ledger.series
+        event_times = {e.time for e in res.events}
+        for t, c in zip(steps.tolist(), counts.tolist()):
+            if t not in event_times:
+                assert c == 0
+
+    def test_state_trajectory_independent_of_protocol_seed(self, small_walk):
+        """I4: coin flips change message counts, never the answers."""
+        r1 = TopKMonitor(n=12, k=4, seed=100).run(small_walk)
+        r2 = TopKMonitor(n=12, k=4, seed=200).run(small_walk)
+        assert np.array_equal(r1.topk_history, r2.topk_history)
+        assert r1.reset_times() == r2.reset_times()
+        assert r1.handler_times() == r2.handler_times()
+
+    def test_same_seed_reproducible_messages(self, small_walk):
+        r1 = TopKMonitor(n=12, k=4, seed=100).run(small_walk)
+        r2 = TopKMonitor(n=12, k=4, seed=100).run(small_walk)
+        assert r1.total_messages == r2.total_messages
+        assert dict(r1.ledger.by_phase) == dict(r2.ledger.by_phase)
+
+    def test_skip_redundant_min_saves_messages_keeps_answers(self, tight_walk):
+        base = TopKMonitor(n=10, k=3, seed=50).run(tight_walk)
+        cfg = MonitorConfig(skip_redundant_min=True, audit=True)
+        skip = TopKMonitor(n=10, k=3, seed=50, config=cfg).run(tight_walk)
+        assert np.array_equal(base.topk_history, skip.topk_history)
+        assert skip.total_messages <= base.total_messages
+
+    def test_filter_set_validity_during_run(self):
+        """I2: the implied filter set satisfies Definition 2.1 at all times."""
+        values = random_walk(n=8, steps=60, seed=7, step_size=4, spread=40).generate()
+        session = OnlineSession(8, 3, seed=1)
+        for t in range(values.shape[0]):
+            session.observe(values[t])
+            fs = session.filter_set()
+            assert fs.is_valid_for_values(values[t].tolist(), k=3), f"invalid filters at t={t}"
+
+    def test_boundary_is_half_integer(self):
+        values = random_walk(n=6, steps=40, seed=3, spread=25).generate()
+        session = OnlineSession(6, 2, seed=2)
+        for t in range(values.shape[0]):
+            session.observe(values[t])
+            assert session.boundary.denominator in (1, 2)
+
+
+class TestMonitorProperty:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_audit_invariant_random_instances(self, seed):
+        """I1 under hypothesis: valid top-k at every step, any workload."""
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(2, 12))
+        k = int(gen.integers(1, n))
+        T = int(gen.integers(2, 60))
+        style = gen.integers(0, 3)
+        if style == 0:
+            values = gen.integers(0, 30, (T, n))  # heavy ties + churn
+        elif style == 1:
+            values = np.cumsum(gen.integers(-3, 4, (T, n)), axis=0) + 1000
+        else:
+            values = np.sort(gen.integers(0, 1000, (T, n)), axis=1)
+        cfg = MonitorConfig(audit=True)
+        res = TopKMonitor(n=n, k=k, seed=seed, config=cfg).run(values.astype(np.int64))
+        assert res.audit_failures == 0
+        for t in range(T):
+            assert is_valid_topk(values[t], res.topk_at(t), k)

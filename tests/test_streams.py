@@ -1,0 +1,251 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.streams import (
+    WORKLOADS,
+    adversarial_rotation,
+    bursty,
+    churn_below_boundary,
+    crossing_pair,
+    drifting_staircase,
+    get_workload,
+    iid_lognormal,
+    iid_uniform,
+    iid_zipf,
+    list_workloads,
+    random_walk,
+    replay,
+    sensor_field,
+    staircase,
+)
+from repro.streams.base import WorkloadResult
+
+
+class TestSpecBasics:
+    def test_shape_and_dtype(self):
+        m = random_walk(7, 40, seed=1).generate()
+        assert m.shape == (40, 7)
+        assert m.dtype == np.int64
+        assert m.flags.c_contiguous
+
+    def test_determinism_same_seed(self):
+        a = random_walk(5, 30, seed=9).generate()
+        b = random_walk(5, 30, seed=9).generate()
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = random_walk(5, 30, seed=1).generate()
+        b = random_walk(5, 30, seed=2).generate()
+        assert not np.array_equal(a, b)
+
+    def test_describe_mentions_params(self):
+        d = random_walk(5, 30, seed=1, spread=7).describe()
+        assert "spread=7" in d and "RandomWalk" in d
+
+    def test_params_dict(self):
+        p = iid_uniform(4, 10, low=2, high=9, seed=3).params()
+        assert p["low"] == 2 and p["high"] == 9 and p["n"] == 4
+
+    @pytest.mark.parametrize("bad_kwargs", [dict(n=0, steps=5), dict(n=3, steps=0)])
+    def test_rejects_bad_dims(self, bad_kwargs):
+        with pytest.raises(Exception):
+            random_walk(seed=0, **bad_kwargs)
+
+
+class TestIid:
+    def test_uniform_range(self):
+        m = iid_uniform(6, 100, low=10, high=20, seed=0).generate()
+        assert m.min() >= 10 and m.max() <= 20
+
+    def test_uniform_rejects_inverted_range(self):
+        with pytest.raises(WorkloadError):
+            iid_uniform(3, 5, low=5, high=4)
+
+    def test_zipf_heavy_tail(self):
+        m = iid_zipf(4, 3000, alpha=1.5, seed=1).generate()
+        assert m.min() >= 1
+        assert m.max() > 20  # heavy tail produces large draws
+
+    def test_zipf_cap(self):
+        m = iid_zipf(4, 2000, alpha=1.2, cap=50, seed=1).generate()
+        assert m.max() <= 50
+
+    def test_zipf_rejects_alpha(self):
+        with pytest.raises(WorkloadError):
+            iid_zipf(3, 5, alpha=1.0)
+
+    def test_lognormal_positive(self):
+        m = iid_lognormal(4, 200, seed=2).generate()
+        assert m.min() >= 0
+
+    def test_lognormal_rejects_sigma(self):
+        with pytest.raises(WorkloadError):
+            iid_lognormal(3, 5, sigma=0)
+
+
+class TestWalks:
+    def test_step_bound_respected(self):
+        m = random_walk(5, 200, step_size=2, seed=3).generate()
+        assert np.abs(np.diff(m, axis=0)).max() <= 2
+
+    def test_lazy_walk_moves_less(self):
+        busy = random_walk(5, 400, move_prob=1.0, seed=4).generate()
+        lazy = random_walk(5, 400, move_prob=0.1, seed=4).generate()
+        busy_moves = np.count_nonzero(np.diff(busy, axis=0))
+        lazy_moves = np.count_nonzero(np.diff(lazy, axis=0))
+        assert lazy_moves < busy_moves / 2
+
+    def test_spread_orders_start(self):
+        m = random_walk(6, 10, spread=1000, seed=5).generate()
+        assert np.all(np.diff(m[0]) == 1000)
+
+    def test_zero_step_is_constant(self):
+        m = random_walk(4, 50, step_size=0, seed=6).generate()
+        assert np.all(m == m[0])
+
+    def test_bursty_has_big_jumps(self):
+        m = bursty(8, 2000, calm_step=1, burst_step=500, burst_prob=0.05, seed=7).generate()
+        assert np.abs(np.diff(m, axis=0)).max() > 100
+
+    def test_bursty_validation(self):
+        with pytest.raises(WorkloadError):
+            bursty(3, 5, burst_prob=1.5)
+
+    def test_drifting_staircase_drifts(self):
+        m = drifting_staircase(4, 50, gap=100, rate=3, seed=8).generate()
+        # constant order, constant per-step drop
+        assert np.all(np.diff(m, axis=0) == -3)
+        assert np.all(np.diff(m[0]) == 100)
+
+    def test_drifting_staircase_noise(self):
+        m = drifting_staircase(4, 200, gap=1000, rate=3, noise=2, seed=8).generate()
+        diffs = np.diff(m, axis=0)
+        assert diffs.min() >= -3 - 4 and diffs.max() <= -3 + 4
+
+
+class TestSensor:
+    def test_diurnal_cycle_visible(self):
+        m = sensor_field(3, 576, period=288, amplitude=2000, noise=1, drift_strength=0, seed=9).generate()
+        # Column range should be dominated by the amplitude.
+        col_range = m[:, 0].max() - m[:, 0].min()
+        assert col_range > 2000
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            sensor_field(3, 5, amplitude=-1)
+
+
+class TestAdversarial:
+    def test_rotation_changes_topk_every_epoch(self):
+        spec = adversarial_rotation(6, 30, period=1, seed=0)
+        wr = WorkloadResult(spec=spec, values=spec.generate())
+        assert wr.topk_changes(2) == 29  # every step changes the set
+
+    def test_rotation_period_slows_churn(self):
+        spec = adversarial_rotation(6, 30, period=5, seed=0)
+        wr = WorkloadResult(spec=spec, values=spec.generate())
+        assert 4 <= wr.topk_changes(2) <= 6
+
+    def test_crossing_pair_swaps(self):
+        spec = crossing_pair(8, 60, k=3, period=10, delta=16, seed=0)
+        values = spec.generate()
+        wr = WorkloadResult(spec=spec, values=values)
+        assert wr.topk_changes(3) == 5  # one change per period boundary
+        # Exactly the pair columns move.
+        moving = np.flatnonzero(np.ptp(values, axis=0) > 0)
+        assert moving.tolist() == [2, 3]
+
+    def test_crossing_pair_delta_is_2delta(self):
+        spec = crossing_pair(8, 60, k=3, period=10, delta=16, seed=0)
+        wr = WorkloadResult(spec=spec, values=spec.generate())
+        assert wr.delta(3) == 2 * 16
+
+    def test_crossing_pair_validation(self):
+        with pytest.raises(WorkloadError):
+            crossing_pair(4, 10, k=3)  # n too small
+        with pytest.raises(WorkloadError):
+            crossing_pair(8, 10, k=2, delta=100, separation=50)
+
+    def test_churn_below_boundary_topk_static(self):
+        spec = churn_below_boundary(10, 50, k=3, seed=1)
+        wr = WorkloadResult(spec=spec, values=spec.generate())
+        assert wr.topk_changes(3) == 0
+        # but the bottom really churns
+        bottom = spec.generate()[:, 3:]
+        assert np.count_nonzero(np.diff(bottom, axis=0)) > 50
+
+    def test_churn_validation(self):
+        with pytest.raises(WorkloadError):
+            churn_below_boundary(10, 5, k=3, boundary_gap=10, churn_gap=10)
+
+
+class TestReplayStaircase:
+    def test_replay_roundtrip(self):
+        src = random_walk(4, 20, seed=2).generate()
+        spec = replay(src)
+        assert np.array_equal(spec.generate(), src)
+        assert spec.shape == (20, 4)
+
+    def test_replay_is_hashable_spec(self):
+        src = staircase(3, 5).generate()
+        a, b = replay(src), replay(src)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_staircase_static_and_separated(self):
+        m = staircase(5, 10, gap=50, base=100).generate()
+        assert np.all(m == m[0])
+        assert np.all(np.diff(m[0]) == 50)
+
+
+class TestWorkloadResult:
+    def test_delta_definition(self):
+        # delta(k) = max_t (v_(k) - v_(k+1))
+        values = np.array([[10, 7, 1], [9, 3, 2]], dtype=np.int64)
+        wr = WorkloadResult(spec=None, values=values)
+        assert wr.delta(1) == max(10 - 7, 9 - 3)
+        assert wr.delta(2) == max(7 - 1, 3 - 2)
+
+    def test_delta_bounds_validation(self):
+        wr = WorkloadResult(spec=None, values=np.zeros((3, 4), dtype=np.int64))
+        with pytest.raises(WorkloadError):
+            wr.delta(0)
+        with pytest.raises(WorkloadError):
+            wr.delta(4)
+
+    @given(st.integers(0, 10**4))
+    @settings(max_examples=20, deadline=None)
+    def test_delta_matches_bruteforce(self, seed):
+        gen = np.random.default_rng(seed)
+        T, n = int(gen.integers(1, 10)), int(gen.integers(2, 8))
+        values = gen.integers(0, 100, (T, n)).astype(np.int64)
+        k = int(gen.integers(1, n))
+        wr = WorkloadResult(spec=None, values=values)
+        brute = max(
+            int(sorted(row, reverse=True)[k - 1] - sorted(row, reverse=True)[k]) for row in values
+        )
+        assert wr.delta(k) == brute
+
+
+class TestCatalog:
+    def test_all_registered_generate(self):
+        for name in list_workloads():
+            spec = get_workload(name, 10, 25, seed=1)
+            m = spec.generate()
+            assert m.shape == (25, 10), name
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nope", 4, 4)
+
+    def test_overrides_forwarded(self):
+        spec = get_workload("random_walk", 4, 10, seed=1, spread=333)
+        assert spec.spread == 333
+
+    def test_registry_complete(self):
+        assert len(WORKLOADS) >= 12

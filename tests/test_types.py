@@ -1,0 +1,66 @@
+"""Tests for shared types (Side semantics) and the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ExperimentError,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    WorkloadError,
+)
+from repro.types import INT_DTYPE, Side
+
+
+class TestSide:
+    def test_values(self):
+        assert Side.TOP == 1 and Side.BOTTOM == 0
+        assert Side(1) is Side.TOP
+
+    def test_top_filter_contains(self):
+        # TOP filter is [M, +inf)
+        assert Side.TOP.filter_contains(10, 10)
+        assert Side.TOP.filter_contains(11, 10)
+        assert not Side.TOP.filter_contains(9, 10)
+
+    def test_bottom_filter_contains(self):
+        # BOTTOM filter is (-inf, M]
+        assert Side.BOTTOM.filter_contains(10, 10)
+        assert Side.BOTTOM.filter_contains(9, 10)
+        assert not Side.BOTTOM.filter_contains(11, 10)
+
+    def test_half_integer_bound(self):
+        assert Side.TOP.filter_contains(4, 3.5)
+        assert not Side.BOTTOM.filter_contains(4, 3.5)
+
+    def test_int_dtype(self):
+        import numpy as np
+
+        assert INT_DTYPE == np.int64
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ConfigurationError, WorkloadError, ProtocolError, InvariantViolation, ExperimentError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        """Generic callers validating with `except ValueError` keep working."""
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(WorkloadError, ValueError)
+
+    def test_protocol_error_is_runtime_error(self):
+        assert issubclass(ProtocolError, RuntimeError)
+
+    def test_invariant_violation_is_assertion(self):
+        assert issubclass(InvariantViolation, AssertionError)
+
+    def test_single_except_catches_everything(self):
+        for exc in (ConfigurationError, WorkloadError, ProtocolError, ExperimentError):
+            try:
+                raise exc("boom")
+            except ReproError as caught:
+                assert str(caught) == "boom"

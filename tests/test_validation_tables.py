@@ -1,0 +1,148 @@
+"""Tests for argument validation and ASCII rendering utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.util.ascii_plot import bar_chart, line_plot, sparkline
+from repro.util.tables import Table, format_cell
+from repro.util.validation import (
+    as_value_matrix,
+    check_k,
+    check_matrix,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_ints(self):
+        assert check_positive("x", 3) == 3
+        assert check_positive("x", np.int64(5)) == 5
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", True])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0, 0.5, 1, np.float64(0.25)])
+    def test_accepts(self, p):
+        assert check_probability("p", p) == pytest.approx(float(p))
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, float("nan"), "x"])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", bad)
+
+
+class TestCheckK:
+    def test_accepts_range(self):
+        assert check_k(1, 5) == (1, 5)
+        assert check_k(5, 5) == (5, 5)
+
+    @pytest.mark.parametrize("k,n", [(0, 5), (6, 5), (-1, 3)])
+    def test_rejects(self, k, n):
+        with pytest.raises(ConfigurationError):
+            check_k(k, n)
+
+
+class TestValueMatrix:
+    def test_list_coercion(self):
+        m = as_value_matrix([[1, 2], [3, 4]])
+        assert m.dtype == np.int64
+        assert m.flags.c_contiguous
+
+    def test_rejects_float(self):
+        with pytest.raises(WorkloadError):
+            as_value_matrix(np.ones((2, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(WorkloadError):
+            as_value_matrix([1, 2, 3])
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            as_value_matrix(np.empty((0, 3), dtype=np.int64))
+
+    def test_check_matrix_n_mismatch(self):
+        with pytest.raises(WorkloadError):
+            check_matrix([[1, 2]], n=3)
+
+
+class TestFormatCell:
+    def test_variants(self):
+        assert format_cell(None) == "-"
+        assert format_cell(True) == "yes"
+        assert format_cell(3) == "3"
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell(float("inf")) == "inf"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["a", "long_column"], title="T")
+        t.add_row([1, 2.5])
+        t.add_row([100, None])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "long_column" in lines[1]
+        assert len({len(l) for l in lines[2:]}) == 1  # aligned rows
+
+    def test_row_length_mismatch(self):
+        t = Table(["a"])
+        with pytest.raises(ValueError):
+            t.add_row([1, 2])
+
+    def test_markdown(self):
+        t = Table(["x", "y"])
+        t.add_rows([[1, 2], [3, 4]])
+        md = t.render_markdown()
+        assert "| x | y |" in md
+        assert "| 1 | 2 |" in md
+
+    def test_to_records(self):
+        t = Table(["x"])
+        t.add_row([7])
+        assert t.to_records() == [{"x": "7"}]
+
+
+class TestAsciiPlots:
+    def test_sparkline_shape(self):
+        s = sparkline([1, 2, 3, 4])
+        assert len(s) == 4
+        assert sparkline([]) == ""
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_bar_chart_log_scale(self):
+        out = bar_chart(["a", "b"], [10, 100000], log_scale=True, title="bars")
+        assert out.startswith("bars")
+        assert out.count("|") == 2
+
+    def test_bar_chart_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_line_plot_runs(self):
+        out = line_plot([1, 2, 3], {"s1": [1, 4, 9], "s2": [2, 3, 4]}, title="plot")
+        assert "plot" in out
+        assert "s1" in out and "s2" in out
+
+    def test_line_plot_errors(self):
+        with pytest.raises(ValueError):
+            line_plot([], {"s": []})
+        with pytest.raises(ValueError):
+            line_plot([1, 2], {"s": [1]})
