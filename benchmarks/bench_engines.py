@@ -1,10 +1,18 @@
-"""Cross-cutting engine benchmarks: faithful vs vectorized, transports, workloads."""
+"""Cross-cutting engine benchmarks: faithful vs vectorized vs fast, transports, workloads, sweeps.
+
+Run ``python benchmarks/record.py`` to persist the timings of this file to
+``BENCH_engines.json`` as a baseline for future perf PRs.
+"""
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from repro.analysis.sweeps import run_sweep
 from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.engine.fast import run_fast
 from repro.engine.vectorized import run_vectorized
 from repro.streams import get_workload, list_workloads
 
@@ -25,6 +33,76 @@ def test_vectorized_engine(benchmark, walk_matrix):
     """Vectorized engine on the same instance — the speedup being bought."""
     res = benchmark(lambda: run_vectorized(walk_matrix, 8, seed=14))
     assert res.steps == 1500
+
+
+def test_fast_engine(benchmark, walk_matrix):
+    """Segment-skipping fast engine on the same instance."""
+    res = benchmark(lambda: run_fast(walk_matrix, 8, seed=14))
+    assert res.steps == 1500
+
+
+def test_fast_engine_churn_heavy(benchmark):
+    """Worst case for segment skipping: a violation on almost every step."""
+    values = get_workload("adversarial_rotation", 64, 1500, seed=13).generate()
+    res = benchmark(lambda: run_fast(values, 8, seed=14))
+    assert res.steps == 1500
+
+
+def test_fast_speedup_over_vectorized(walk_matrix):
+    """Regression gate for the segment-skipping speedup on the quiet workload.
+
+    The measured ratio on an idle machine is ~10x (see the vectorized/fast
+    entries in BENCH_engines.json for the recorded figure); the hard assert
+    keeps headroom below the noise floor of shared CI boxes — a drop under
+    7x means the segment skip itself regressed, not the scheduler mood.
+    """
+
+    def best_of(fn, inner=10, outer=8):
+        best = float("inf")
+        for _ in range(outer):
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            best = min(best, (time.perf_counter() - t0) / inner)
+        return best
+
+    for _ in range(3):  # warm caches on both paths
+        run_vectorized(walk_matrix, 8, seed=14)
+        run_fast(walk_matrix, 8, seed=14)
+    t_vec = best_of(lambda: run_vectorized(walk_matrix, 8, seed=14))
+    t_fast = best_of(lambda: run_fast(walk_matrix, 8, seed=14))
+    speedup = t_vec / t_fast
+    assert speedup >= 7.0, f"fast engine speedup {speedup:.1f}x (vec {t_vec:.4f}s, fast {t_fast:.4f}s)"
+
+
+def _sweep_measure(rng_seed, n, steps):
+    values = get_workload("random_walk_spread", n, steps, seed=rng_seed).generate()
+    return float(run_fast(values, max(1, n // 8), seed=rng_seed).total_messages)
+
+
+_SWEEP_GRID = [{"n": 64, "steps": 2000}, {"n": 128, "steps": 2000}]
+
+
+def test_sweep_serial(benchmark):
+    """run_sweep over the fast engine, one worker (baseline)."""
+    res = benchmark(
+        lambda: run_sweep("bench", _SWEEP_GRID, _sweep_measure, repetitions=6, seed=3)
+    )
+    assert len(res.points) == 2
+
+
+def test_sweep_parallel(benchmark):
+    """Same sweep fanned out over 4 thread workers.
+
+    Scaling is hardware-dependent (a single-core CI box shows ~1x); the
+    differential test in tests/test_analysis.py asserts result equality.
+    """
+    res = benchmark(
+        lambda: run_sweep(
+            "bench", _SWEEP_GRID, _sweep_measure, repetitions=6, seed=3, workers=4
+        )
+    )
+    assert len(res.points) == 2
 
 
 def test_recording_transport_overhead(benchmark, walk_matrix):

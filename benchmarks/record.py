@@ -1,0 +1,93 @@
+"""Record engine benchmark timings to a trimmed JSON baseline.
+
+Runs ``benchmarks/bench_engines.py`` under pytest-benchmark, trims the
+voluminous machine JSON down to the per-benchmark timing summary, and
+writes it to ``BENCH_engines.json`` next to the repo root.  Future perf
+PRs diff their run against this file to prove (or disprove) a speedup:
+
+    PYTHONPATH=src python benchmarks/record.py
+    git diff BENCH_engines.json
+
+The trimmed schema is ``{"machine": {...}, "benchmarks": {name: {mean,
+stddev, median, min, rounds}}}`` with times in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def trim(raw: dict) -> dict:
+    """Reduce a pytest-benchmark JSON blob to the comparable essentials."""
+    machine = raw.get("machine_info", {})
+    trimmed = {
+        "machine": {
+            "node": machine.get("node"),
+            "processor": machine.get("processor"),
+            "cpu_count": (machine.get("cpu") or {}).get("count"),
+            "python": machine.get("python_version"),
+        },
+        "benchmarks": {},
+    }
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        trimmed["benchmarks"][bench["name"]] = {
+            "mean": stats.get("mean"),
+            "stddev": stats.get("stddev"),
+            "median": stats.get("median"),
+            "min": stats.get("min"),
+            "rounds": stats.get("rounds"),
+        }
+    return trimmed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_engines.json",
+        help="output path for the trimmed baseline (default: BENCH_engines.json)",
+    )
+    parser.add_argument(
+        "--bench-file",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "bench_engines.py",
+        help="benchmark file to run",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "bench.json"
+        # No --benchmark-only: the plain asserts in the bench file (e.g. the
+        # fast-vs-vectorized speedup gate) must execute alongside the timed
+        # benchmarks, so a recording doubles as the perf regression check.
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(args.bench_file),
+            "-q",
+            f"--benchmark-json={raw_path}",
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT)
+        if proc.returncode != 0:
+            print(f"benchmark run failed with exit code {proc.returncode}", file=sys.stderr)
+            return proc.returncode
+        raw = json.loads(raw_path.read_text())
+
+    trimmed = trim(raw)
+    args.out.write_text(json.dumps(trimmed, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(trimmed['benchmarks'])} benchmark entries to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

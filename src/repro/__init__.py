@@ -14,9 +14,19 @@ Quickstart
 >>> result.total_messages < values.size   # far below the naive algorithm
 True
 
+For large instances where only trajectories and message *counts* matter,
+:func:`run_fast` (the segment-skipping engine) produces bit-identical
+results orders of magnitude faster:
+
+>>> from repro import run_fast
+>>> fast = run_fast(values, 4, seed=2)
+>>> fast.total_messages == result.total_messages
+True
+
 Public surface
 --------------
 * :class:`TopKMonitor` / :class:`OnlineSession` — Algorithm 1.
+* :func:`run_fast` / engine module — high-throughput counting engines.
 * :func:`maximum_protocol` / :func:`minimum_protocol` — Algorithm 2.
 * :mod:`repro.streams` — workload generators.
 * :mod:`repro.baselines` — naive / classical / offline-OPT / Lam /
@@ -36,6 +46,7 @@ from repro.core.protocols import (
 )
 from repro.core.checkpoint import restore_session, save_session
 from repro.core.selection import select_top_k
+from repro.engine.fast import FastResult, run_fast
 from repro.errors import (
     ConfigurationError,
     ExperimentError,
@@ -45,7 +56,7 @@ from repro.errors import (
     WorkloadError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TopKMonitor",
@@ -61,6 +72,8 @@ __all__ = [
     "maximum_protocol",
     "minimum_protocol",
     "select_top_k",
+    "run_fast",
+    "FastResult",
     "save_session",
     "restore_session",
     "ReproError",

@@ -4,10 +4,27 @@ Every experiment is a sweep: for each point of a parameter grid, run a
 measurement function over several independent seeds and summarize.  This
 module factors the repetition/seeding/summary plumbing out of the
 individual experiment modules.
+
+Seeding note: per-repetition ``rng_seed`` values are drawn directly from
+the :class:`~repro.util.seeding.SeedStream` children via
+``SeedSequence.generate_state`` (top 31 bits of the first word).  Earlier
+versions built a throwaway ``np.random.Generator`` per repetition just to
+draw one integer; dropping that round-trip changed the emitted seed values
+once, here, in v1.1 — sweeps are still fully deterministic in the sweep
+seed, but do not compare raw samples against pre-v1.1 runs.
+
+Parallelism: ``run_sweep(..., workers=N)`` fans the (point, repetition)
+samples out over a :mod:`concurrent.futures` pool.  All seeds are derived
+up front in grid order, so results are **identical** for any worker count.
+The default ``executor="thread"`` works with closures and benefits
+NumPy-heavy measures (which release the GIL); ``executor="process"``
+provides true parallelism for pure-Python measures but requires a
+picklable module-level ``measure``.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -57,6 +74,16 @@ class SweepResult:
         return matches[0]
 
 
+def _child_seed(stream: SeedStream) -> int:
+    """One 31-bit repetition seed straight from the next stream child.
+
+    No intermediate ``Generator`` is constructed; the child
+    ``SeedSequence``'s own output stream is already uniform.
+    """
+    child = stream.next_seed()
+    return int(child.generate_state(1, np.uint64)[0] >> 33)
+
+
 def run_sweep(
     name: str,
     grid: Iterable[Mapping[str, Any]],
@@ -65,27 +92,53 @@ def run_sweep(
     repetitions: int = 10,
     seed: int = 0,
     confidence: float = 0.95,
+    workers: int = 1,
+    executor: str = "thread",
 ) -> SweepResult:
-    """Run ``measure(seed_sequence=..., **params)`` over a grid.
+    """Run ``measure(rng_seed=..., **params)`` over a grid.
 
     ``measure`` receives every grid parameter as a keyword argument plus a
     ``rng_seed`` (an integer derived deterministically from the sweep seed,
     the point index, and the repetition index) and returns one float
     sample.  Repetitions are independent; points are independent.
+
+    ``workers`` > 1 evaluates the samples on a pool (``executor`` is
+    ``"thread"`` or ``"process"``).  Seeds are precomputed in grid order
+    before any sample runs, so every worker count yields identical results.
     """
     if repetitions < 1:
         raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
-    result = SweepResult(name=name)
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if executor not in ("thread", "process"):
+        raise ConfigurationError(f"executor must be 'thread' or 'process', got {executor!r}")
+    grid_list = [dict(params) for params in grid]
     stream = SeedStream(seed)
-    for point_idx, params in enumerate(grid):
-        samples = []
-        for rep in range(repetitions):
-            child = stream.next_seed()
-            rng_seed = int(np.random.Generator(np.random.PCG64(child)).integers(0, 2**31 - 1))
-            samples.append(float(measure(rng_seed=rng_seed, **params)))
+    seeds = [[_child_seed(stream) for _ in range(repetitions)] for _ in grid_list]
+
+    all_samples: list[list[float]] = [[0.0] * repetitions for _ in grid_list]
+    if workers == 1:
+        for point_idx, params in enumerate(grid_list):
+            for rep in range(repetitions):
+                all_samples[point_idx][rep] = float(
+                    measure(rng_seed=seeds[point_idx][rep], **params)
+                )
+    else:
+        pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=workers) as pool:
+            futures = {
+                pool.submit(measure, rng_seed=seeds[point_idx][rep], **params): (point_idx, rep)
+                for point_idx, params in enumerate(grid_list)
+                for rep in range(repetitions)
+            }
+            for future, (point_idx, rep) in futures.items():
+                all_samples[point_idx][rep] = float(future.result())
+
+    result = SweepResult(name=name)
+    for params, samples in zip(grid_list, all_samples):
         result.points.append(
             SweepPoint(
-                params=dict(params),
+                params=params,  # grid_list entries are fresh dicts, never reused
                 samples=tuple(samples),
                 summary=summarize(samples, confidence),
             )

@@ -126,7 +126,7 @@ class OnlineSession:
         """Current top-k node ids (ascending id order)."""
         if self._trivial:
             return self._ids.copy()
-        return np.flatnonzero(self._sides).astype(np.int64)
+        return np.flatnonzero(self._sides).astype(np.int64, copy=False)
 
     @property
     def boundary(self) -> Fraction:
@@ -185,10 +185,14 @@ class OnlineSession:
     def _step(self, row: ValueRow) -> None:
         before = self.ledger.total
         doubled = 2 * row
-        viol_top = np.flatnonzero(self._sides & (doubled < self._m2))
-        viol_bot = np.flatnonzero(~self._sides & (doubled > self._m2))
-        if viol_top.size == 0 and viol_bot.size == 0:
+        # Quiet steps (the common case) only evaluate the boolean masks; the
+        # id vectors are materialized from them once, on violation steps.
+        viol_top_mask = self._sides & (doubled < self._m2)
+        viol_bot_mask = ~self._sides & (doubled > self._m2)
+        if not (viol_top_mask.any() or viol_bot_mask.any()):
             return  # quiet step: every value inside its filter
+        viol_top = np.flatnonzero(viol_top_mask)
+        viol_bot = np.flatnonzero(viol_bot_mask)
 
         if self.config.always_reset:
             # Ablation A1: no handler, no halving — straight to a reset.
@@ -275,7 +279,7 @@ class OnlineSession:
         self._m2 = v_k + v_k1  # doubled midpoint between k-th and (k+1)-st
         self.transport.broadcast(("reset", self._m2), Phase.RESET_BROADCAST)
         self._sides[:] = False
-        self._sides[list(sel.winners[: self.k])] = True
+        self._sides[np.asarray(sel.winners[: self.k], dtype=np.int64)] = True
         self._t_plus = v_k
         self._t_minus = v_k1
 

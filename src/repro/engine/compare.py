@@ -1,14 +1,18 @@
-"""Differential testing between the faithful and vectorized engines.
+"""Differential testing between the faithful, vectorized and fast engines.
 
-Both engines implement Algorithm 1 from the paper independently but follow
-the same documented randomness convention, so for the same seed their
-behaviour must match **exactly**:
+All three engines implement Algorithm 1 from the paper and follow the same
+documented randomness convention, so for the same seed their behaviour must
+match **exactly**:
 
 * top-k trajectory (every step),
 * reset times and non-reset handler times,
 * per-phase message counts.
 
-Any mismatch indicates a semantic bug in one of the implementations; the
+The faithful and vectorized engines are fully independent implementations;
+the fast engine (:mod:`repro.engine.fast`) shares the protocol round loop
+with the vectorized one but derives its control flow (segment skipping)
+independently, so the three-way comparison pins both the protocol semantics
+and the event-detection logic.  Any mismatch indicates a semantic bug; the
 :class:`DifferentialReport` pinpoints the first diverging quantity.
 """
 
@@ -21,6 +25,7 @@ import numpy as np
 from repro.core.events import StepKind
 from repro.core.monitor import MonitorConfig, TopKMonitor
 from repro.core.protocols import ProtocolConfig
+from repro.engine.fast import run_fast
 from repro.engine.vectorized import run_vectorized
 
 __all__ = ["DifferentialReport", "differential_check"]
@@ -34,9 +39,42 @@ class DifferentialReport:
     detail: str
     faithful_messages: int
     vectorized_messages: int
+    fast_messages: int = -1
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.equal
+
+
+def _compare_counting_results(vector, fast) -> str | None:
+    """First difference between two counting-engine results, or ``None``.
+
+    Both engines emit the same result container, so the comparison is
+    field-by-field exact equality.
+    """
+    if not np.array_equal(vector.topk_history, fast.topk_history):
+        t = int(np.argmax((vector.topk_history != fast.topk_history).any(axis=1)))
+        return (
+            f"top-k trajectories diverge first at t={t}: "
+            f"vectorized={vector.topk_history[t].tolist()} fast={fast.topk_history[t].tolist()}"
+        )
+    if vector.reset_times != fast.reset_times:
+        return f"reset times differ: vectorized={vector.reset_times} fast={fast.reset_times}"
+    if vector.handler_times != fast.handler_times:
+        return f"handler times differ: vectorized={vector.handler_times} fast={fast.handler_times}"
+    if vector.by_phase != fast.by_phase:
+        keys = sorted(set(vector.by_phase) | set(fast.by_phase))
+        diffs = [
+            f"{key}: vectorized={vector.by_phase.get(key, 0)} fast={fast.by_phase.get(key, 0)}"
+            for key in keys
+            if vector.by_phase.get(key, 0) != fast.by_phase.get(key, 0)
+        ]
+        return "per-phase message counts differ: " + "; ".join(diffs)
+    if vector.resets != fast.resets or vector.handler_calls != fast.handler_calls:
+        return (
+            f"counters differ: resets {vector.resets} vs {fast.resets}, "
+            f"handlers {vector.handler_calls} vs {fast.handler_calls}"
+        )
+    return None
 
 
 def differential_check(
@@ -46,7 +84,7 @@ def differential_check(
     seed=0,
     skip_redundant_min: bool = False,
 ) -> DifferentialReport:
-    """Run both engines on the same instance and compare everything."""
+    """Run all three engines on the same instance and compare everything."""
     protocol = ProtocolConfig()
     cfg = MonitorConfig(
         audit=False,
@@ -56,6 +94,17 @@ def differential_check(
     )
     faithful = TopKMonitor(n=values.shape[1], k=k, seed=seed, config=cfg).run(values)
     vector = run_vectorized(values, k, seed=seed, skip_redundant_min=skip_redundant_min)
+    fast = run_fast(values, k, seed=seed, skip_redundant_min=skip_redundant_min)
+
+    fast_detail = _compare_counting_results(vector, fast)
+    if fast_detail is not None:
+        return DifferentialReport(
+            False,
+            "vectorized vs fast: " + fast_detail,
+            faithful.total_messages,
+            vector.total_messages,
+            fast.total_messages,
+        )
 
     if not np.array_equal(faithful.topk_history, vector.topk_history):
         t = int(np.argmax((faithful.topk_history != vector.topk_history).any(axis=1)))
@@ -65,6 +114,7 @@ def differential_check(
             f"faithful={faithful.topk_history[t].tolist()} vectorized={vector.topk_history[t].tolist()}",
             faithful.total_messages,
             vector.total_messages,
+            fast.total_messages,
         )
 
     f_resets = faithful.reset_times()
@@ -74,6 +124,7 @@ def differential_check(
             f"reset times differ: faithful={f_resets} vectorized={vector.reset_times}",
             faithful.total_messages,
             vector.total_messages,
+            fast.total_messages,
         )
 
     f_handler = faithful.handler_times()
@@ -83,6 +134,7 @@ def differential_check(
             f"handler times differ: faithful={f_handler} vectorized={vector.handler_times}",
             faithful.total_messages,
             vector.total_messages,
+            fast.total_messages,
         )
 
     f_phases = {p.value: c for p, c in faithful.ledger.by_phase.items() if c}
@@ -99,6 +151,7 @@ def differential_check(
             "per-phase message counts differ: " + "; ".join(diffs),
             faithful.total_messages,
             vector.total_messages,
+            fast.total_messages,
         )
 
     # Redundant final sanity: reset/handler totals.
@@ -110,6 +163,9 @@ def differential_check(
             f"(init={init_resets}), handlers {faithful.handler_calls} vs {vector.handler_calls}",
             faithful.total_messages,
             vector.total_messages,
+            fast.total_messages,
         )
 
-    return DifferentialReport(True, "exact match", faithful.total_messages, vector.total_messages)
+    return DifferentialReport(
+        True, "exact match", faithful.total_messages, vector.total_messages, fast.total_messages
+    )

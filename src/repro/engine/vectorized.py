@@ -61,6 +61,21 @@ class VectorizedResult:
         return sum(self.by_phase.values())
 
 
+# Memoized per-upper-bound send-probability schedules.  Entries are computed
+# with the exact expression ``2.0**r / upper_bound`` so the coin comparisons
+# stay bit-identical to the faithful engine's per-round computation.
+_SCHEDULES: dict[int, tuple[float, ...]] = {}
+
+
+def _schedule(upper_bound: int) -> tuple[float, ...]:
+    sched = _SCHEDULES.get(upper_bound)
+    if sched is None:
+        n_rounds = ceil_log2(upper_bound) + 1 if upper_bound > 1 else 1
+        sched = tuple((2.0**r) / upper_bound for r in range(n_rounds))
+        _SCHEDULES[upper_bound] = sched
+    return sched
+
+
 def _round_loop(
     ids: np.ndarray,
     keyed: np.ndarray,
@@ -72,39 +87,124 @@ def _round_loop(
     ``ids``/``keyed`` must already be in ascending-id order.  Returns
     ``(winner_id, keyed_value, node_messages, round_broadcasts)``.
     """
-    m = ids.size
-    n_rounds = ceil_log2(upper_bound) + 1 if upper_bound > 1 else 1
-    active = np.ones(m, dtype=bool)
-    announced: int | None = None
+    sched = _schedule(upper_bound)
+    rand = rng.random
+    if ids.size == 1:
+        # Scalar fast path: a single participant keeps flipping its coin
+        # (consuming one draw per round, exactly like the array path) until
+        # it sends; its first message is always an improvement broadcast.
+        wid = int(ids[0])
+        val = int(keyed[0])
+        for p in sched:
+            if rand() < p:
+                return wid, val, 1, 1
+        raise AssertionError("final round forces sends")
+    act_ids = ids
+    act_keyed = keyed
     best: int | None = None
     best_id = -1
     node_msgs = 0
     bcasts = 0
-    for r in range(n_rounds):
-        if announced is not None:
-            active &= keyed >= announced
-        if not active.any():
+    for p in sched:
+        m = act_ids.size
+        if m == 0:
             break
-        p = min(1.0, (2.0**r) / upper_bound)
-        idx = np.flatnonzero(active)
-        senders = idx[rng.random(idx.size) < p]
-        if senders.size:
-            node_msgs += int(senders.size)
-            sk = keyed[senders]
-            round_best = int(sk.max())
-            round_best_id = int(ids[senders[sk == round_best][0]])
-            improved = best is None or round_best > best
-            if improved:
-                best = round_best
-                best_id = round_best_id
-            elif round_best == best and round_best_id < best_id:
-                best_id = round_best_id
-            if improved:
-                bcasts += 1
-                announced = best
-            active[senders] = False
+        # The draw happens every round over the active set in ascending id
+        # order — the shared randomness convention; never skip it.
+        draws = rand(m)
+        if p < 1.0:
+            sid = (draws < p).nonzero()[0]  # integer gathers: senders are few
+            s = sid.size
+            if s == 0:
+                continue  # nobody sent; nothing changes this round
+        else:
+            sid = None  # forced round: everyone still active sends
+            s = m
+        node_msgs += s
+        if sid is None:
+            j = int(act_keyed.argmax())  # first max = lowest id among senders
+            round_best = int(act_keyed[j])
+            round_best_id = int(act_ids[j])
+        elif s == 1:
+            i0 = int(sid[0])
+            round_best = int(act_keyed[i0])
+            round_best_id = int(act_ids[i0])
+        else:
+            sk = act_keyed[sid]
+            j = int(sk.argmax())
+            round_best = int(sk[j])
+            round_best_id = int(act_ids[sid[j]])
+        improved = best is None or round_best > best
+        if improved:
+            best = round_best
+            best_id = round_best_id
+        elif round_best == best and round_best_id < best_id:
+            best_id = round_best_id
+        if improved:
+            bcasts += 1
+            # The broadcast deactivates every node below the new maximum;
+            # senders deactivate regardless.
+            keep = act_keyed >= best
+            if sid is not None:
+                keep[sid] = False
+            act_ids = act_ids[keep]
+            act_keyed = act_keyed[keep]
+        elif sid is not None:
+            keep = np.ones(m, dtype=bool)
+            keep[sid] = False
+            act_ids = act_ids[keep]
+            act_keyed = act_keyed[keep]
+        else:
+            break  # forced round with no improvement: nobody remains
     assert best is not None, "final round forces sends"
     return best_id, best, node_msgs, bcasts
+
+
+def _protocol_run(
+    participants: np.ndarray,
+    row: np.ndarray,
+    upper: int,
+    sign: int,
+    phase: str,
+    initiated: bool,
+    counts: dict[str, int],
+    rng: np.random.Generator,
+    start_charge: int,
+):
+    """One accounted protocol execution, shared by the counting engines.
+
+    Returns ``(winner_id, value)`` or ``None`` when there are no
+    participants; message/broadcast counters accumulate into ``counts``.
+    """
+    if participants.size == 0:
+        return None
+    if initiated:
+        counts["protocol_start"] += start_charge
+    keyed = row[participants] if sign > 0 else -row[participants]
+    wid, best, msgs, bcasts = _round_loop(participants, keyed, upper, rng)
+    counts[phase] += msgs
+    counts["protocol_round"] += bcasts
+    return wid, sign * best
+
+
+def _reset_sweeps(ids: np.ndarray, row: np.ndarray, n: int, k: int, protocol_run):
+    """The ``k+1`` coordinator-initiated max sweeps of a ``FilterReset``.
+
+    Shared by the counting engines so the reset protocol semantics cannot
+    drift between them (invariant I4).  Returns ``(winners, winner_vals)``
+    ordered by rank.
+    """
+    remaining = np.ones(n, dtype=bool)
+    winners: list[int] = []
+    winner_vals: list[int] = []
+    for _ in range(k + 1):
+        part = ids[remaining]
+        out = protocol_run(part, row, n, +1, "reset_protocol", True)
+        assert out is not None
+        winners.append(out[0])
+        winner_vals.append(out[1])
+        remaining[out[0]] = False
+    return winners, winner_vals
 
 
 def run_vectorized(
@@ -136,47 +236,31 @@ def run_vectorized(
 
     ids = np.arange(n, dtype=np.int64)
     sides = np.zeros(n, dtype=bool)
+    top_ids = ids[:0]  # cached top-k id vector; sides change only on reset
     m2 = 0
     t_plus = 0
     t_minus = 0
     start_charge = 1 if protocol.charge_start_broadcast else 0
 
     def protocol_run(participants: np.ndarray, row: np.ndarray, upper: int, sign: int, phase: str, initiated: bool):
-        nonlocal counts
-        if participants.size == 0:
-            return None
-        if initiated:
-            counts["protocol_start"] += start_charge
-        keyed = sign * row[participants]
-        wid, best, msgs, bcasts = _round_loop(participants, keyed, upper, rng)
-        counts[phase] += msgs
-        counts["protocol_round"] += bcasts
-        return wid, sign * best
+        return _protocol_run(participants, row, upper, sign, phase, initiated, counts, rng, start_charge)
 
     def filter_reset(row: np.ndarray, t: int) -> None:
-        nonlocal m2, t_plus, t_minus
+        nonlocal m2, t_plus, t_minus, top_ids
         result.resets += 1
         result.reset_times.append(t)
-        remaining = np.ones(n, dtype=bool)
-        winner_vals: list[int] = []
-        winners: list[int] = []
-        for _ in range(k + 1):
-            part = ids[remaining]
-            out = protocol_run(part, row, n, +1, "reset_protocol", True)
-            assert out is not None
-            winners.append(out[0])
-            winner_vals.append(out[1])
-            remaining[out[0]] = False
+        winners, winner_vals = _reset_sweeps(ids, row, n, k, protocol_run)
         counts["reset_broadcast"] += 1
         sides[:] = False
         sides[winners[:k]] = True
+        top_ids = np.flatnonzero(sides)
         t_plus = winner_vals[k - 1]
         t_minus = winner_vals[k]
         m2 = t_plus + t_minus
 
     # t = 0 initialization.
     filter_reset(values[0], 0)
-    history[0] = np.flatnonzero(sides)
+    history[0] = top_ids
 
     bottom_bound = max(1, n - k)
     top_bound = max(1, k)
@@ -205,5 +289,5 @@ def run_vectorized(
             else:
                 m2 = t_plus + t_minus
                 counts["midpoint_broadcast"] += 1
-        history[t] = np.flatnonzero(sides)
+        history[t] = top_ids
     return result

@@ -8,16 +8,17 @@ reset of cost ``O(k · log n)``.  So messages should grow
 * roughly linearly in ``k`` at fixed n (the reset term dominates),
 * logarithmically in Δ (the boundary gap) at fixed n, k.
 
-Method: drive the *vectorized* engine over the crossing-pair family (whose
-OPT epoch count is pinned by construction: one epoch per swap), sweeping
-one parameter at a time, and fit the growth shape.
+Method: drive the segment-skipping *fast* engine (bit-identical to the
+faithful and vectorized engines, see :mod:`repro.engine.compare`) over the
+crossing-pair family (whose OPT epoch count is pinned by construction: one
+epoch per swap), sweeping one parameter at a time, and fit the growth shape.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.vectorized import run_vectorized
+from repro.engine.fast import run_fast
 from repro.experiments.spec import ExperimentOutput, register, scaled
 from repro.streams import crossing_pair
 from repro.util.ascii_plot import line_plot
@@ -29,7 +30,7 @@ def _epoch_cost(n: int, k: int, delta: int, steps: int, seed: int) -> float:
     period = 25
     spec = crossing_pair(n, steps, k=k, period=period, delta=delta, seed=seed)
     values = spec.generate()
-    res = run_vectorized(values, k, seed=seed + 1)
+    res = run_fast(values, k, seed=seed + 1)
     epochs = steps // period  # one boundary swap per period
     return res.total_messages / max(1, epochs)
 
@@ -47,7 +48,7 @@ def _drift_epoch_cost(n: int, k: int, gap: int, steps: int, seed: int, out_table
     rate = 4
     horizon = max(steps, 6 * gap // rate)
     values = drifting_staircase(n, horizon, gap=gap, rate=rate, seed=seed).generate()
-    res = run_vectorized(values, k, seed=seed + 1)
+    res = run_fast(values, k, seed=seed + 1)
     epochs = opt_result(values, k).epochs
     cost = res.total_messages / max(1, epochs)
     if out_table is not None:

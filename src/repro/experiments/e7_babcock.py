@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.baselines.babcock_olston import BabcockOlstonMonitor
 from repro.baselines.naive import NaiveMonitor
-from repro.core.monitor import TopKMonitor
+from repro.engine.fast import run_fast
 from repro.experiments.spec import ExperimentOutput, register, scaled
 from repro.streams import crossing_pair, drifting_staircase, random_walk
 from repro.util.ascii_plot import line_plot
@@ -45,7 +45,9 @@ def run(scale: str = "default") -> ExperimentOutput:
     smooth = random_walk(n, steps, seed=2, step_size=2, spread=150).generate()
     naive = NaiveMonitor(n, k).run(smooth).total_messages
     bo = BabcockOlstonMonitor(n, k).run(smooth)
-    alg1 = TopKMonitor(n=n, k=k, seed=7).run(smooth)
+    # Algorithm 1 counts via the fast engine (bit-identical to the
+    # faithful monitor for the same seed, per differential_check).
+    alg1 = run_fast(smooth, k, seed=7)
     t_a = Table(["algorithm", "messages", "naive/x"], title="E7a: smooth walk")
     for name, msgs in (("naive", naive), ("babcock_olston", bo.total_messages), ("algorithm1", alg1.total_messages)):
         t_a.add_row([name, msgs, naive / msgs])
@@ -76,7 +78,7 @@ def run(scale: str = "default") -> ExperimentOutput:
     for n_s in ns:
         values = drifting_staircase(n_s, sweep_steps, gap=gap, rate=rate, seed=3).generate()
         bo_cost = BabcockOlstonMonitor(n_s, 4).run(values).total_messages
-        alg_cost = TopKMonitor(n=n_s, k=4, seed=8).run(values).total_messages
+        alg_cost = run_fast(values, 4, seed=8).total_messages
         bo_series.append(bo_cost)
         alg_series.append(alg_cost)
         t_b.add_row([n_s, bo_cost, alg_cost, bo_cost / alg_cost])
@@ -88,7 +90,7 @@ def run(scale: str = "default") -> ExperimentOutput:
     cp_steps = scaled(scale, 250, 1000, 2500)
     cp = crossing_pair(n_cp, cp_steps, k=4, period=25, delta=64, seed=3).generate()
     bo_cp = BabcockOlstonMonitor(n_cp, 4).run(cp).total_messages
-    alg_cp = TopKMonitor(n=n_cp, k=4, seed=8).run(cp).total_messages
+    alg_cp = run_fast(cp, 4, seed=8).total_messages
     t_c = Table(["workload", "BO msgs", "alg1 msgs", "BO/alg1"], title="E7c: boundary swaps only")
     t_c.add_row(["crossing_pair", bo_cp, alg_cp, bo_cp / alg_cp])
     out.tables.append(t_c)

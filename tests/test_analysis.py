@@ -165,6 +165,11 @@ class TestCompetitive:
         assert oc.opt_epochs == opt.epochs
 
 
+def _picklable_measure(rng_seed, x):
+    """Module-level measure so the process executor can pickle it."""
+    return float((rng_seed * 31 + x) % 997)
+
+
 class TestSweeps:
     def test_grid_and_repetitions(self):
         calls = []
@@ -198,6 +203,62 @@ class TestSweeps:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             run_sweep("s", [{"x": 1}], lambda rng_seed, x: 0.0, repetitions=0)
+
+    def test_workers_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep("s", [{"x": 1}], lambda rng_seed, x: 0.0, workers=0)
+        with pytest.raises(ConfigurationError):
+            run_sweep("s", [{"x": 1}], lambda rng_seed, x: 0.0, executor="banana")
+
+    @pytest.mark.parametrize("workers", [2, 5])
+    def test_parallel_results_identical_to_serial(self, workers):
+        """Seeds are precomputed in grid order: any worker count, same sweep."""
+        grid = [{"x": v} for v in range(4)]
+        serial = run_sweep("s", grid, _picklable_measure, repetitions=5, seed=12)
+        parallel = run_sweep(
+            "s", grid, _picklable_measure, repetitions=5, seed=12, workers=workers
+        )
+        for a, b in zip(serial.points, parallel.points):
+            assert a.params == b.params
+            assert a.samples == b.samples
+
+    def test_parallel_closure_measure(self):
+        """The default thread executor must work with non-picklable closures."""
+        offset = 3
+
+        def measure(rng_seed, x):
+            return float(rng_seed % 50 + x + offset)
+
+        serial = run_sweep("s", [{"x": 1}, {"x": 9}], measure, repetitions=4, seed=2)
+        parallel = run_sweep("s", [{"x": 1}, {"x": 9}], measure, repetitions=4, seed=2, workers=3)
+        assert [p.samples for p in serial.points] == [p.samples for p in parallel.points]
+
+    def test_process_executor_identical(self):
+        serial = run_sweep("s", [{"x": 2}], _picklable_measure, repetitions=3, seed=4)
+        parallel = run_sweep(
+            "s",
+            [{"x": 2}],
+            _picklable_measure,
+            repetitions=3,
+            seed=4,
+            workers=2,
+            executor="process",
+        )
+        assert serial.points[0].samples == parallel.points[0].samples
+
+    def test_engine_measure_parallel_sweep(self):
+        """End-to-end: a fast-engine measurement fanned out over threads."""
+        from repro.engine import run_fast
+        from repro.streams import get_workload
+
+        def measure(rng_seed, n):
+            values = get_workload("random_walk", n, 120, seed=rng_seed).generate()
+            return float(run_fast(values, 3, seed=rng_seed).total_messages)
+
+        grid = [{"n": 8}, {"n": 12}]
+        serial = run_sweep("msgs", grid, measure, repetitions=3, seed=7)
+        parallel = run_sweep("msgs", grid, measure, repetitions=3, seed=7, workers=4)
+        assert [p.samples for p in serial.points] == [p.samples for p in parallel.points]
 
     def test_means_order(self):
         res = run_sweep(

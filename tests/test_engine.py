@@ -1,4 +1,4 @@
-"""Differential tests between the faithful and vectorized engines (I4)."""
+"""Differential tests between the faithful, vectorized and fast engines (I4)."""
 
 import numpy as np
 import pytest
@@ -7,12 +7,14 @@ from hypothesis import strategies as st
 
 from repro.core.events import MonitorResult
 from repro.core.protocols import ProtocolConfig
-from repro.engine import differential_check, run_vectorized
+from repro.engine import differential_check, run_fast, run_vectorized
 from repro.streams import (
     adversarial_rotation,
     churn_below_boundary,
     crossing_pair,
+    get_workload,
     iid_uniform,
+    list_workloads,
     random_walk,
     sensor_field,
     staircase,
@@ -103,6 +105,80 @@ class TestDifferential:
         assert report.equal, f"seed={seed}: {report.detail}"
 
 
+from repro.engine.compare import _compare_counting_results
+
+
+def _counting_results_equal(a, b) -> bool:
+    """Exact equality of two counting-engine results.
+
+    Delegates to the engine-side comparator so the equality definition
+    cannot drift from the one ``differential_check`` enforces.
+    """
+    return _compare_counting_results(a, b) is None
+
+
+class TestThreeWayDifferential:
+    """fast vs vectorized vs faithful over the full workload registry.
+
+    The registry sweep is the strongest structural check in the repo: every
+    workload family × every interesting k must agree bit-for-bit across all
+    three engines (trajectory, reset/handler times, per-phase counts).
+    """
+
+    N = 10
+    STEPS = 250
+
+    @pytest.mark.parametrize("name", list_workloads())
+    @pytest.mark.parametrize("k_kind", ["one", "half", "n_minus_1", "n"])
+    def test_registry_workloads_across_k(self, name, k_kind):
+        n = self.N
+        k = {"one": 1, "half": n // 2, "n_minus_1": n - 1, "n": n}[k_kind]
+        overrides = {"k": 3} if name == "crossing_pair" else {}
+        values = get_workload(name, n, self.STEPS, seed=21, **overrides).generate()
+        report = differential_check(values, k, seed=17)
+        assert report.equal, f"{name} k={k}: {report.detail}"
+        assert report.faithful_messages == report.vectorized_messages == report.fast_messages
+
+    @pytest.mark.parametrize("name", list_workloads())
+    def test_fast_matches_vectorized_field_by_field(self, name):
+        overrides = {"k": 3} if name == "crossing_pair" else {}
+        values = get_workload(name, 12, 300, seed=5, **overrides).generate()
+        vec = run_vectorized(values, 4, seed=11)
+        fast = run_fast(values, 4, seed=11)
+        assert _counting_results_equal(vec, fast), name
+
+    def test_skip_redundant_min_variant(self):
+        values = random_walk(10, 300, seed=10, step_size=5).generate()
+        vec = run_vectorized(values, 3, seed=1, skip_redundant_min=True)
+        fast = run_fast(values, 3, seed=1, skip_redundant_min=True)
+        assert _counting_results_equal(vec, fast)
+
+    def test_rejects_every_round_policy(self):
+        values = staircase(4, 5).generate()
+        with pytest.raises(NotImplementedError):
+            run_fast(values, 2, seed=0, protocol=ProtocolConfig(broadcast_every_round=True))
+
+    def test_answers_valid(self):
+        values = random_walk(10, 200, seed=2, step_size=5).generate()
+        res = run_fast(values, 4, seed=3)
+        assert MonitorResult.check_history(res.topk_history, values, 4) == 0
+
+    @given(st.integers(0, 10**5))
+    @settings(max_examples=20, deadline=None)
+    def test_fast_matches_vectorized_property(self, seed):
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(2, 10))
+        k = int(gen.integers(1, n + 1))
+        T = int(gen.integers(2, 80))
+        if int(gen.integers(0, 2)) == 0:
+            values = gen.integers(0, 25, (T, n)).astype(np.int64)
+        else:
+            values = np.cumsum(gen.integers(-4, 5, (T, n)), axis=0).astype(np.int64) + 200
+        vec = run_vectorized(values, k, seed=seed % 89)
+        fast = run_fast(values, k, seed=seed % 89)
+        assert _counting_results_equal(vec, fast), f"seed={seed}"
+
+
 class TestVectorizedSpeedup:
     def test_faster_than_faithful_on_large_instance(self):
         """The vectorized engine exists to be faster; verify it is."""
@@ -119,3 +195,28 @@ class TestVectorizedSpeedup:
         vector = time.perf_counter() - t0
         # Generous margin: CI machines are noisy; it must at least not be slower.
         assert vector <= faithful * 1.2, f"vectorized {vector:.3f}s vs faithful {faithful:.3f}s"
+
+    def test_fast_engine_not_slower_than_vectorized_on_quiet_walk(self):
+        """Segment skipping must win on the quiet-heavy regime it targets.
+
+        The ~10x headline number lives in benchmarks/bench_engines.py; here
+        the margin is deliberately loose so CI noise cannot flake the suite.
+        """
+        import time
+
+        values = random_walk(64, 1500, seed=13, step_size=3, spread=200).generate()
+        run_vectorized(values, 8, seed=14)  # warm both paths
+        run_fast(values, 8, seed=14)
+
+        def best_of(fn, rounds=3):
+            times = []
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - t0)
+            return min(times)
+
+        vector = best_of(lambda: run_vectorized(values, 8, seed=14))
+        fast = best_of(lambda: run_fast(values, 8, seed=14))
+        # Generous margin: CI machines are noisy; it must at least not be slower.
+        assert fast <= vector * 1.2, f"fast {fast:.4f}s vs vectorized {vector:.4f}s"
