@@ -11,9 +11,8 @@ import time
 import pytest
 
 from repro.analysis.sweeps import run_sweep
-from repro.core.monitor import MonitorConfig, TopKMonitor
-from repro.engine.fast import run_fast
-from repro.engine.vectorized import run_vectorized
+from repro.api import RunSpec, run
+from repro.core.monitor import MonitorConfig
 from repro.streams import get_workload, list_workloads
 
 
@@ -23,28 +22,31 @@ def walk_matrix():
 
 
 def test_faithful_engine(benchmark, walk_matrix):
-    """Faithful object engine on 1500 x 64 (k=8)."""
-    monitor = TopKMonitor(n=64, k=8, seed=14)
-    res = benchmark(monitor.run, walk_matrix)
+    """Faithful object engine on 1500 x 64 (k=8), via the unified API."""
+    spec = RunSpec(walk_matrix, k=8, seed=14, engine="faithful")
+    res = benchmark(run, spec)
     assert res.steps == 1500
 
 
 def test_vectorized_engine(benchmark, walk_matrix):
     """Vectorized engine on the same instance — the speedup being bought."""
-    res = benchmark(lambda: run_vectorized(walk_matrix, 8, seed=14))
+    spec = RunSpec(walk_matrix, k=8, seed=14, engine="vectorized")
+    res = benchmark(run, spec)
     assert res.steps == 1500
 
 
 def test_fast_engine(benchmark, walk_matrix):
     """Segment-skipping fast engine on the same instance."""
-    res = benchmark(lambda: run_fast(walk_matrix, 8, seed=14))
+    spec = RunSpec(walk_matrix, k=8, seed=14, engine="fast")
+    res = benchmark(run, spec)
     assert res.steps == 1500
 
 
 def test_fast_engine_churn_heavy(benchmark):
     """Worst case for segment skipping: a violation on almost every step."""
     values = get_workload("adversarial_rotation", 64, 1500, seed=13).generate()
-    res = benchmark(lambda: run_fast(values, 8, seed=14))
+    spec = RunSpec(values, k=8, seed=14, engine="fast")
+    res = benchmark(run, spec)
     assert res.steps == 1500
 
 
@@ -66,18 +68,21 @@ def test_fast_speedup_over_vectorized(walk_matrix):
             best = min(best, (time.perf_counter() - t0) / inner)
         return best
 
+    spec = RunSpec(walk_matrix, k=8, seed=14)
     for _ in range(3):  # warm caches on both paths
-        run_vectorized(walk_matrix, 8, seed=14)
-        run_fast(walk_matrix, 8, seed=14)
-    t_vec = best_of(lambda: run_vectorized(walk_matrix, 8, seed=14))
-    t_fast = best_of(lambda: run_fast(walk_matrix, 8, seed=14))
+        run(spec, engine="vectorized")
+        run(spec, engine="fast")
+    t_vec = best_of(lambda: run(spec, engine="vectorized"))
+    t_fast = best_of(lambda: run(spec, engine="fast"))
     speedup = t_vec / t_fast
     assert speedup >= 7.0, f"fast engine speedup {speedup:.1f}x (vec {t_vec:.4f}s, fast {t_fast:.4f}s)"
 
 
 def _sweep_measure(rng_seed, n, steps):
-    values = get_workload("random_walk_spread", n, steps, seed=rng_seed).generate()
-    return float(run_fast(values, max(1, n // 8), seed=rng_seed).total_messages)
+    spec = RunSpec(
+        "random_walk_spread", k=max(1, n // 8), n=n, steps=steps, seed=rng_seed, engine="fast"
+    )
+    return float(run(spec).total_messages)
 
 
 _SWEEP_GRID = [{"n": 64, "steps": 2000}, {"n": 128, "steps": 2000}]
@@ -108,8 +113,8 @@ def test_sweep_parallel(benchmark):
 def test_recording_transport_overhead(benchmark, walk_matrix):
     """Faithful engine with full message recording (tracing cost)."""
     cfg = MonitorConfig(record_messages=True)
-    monitor = TopKMonitor(n=64, k=8, seed=14, config=cfg)
-    res = benchmark(monitor.run, walk_matrix)
+    spec = RunSpec(walk_matrix, k=8, seed=14, engine="faithful", config=cfg)
+    res = benchmark(run, spec)
     assert res.steps == 1500
 
 

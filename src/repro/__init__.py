@@ -7,34 +7,45 @@ number of exchanged messages.
 
 Quickstart
 ----------
->>> import numpy as np
->>> from repro import TopKMonitor, streams
->>> values = streams.random_walk(n=32, steps=2000, seed=1).generate()
->>> result = TopKMonitor(n=32, k=4, seed=2).run(values)
->>> result.total_messages < values.size   # far below the naive algorithm
+Describe a run with a :class:`RunSpec`, execute it with :func:`run`:
+
+>>> import repro
+>>> spec = repro.RunSpec("random_walk", k=4, n=32, steps=2000, seed=2)
+>>> result = repro.run(spec)            # default engine: "fast"
+>>> result.total_messages < 32 * 2000   # far below the naive algorithm
 True
 
-For large instances where only trajectories and message *counts* matter,
-:func:`run_fast` (the segment-skipping engine) produces bit-identical
-results orders of magnitude faster:
+Engines are registered implementations of Algorithm 1 and are bit-identical
+for equal seeds — pick by need, not by fear of drift:
 
->>> from repro import run_fast
->>> fast = run_fast(values, 4, seed=2)
->>> fast.total_messages == result.total_messages
+>>> faithful = repro.run(spec, engine="faithful")   # ledger, events, audit
+>>> faithful.total_messages == result.total_messages
 True
+>>> [e.name for e in repro.list_engines()]
+['faithful', 'fast', 'vectorized']
+
+``RunSpec`` also takes a raw integer ``(T, n)`` matrix in place of the
+catalog name, and a :class:`MonitorConfig` for audit/ablation knobs (those
+run on the faithful engine).  For deployment-shaped streaming use
+:class:`OnlineSession` directly; ``python -m repro --list-engines`` and
+``--list-workloads`` show what is registered.
 
 Public surface
 --------------
-* :class:`TopKMonitor` / :class:`OnlineSession` — Algorithm 1.
-* :func:`run_fast` / engine module — high-throughput counting engines.
+* :func:`run` / :class:`RunSpec` / :class:`RunResult` — the unified run API.
+* :func:`register_engine` / :func:`get_engine` / :func:`list_engines` — the
+  engine registry (pluggable Algorithm-1 implementations).
+* :class:`TopKMonitor` / :class:`OnlineSession` — Algorithm 1, object form.
 * :func:`maximum_protocol` / :func:`minimum_protocol` — Algorithm 2.
-* :mod:`repro.streams` — workload generators.
+* :mod:`repro.streams` — workload generators and the named catalog.
 * :mod:`repro.baselines` — naive / classical / offline-OPT / Lam /
   Babcock–Olston comparators.
-* :mod:`repro.analysis` — theoretical bounds, competitive ratios, sweeps.
+* :mod:`repro.analysis` — theoretical bounds, competitive ratios, sweeps
+  and their pluggable execution backends.
 * :mod:`repro.experiments` — the E1–E9 reproduction harness.
 """
 
+from repro.api import RunSpec, run
 from repro.core.events import MonitorResult, StepEvent, StepKind
 from repro.core.filters import Filter, FilterSet
 from repro.core.monitor import MonitorConfig, OnlineSession, TopKMonitor
@@ -47,6 +58,8 @@ from repro.core.protocols import (
 from repro.core.checkpoint import restore_session, save_session
 from repro.core.selection import select_top_k
 from repro.engine.fast import FastResult, run_fast
+from repro.engine.registry import EngineInfo, get_engine, list_engines, register_engine
+from repro.engine.results import RunResult
 from repro.errors import (
     ConfigurationError,
     ExperimentError,
@@ -56,9 +69,16 @@ from repro.errors import (
     WorkloadError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "run",
+    "RunSpec",
+    "RunResult",
+    "EngineInfo",
+    "register_engine",
+    "get_engine",
+    "list_engines",
     "TopKMonitor",
     "OnlineSession",
     "MonitorConfig",
@@ -85,11 +105,33 @@ __all__ = [
     "__version__",
 ]
 
+#: Submodules resolved lazily by :func:`__getattr__` (import cost is paid
+#: only on first access) and advertised by :func:`__dir__`.
+_LAZY_SUBMODULES = (
+    "analysis",
+    "baselines",
+    "engine",
+    "experiments",
+    "extensions",
+    "model",
+    "streams",
+    "util",
+)
+
 
 def __getattr__(name: str):
     """Lazy submodule access: ``repro.streams`` etc. without import cost."""
-    import importlib
+    if name.startswith("__") and name.endswith("__"):
+        # Dunder probes (copy, pickle, inspect) must fail fast and must
+        # never be mistaken for prospective submodules.
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    if name in _LAZY_SUBMODULES:
+        import importlib
 
-    if name in {"streams", "baselines", "analysis", "experiments", "engine", "extensions", "model", "util"}:
         return importlib.import_module(f"repro.{name}")
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    """Advertise lazy submodules alongside the eager globals."""
+    return sorted(set(globals()) | set(_LAZY_SUBMODULES))

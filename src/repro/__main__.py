@@ -4,6 +4,8 @@ Examples::
 
     python -m repro --workload sensor_field --n 64 --k 5 --steps 1000
     python -m repro --workload random_walk --n 32 --k 4 --compare
+    python -m repro --workload iid_uniform --engine fast
+    python -m repro --list-engines
     python -m repro --list-workloads
 """
 
@@ -11,9 +13,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
-from repro.core.monitor import MonitorConfig, TopKMonitor
-from repro.streams import get_workload, list_workloads
+from repro.api import RunSpec, run
+from repro.core.monitor import MonitorConfig
+from repro.engine.registry import list_engines
+from repro.errors import ConfigurationError, WorkloadError
+from repro.streams import describe_workloads
 from repro.util.tables import Table
 
 
@@ -28,10 +34,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--k", type=int, default=4, help="top-k size")
     parser.add_argument("--steps", type=int, default=2000, help="observation steps")
     parser.add_argument("--seed", type=int, default=0, help="workload/protocol seed")
-    parser.add_argument("--audit", action="store_true", help="verify the answer every step")
+    parser.add_argument("--engine", default="faithful", help="engine name (see --list-engines)")
+    parser.add_argument("--audit", action="store_true", help="verify the answer every step (faithful engine)")
     parser.add_argument("--compare", action="store_true", help="also run naive/classical/BO baselines")
     parser.add_argument("--opt", action="store_true", help="also compute the offline optimum + ratio")
-    parser.add_argument("--list-workloads", action="store_true", help="list workload names and exit")
+    parser.add_argument("--list-workloads", action="store_true", help="list workloads and exit")
+    parser.add_argument("--list-engines", action="store_true", help="list registered engines and exit")
     return parser
 
 
@@ -39,24 +47,45 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.list_workloads:
-        for name in list_workloads():
-            print(f"  {name}")
+        table = Table(["workload", "description"], title="workload catalog")
+        for name, description in describe_workloads():
+            table.add_row([name, description])
+        print(table.render())
         return 0
+    if args.list_engines:
+        table = Table(["engine", "capabilities", "description"], title="engine registry")
+        for info in list_engines():
+            table.add_row([info.name, ",".join(sorted(info.capabilities)), info.description])
+        print(table.render())
+        return 0
+
+    named = RunSpec(
+        args.workload,
+        k=args.k,
+        n=args.n,
+        steps=args.steps,
+        seed=args.seed + 1,
+        workload_seed=args.seed,
+        engine=args.engine,
+        config=MonitorConfig(audit=args.audit),
+    )
     try:
-        spec = get_workload(args.workload, args.n, args.steps, seed=args.seed)
-    except Exception as exc:  # ConfigurationError / WorkloadError
+        # Resolve once; --compare/--opt reuse the matrix instead of
+        # regenerating the workload.  Engine runtime failures (e.g. an
+        # audit InvariantViolation) propagate with a full traceback.
+        values = named.resolve_values()
+        spec = replace(named, workload=values, n=None, steps=None)
+        result = run(spec)
+    except (ConfigurationError, WorkloadError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    values = spec.generate()
-    print(f"workload: {spec.describe()}")
-
-    cfg = MonitorConfig(audit=args.audit)
-    result = TopKMonitor(n=args.n, k=args.k, seed=args.seed + 1, config=cfg).run(values)
+    print(f"workload: {args.workload}(n={args.n}, steps={args.steps}, seed={args.seed})")
+    print(f"engine  : {result.engine}")
     print(result.describe())
 
     phase_table = Table(["mechanism", "messages", "share"], title="cost breakdown")
-    for phase, count in sorted(result.ledger.by_phase.items(), key=lambda kv: -kv[1]):
-        phase_table.add_row([phase.value, count, f"{100 * count / max(1, result.total_messages):.1f}%"])
+    for phase, count in sorted(result.by_phase.items(), key=lambda kv: -kv[1]):
+        phase_table.add_row([phase, count, f"{100 * count / max(1, result.total_messages):.1f}%"])
     print()
     print(phase_table.render())
 

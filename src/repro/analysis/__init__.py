@@ -9,9 +9,17 @@
 * :mod:`repro.analysis.competitive` — competitive ratios against the
   offline optimum,
 * :mod:`repro.analysis.sweeps` — a generic parameter-sweep harness used by
-  all experiments.
+  all experiments,
+* :mod:`repro.analysis.backends` — the pluggable execution backends
+  (serial/thread/process) behind ``run_sweep``.
 """
 
+from repro.analysis.backends import (
+    BackendInfo,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.analysis.bounds import (
     competitive_bound,
     max_protocol_expected_bound,
@@ -63,4 +71,8 @@ __all__ = [
     "tail_probability",
     "SweepResult",
     "run_sweep",
+    "BackendInfo",
+    "register_backend",
+    "get_backend",
+    "list_backends",
 ]

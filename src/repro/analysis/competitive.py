@@ -17,8 +17,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.bounds import competitive_bound
+from repro.api import RunSpec, run as run_spec
 from repro.baselines.offline_opt import OptResult, opt_result
-from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.core.monitor import MonitorConfig
 from repro.streams.base import WorkloadResult
 from repro.util.validation import check_k, check_matrix
 
@@ -63,16 +64,19 @@ def competitive_outcome(
     *,
     seed=0,
     config: MonitorConfig | None = None,
+    engine: str = "faithful",
     opt: OptResult | None = None,
 ) -> CompetitiveOutcome:
     """Run Algorithm 1 and OPT on one instance; return the measured ratio.
 
-    ``opt`` may be supplied when the caller already segmented the instance
-    (e.g. when sweeping seeds over the same workload).
+    ``engine`` names any registered engine (all are message-count
+    identical at fixed seed); ``opt`` may be supplied when the caller
+    already segmented the instance (e.g. when sweeping seeds over the same
+    workload).
     """
     values = check_matrix(values)
     k, n = check_k(k, values.shape[1])
-    result = TopKMonitor(n=n, k=k, seed=seed, config=config).run(values)
+    result = run_spec(RunSpec(values, k=k, seed=seed, engine=engine, config=config))
     if opt is None:
         opt = opt_result(values, k)
     delta = WorkloadResult(spec=None, values=values).delta(k) if k < n else 0

@@ -14,22 +14,21 @@ once, here, in v1.1 — sweeps are still fully deterministic in the sweep
 seed, but do not compare raw samples against pre-v1.1 runs.
 
 Parallelism: ``run_sweep(..., workers=N)`` fans the (point, repetition)
-samples out over a :mod:`concurrent.futures` pool.  All seeds are derived
-up front in grid order, so results are **identical** for any worker count.
-The default ``executor="thread"`` works with closures and benefits
-NumPy-heavy measures (which release the GIL); ``executor="process"``
-provides true parallelism for pure-Python measures but requires a
-picklable module-level ``measure``.
+samples out over a registered execution backend
+(:mod:`repro.analysis.backends`): ``serial``, ``thread``, or ``process``
+built in, distributed backends pluggable.  All seeds are derived up front
+in grid order and every sample is placed by its (point, repetition) index,
+so results are **identical** for any backend and worker count.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.analysis.backends import get_backend
 from repro.analysis.stats import SummaryStats, summarize
 from repro.errors import ConfigurationError
 from repro.util.seeding import SeedStream
@@ -102,37 +101,38 @@ def run_sweep(
     the point index, and the repetition index) and returns one float
     sample.  Repetitions are independent; points are independent.
 
-    ``workers`` > 1 evaluates the samples on a pool (``executor`` is
-    ``"thread"`` or ``"process"``).  Seeds are precomputed in grid order
-    before any sample runs, so every worker count yields identical results.
+    ``workers`` > 1 evaluates the samples on the named ``executor`` backend
+    (any name in :mod:`repro.analysis.backends`; ``"thread"`` and
+    ``"process"`` built in).  Seeds are precomputed in grid order before
+    any sample runs, so every backend and worker count yields identical
+    results.
     """
     if repetitions < 1:
         raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    if executor not in ("thread", "process"):
-        raise ConfigurationError(f"executor must be 'thread' or 'process', got {executor!r}")
+    backend = get_backend(executor)  # validate the name even when serial
+    if workers == 1:
+        backend = get_backend("serial")
     grid_list = [dict(params) for params in grid]
+    for params in grid_list:
+        if "rng_seed" in params:
+            raise ConfigurationError(
+                "'rng_seed' is reserved for the derived per-repetition seed "
+                "and cannot be a grid parameter"
+            )
     stream = SeedStream(seed)
     seeds = [[_child_seed(stream) for _ in range(repetitions)] for _ in grid_list]
 
+    jobs = [
+        {"rng_seed": seeds[point_idx][rep], **params}
+        for point_idx, params in enumerate(grid_list)
+        for rep in range(repetitions)
+    ]
     all_samples: list[list[float]] = [[0.0] * repetitions for _ in grid_list]
-    if workers == 1:
-        for point_idx, params in enumerate(grid_list):
-            for rep in range(repetitions):
-                all_samples[point_idx][rep] = float(
-                    measure(rng_seed=seeds[point_idx][rep], **params)
-                )
-    else:
-        pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
-        with pool_cls(max_workers=workers) as pool:
-            futures = {
-                pool.submit(measure, rng_seed=seeds[point_idx][rep], **params): (point_idx, rep)
-                for point_idx, params in enumerate(grid_list)
-                for rep in range(repetitions)
-            }
-            for future, (point_idx, rep) in futures.items():
-                all_samples[point_idx][rep] = float(future.result())
+    for idx, sample in backend.runner(measure, jobs, workers):
+        point_idx, rep = divmod(idx, repetitions)
+        all_samples[point_idx][rep] = sample
 
     result = SweepResult(name=name)
     for params, samples in zip(grid_list, all_samples):

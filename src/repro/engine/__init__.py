@@ -1,26 +1,50 @@
-"""High-throughput NumPy engines for Algorithm 1.
+"""Engines for Algorithm 1 and the registry that makes them pluggable.
 
-:mod:`repro.engine.vectorized` re-implements the monitor with pure array
-operations and counter-only accounting — no transports, no message or event
-objects — for large ``(T, n)`` sweeps (experiment E5 and the benchmarks).
+:mod:`repro.engine.registry` is the seam: every implementation of
+Algorithm 1 registers a name, capability flags, and a runner, and becomes
+reachable through ``repro.run(spec, engine=name)``, the CLI, and the
+benchmarks without changes anywhere else.  Built-ins:
 
-:mod:`repro.engine.fast` goes one step further: an event-driven engine that
-exploits the segment-skip invariant (filters are static between
-communication steps) to locate the next violating step with whole-array
-reductions and fill quiet segments by slice assignment — typically ≥10×
-faster again on the quiet-heavy workloads the algorithm targets.
+* ``faithful`` (:mod:`repro.engine.faithful` wrapping
+  :class:`~repro.core.monitor.TopKMonitor`) — transports, ledger, events;
+  audit and every ablation.
+* ``vectorized`` (:mod:`repro.engine.vectorized`) — the monitor re-derived
+  in pure array operations with counter-only accounting.
+* ``fast`` (:mod:`repro.engine.fast`) — event-driven segment skipping:
+  whole-array reductions locate the next violating step, quiet segments are
+  filled by slice assignment; typically ≥10× faster again on the
+  quiet-heavy workloads the algorithm targets.
 
-:mod:`repro.engine.compare` differentially tests all three engines: they
-follow the randomness convention documented in :mod:`repro.core.protocols`,
-so for equal seeds their *entire* output — top-k trajectory, reset times,
-per-phase message counts — must be bit-identical (invariant I4).
+All engines return the unified :class:`~repro.engine.results.RunResult`
+and follow the randomness convention documented in
+:mod:`repro.core.protocols`, so for equal seeds their *entire* output —
+top-k trajectory, reset times, per-phase message counts — must be
+bit-identical (invariant I4).  :mod:`repro.engine.compare` enforces this
+three ways through the unified run path.
+
+``run_vectorized`` and ``run_fast`` remain as deprecated shims around the
+registry engines.
 """
 
+from repro.engine.registry import (
+    ENGINES,
+    EngineInfo,
+    get_engine,
+    list_engines,
+    register_engine,
+)
+from repro.engine.results import RunResult
 from repro.engine.vectorized import VectorizedResult, run_vectorized
 from repro.engine.fast import FastResult, run_fast
 from repro.engine.compare import DifferentialReport, differential_check
 
 __all__ = [
+    "EngineInfo",
+    "ENGINES",
+    "register_engine",
+    "get_engine",
+    "list_engines",
+    "RunResult",
     "VectorizedResult",
     "run_vectorized",
     "FastResult",

@@ -14,6 +14,11 @@ with the vectorized one but derives its control flow (segment skipping)
 independently, so the three-way comparison pins both the protocol semantics
 and the event-detection logic.  Any mismatch indicates a semantic bug; the
 :class:`DifferentialReport` pinpoints the first diverging quantity.
+
+Since the unified-run redesign every engine is exercised through
+``repro.run(spec, engine=...)`` and compared on the common
+:class:`~repro.engine.results.RunResult` shape — the differential check
+therefore also covers the registry dispatch and the result adapters.
 """
 
 from __future__ import annotations
@@ -22,11 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.events import StepKind
-from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.core.monitor import MonitorConfig
 from repro.core.protocols import ProtocolConfig
-from repro.engine.fast import run_fast
-from repro.engine.vectorized import run_vectorized
 
 __all__ = ["DifferentialReport", "differential_check"]
 
@@ -45,34 +47,38 @@ class DifferentialReport:
         return self.equal
 
 
-def _compare_counting_results(vector, fast) -> str | None:
-    """First difference between two counting-engine results, or ``None``.
+def _compare_counting_results(a, b) -> str | None:
+    """First difference between two results, or ``None`` when equal.
 
-    Both engines emit the same result container, so the comparison is
+    Works on any pair sharing the counting-result field layout —
+    native ``VectorizedResult``/``FastResult`` objects or unified
+    :class:`~repro.engine.results.RunResult` adapters — and compares
     field-by-field exact equality.
     """
-    if not np.array_equal(vector.topk_history, fast.topk_history):
-        t = int(np.argmax((vector.topk_history != fast.topk_history).any(axis=1)))
+    name_a = getattr(a, "engine", "a")
+    name_b = getattr(b, "engine", "b")
+    if not np.array_equal(a.topk_history, b.topk_history):
+        t = int(np.argmax((a.topk_history != b.topk_history).any(axis=1)))
         return (
             f"top-k trajectories diverge first at t={t}: "
-            f"vectorized={vector.topk_history[t].tolist()} fast={fast.topk_history[t].tolist()}"
+            f"{name_a}={a.topk_history[t].tolist()} {name_b}={b.topk_history[t].tolist()}"
         )
-    if vector.reset_times != fast.reset_times:
-        return f"reset times differ: vectorized={vector.reset_times} fast={fast.reset_times}"
-    if vector.handler_times != fast.handler_times:
-        return f"handler times differ: vectorized={vector.handler_times} fast={fast.handler_times}"
-    if vector.by_phase != fast.by_phase:
-        keys = sorted(set(vector.by_phase) | set(fast.by_phase))
+    if a.reset_times != b.reset_times:
+        return f"reset times differ: {name_a}={a.reset_times} {name_b}={b.reset_times}"
+    if a.handler_times != b.handler_times:
+        return f"handler times differ: {name_a}={a.handler_times} {name_b}={b.handler_times}"
+    if a.by_phase != b.by_phase:
+        keys = sorted(set(a.by_phase) | set(b.by_phase))
         diffs = [
-            f"{key}: vectorized={vector.by_phase.get(key, 0)} fast={fast.by_phase.get(key, 0)}"
+            f"{key}: {name_a}={a.by_phase.get(key, 0)} {name_b}={b.by_phase.get(key, 0)}"
             for key in keys
-            if vector.by_phase.get(key, 0) != fast.by_phase.get(key, 0)
+            if a.by_phase.get(key, 0) != b.by_phase.get(key, 0)
         ]
         return "per-phase message counts differ: " + "; ".join(diffs)
-    if vector.resets != fast.resets or vector.handler_calls != fast.handler_calls:
+    if a.resets != b.resets or a.handler_calls != b.handler_calls:
         return (
-            f"counters differ: resets {vector.resets} vs {fast.resets}, "
-            f"handlers {vector.handler_calls} vs {fast.handler_calls}"
+            f"counters differ: resets {a.resets} vs {b.resets}, "
+            f"handlers {a.handler_calls} vs {b.handler_calls}"
         )
     return None
 
@@ -84,88 +90,33 @@ def differential_check(
     seed=0,
     skip_redundant_min: bool = False,
 ) -> DifferentialReport:
-    """Run all three engines on the same instance and compare everything."""
-    protocol = ProtocolConfig()
-    cfg = MonitorConfig(
-        audit=False,
-        skip_redundant_min=skip_redundant_min,
-        protocol=protocol,
-        collect_events=True,
+    """Run all three engines on the same instance and compare everything.
+
+    Every engine runs through the unified ``repro.run`` path, so this also
+    pins the registry dispatch and the ``RunResult`` adapters.
+    """
+    from repro.api import RunSpec, run
+
+    spec = RunSpec(
+        values,
+        k=k,
+        seed=seed,
+        config=MonitorConfig(
+            audit=False,
+            skip_redundant_min=skip_redundant_min,
+            protocol=ProtocolConfig(),
+            collect_events=True,
+        ),
     )
-    faithful = TopKMonitor(n=values.shape[1], k=k, seed=seed, config=cfg).run(values)
-    vector = run_vectorized(values, k, seed=seed, skip_redundant_min=skip_redundant_min)
-    fast = run_fast(values, k, seed=seed, skip_redundant_min=skip_redundant_min)
+    faithful = run(spec, engine="faithful")
+    vector = run(spec, engine="vectorized")
+    fast = run(spec, engine="fast")
 
-    fast_detail = _compare_counting_results(vector, fast)
-    if fast_detail is not None:
-        return DifferentialReport(
-            False,
-            "vectorized vs fast: " + fast_detail,
-            faithful.total_messages,
-            vector.total_messages,
-            fast.total_messages,
-        )
-
-    if not np.array_equal(faithful.topk_history, vector.topk_history):
-        t = int(np.argmax((faithful.topk_history != vector.topk_history).any(axis=1)))
-        return DifferentialReport(
-            False,
-            f"top-k trajectories diverge first at t={t}: "
-            f"faithful={faithful.topk_history[t].tolist()} vectorized={vector.topk_history[t].tolist()}",
-            faithful.total_messages,
-            vector.total_messages,
-            fast.total_messages,
-        )
-
-    f_resets = faithful.reset_times()
-    if f_resets != vector.reset_times:
-        return DifferentialReport(
-            False,
-            f"reset times differ: faithful={f_resets} vectorized={vector.reset_times}",
-            faithful.total_messages,
-            vector.total_messages,
-            fast.total_messages,
-        )
-
-    f_handler = faithful.handler_times()
-    if f_handler != vector.handler_times:
-        return DifferentialReport(
-            False,
-            f"handler times differ: faithful={f_handler} vectorized={vector.handler_times}",
-            faithful.total_messages,
-            vector.total_messages,
-            fast.total_messages,
-        )
-
-    f_phases = {p.value: c for p, c in faithful.ledger.by_phase.items() if c}
-    v_phases = {p: c for p, c in vector.by_phase.items() if c}
-    if f_phases != v_phases:
-        keys = sorted(set(f_phases) | set(v_phases))
-        diffs = [
-            f"{key}: faithful={f_phases.get(key, 0)} vectorized={v_phases.get(key, 0)}"
-            for key in keys
-            if f_phases.get(key, 0) != v_phases.get(key, 0)
-        ]
-        return DifferentialReport(
-            False,
-            "per-phase message counts differ: " + "; ".join(diffs),
-            faithful.total_messages,
-            vector.total_messages,
-            fast.total_messages,
-        )
-
-    # Redundant final sanity: reset/handler totals.
-    init_resets = sum(1 for e in faithful.events if e.kind is StepKind.INIT_RESET)
-    if faithful.resets != vector.resets or faithful.handler_calls != vector.handler_calls:
-        return DifferentialReport(
-            False,
-            f"counters differ: resets {faithful.resets} vs {vector.resets} "
-            f"(init={init_resets}), handlers {faithful.handler_calls} vs {vector.handler_calls}",
-            faithful.total_messages,
-            vector.total_messages,
-            fast.total_messages,
-        )
-
-    return DifferentialReport(
-        True, "exact match", faithful.total_messages, vector.total_messages, fast.total_messages
-    )
+    totals = (faithful.total_messages, vector.total_messages, fast.total_messages)
+    detail = _compare_counting_results(vector, fast)
+    if detail is not None:
+        return DifferentialReport(False, "vectorized vs fast: " + detail, *totals)
+    detail = _compare_counting_results(faithful, vector)
+    if detail is not None:
+        return DifferentialReport(False, "faithful vs vectorized: " + detail, *totals)
+    return DifferentialReport(True, "exact match", *totals)

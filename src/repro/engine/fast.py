@@ -36,7 +36,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.protocols import ProtocolConfig
-from repro.engine.vectorized import _PHASES, VectorizedResult, _protocol_run, _reset_sweeps
+from repro.engine.registry import CAP_COUNTING, CAP_TRAJECTORY, register_engine
+from repro.engine.results import RunResult
+from repro.engine.vectorized import (
+    _PHASES,
+    VectorizedResult,
+    _protocol_run,
+    _reset_sweeps,
+    check_counting_config,
+)
+from repro.util.deprecation import warn_deprecated
 from repro.util.seeding import derive_rng
 from repro.util.validation import check_k, check_matrix
 
@@ -128,7 +137,7 @@ class _SegmentScanner:
         return T
 
 
-def run_fast(
+def _run_fast(
     values: np.ndarray,
     k: int,
     *,
@@ -138,9 +147,9 @@ def run_fast(
 ) -> FastResult:
     """Run Algorithm 1 over a ``(T, n)`` matrix, skipping quiet segments.
 
-    Drop-in replacement for :func:`repro.engine.vectorized.run_vectorized`
-    with identical output for identical arguments; expected to dominate it
-    whenever violation steps are sparse (the regime the algorithm targets).
+    Drop-in replacement for the vectorized engine with identical output for
+    identical arguments; expected to dominate it whenever violation steps
+    are sparse (the regime the algorithm targets).
     """
     values = check_matrix(values)
     T, n = values.shape
@@ -226,3 +235,38 @@ def run_fast(
         history[v] = top_ids
         t = v + 1
     return result
+
+
+def run_fast(
+    values: np.ndarray,
+    k: int,
+    *,
+    seed=None,
+    skip_redundant_min: bool = False,
+    protocol: ProtocolConfig | None = None,
+) -> FastResult:
+    """Deprecated entry point; use ``repro.run(RunSpec(..., engine="fast"))``."""
+    warn_deprecated("run_fast", 'repro.run(RunSpec(..., engine="fast"))')
+    return _run_fast(
+        values, k, seed=seed, skip_redundant_min=skip_redundant_min, protocol=protocol
+    )
+
+
+def _engine_runner(values: np.ndarray, k: int, *, seed, config) -> RunResult:
+    check_counting_config(config, "fast")
+    result = _run_fast(
+        values,
+        k,
+        seed=seed,
+        skip_redundant_min=config.skip_redundant_min,
+        protocol=config.protocol,
+    )
+    return RunResult.from_counting(result, engine="fast")
+
+
+register_engine(
+    "fast",
+    description="segment-skipping event-driven counting engine (quiet steps cost ~0)",
+    capabilities={CAP_TRAJECTORY, CAP_COUNTING},
+    runner=_engine_runner,
+)

@@ -1,0 +1,160 @@
+"""The engine-independent result of one Algorithm-1 execution.
+
+Every registered engine — the faithful object monitor, the vectorized and
+segment-skipping counting engines, and any future Numba/sharded engine —
+reports its outcome as a :class:`RunResult`, so callers read
+``total_messages``, reset times, and per-phase message counts uniformly
+without knowing which implementation ran.
+
+The adapters normalize the two native result shapes:
+
+* :meth:`RunResult.from_monitor` wraps a
+  :class:`~repro.core.events.MonitorResult` (ledger-backed, ``Phase``-keyed
+  counts, per-step events);
+* :meth:`RunResult.from_counting` wraps a
+  :class:`~repro.engine.vectorized.VectorizedResult` (plain string-keyed
+  counters).
+
+Both drop zero-count phases and key ``by_phase`` by plain strings, so two
+results from different engines compare field-by-field — the property the
+differential tests (:mod:`repro.engine.compare`) are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Unified outcome of a full monitoring run on any engine.
+
+    Attributes
+    ----------
+    engine:
+        Registry name of the engine that produced this result.
+    topk_history:
+        ``(T, k)`` int array; row ``t`` holds the reported top-k node ids
+        (ascending id order) after step ``t``.
+    by_phase:
+        Nonzero message counts keyed by plain phase strings
+        (``"reset_protocol"``, ``"midpoint_broadcast"``, ...).
+    reset_times / handler_times:
+        Times of full filter resets (including t=0) and of handler
+        invocations that did *not* escalate to a reset.
+    raw:
+        The engine's native result object (``MonitorResult`` or
+        ``VectorizedResult``) for engine-specific detail: events, the
+        message ledger, recorded message objects.
+    spec:
+        The :class:`~repro.api.RunSpec` that produced this result, when the
+        run went through :func:`repro.api.run`.
+    """
+
+    engine: str
+    n: int
+    k: int
+    steps: int
+    topk_history: np.ndarray
+    by_phase: dict[str, int] = field(default_factory=dict)
+    resets: int = 0
+    handler_calls: int = 0
+    reset_times: list[int] = field(default_factory=list)
+    handler_times: list[int] = field(default_factory=list)
+    raw: Any = None
+    spec: Any = None
+
+    # ------------------------------------------------------------- metrics
+
+    @property
+    def total_messages(self) -> int:
+        """Total unit-cost messages over the whole run."""
+        return sum(self.by_phase.values())
+
+    @property
+    def quiet_steps(self) -> int:
+        """Steps with zero communication.
+
+        Derived from the counters, not the time lists: every noisy step is
+        either a handler invocation (midpoint or escalated reset) or the
+        t=0 initialization reset, so the count stays correct even for
+        faithful runs that did not collect events.
+        """
+        return self.steps - self.handler_calls - (1 if self.resets else 0)
+
+    def messages_per_step(self) -> float:
+        """Average messages per observation step."""
+        return self.total_messages / self.steps if self.steps else 0.0
+
+    def topk_at(self, t: int) -> set[int]:
+        """The reported top-k set after step ``t``."""
+        return set(int(i) for i in self.topk_history[t])
+
+    # ---------------------------------------------------- optional extras
+
+    @property
+    def events(self):
+        """Per-step events when the engine collected them, else ``None``."""
+        return getattr(self.raw, "events", None)
+
+    @property
+    def ledger(self):
+        """The message ledger when the engine kept one, else ``None``."""
+        return getattr(self.raw, "ledger", None)
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        native = getattr(self.raw, "describe", None)
+        if callable(native):
+            return native()
+        return (
+            f"run[{self.engine}](n={self.n}, k={self.k}) over {self.steps} steps: "
+            f"{self.total_messages} messages, {self.handler_calls} handler calls, "
+            f"{self.resets} resets, {self.quiet_steps} quiet steps"
+        )
+
+    # ------------------------------------------------------------ adapters
+
+    @classmethod
+    def from_monitor(cls, result, engine: str = "faithful") -> "RunResult":
+        """Adapt a :class:`~repro.core.events.MonitorResult`.
+
+        Reset/handler times come from the per-step events, so they are
+        complete only when the run collected events
+        (``MonitorConfig.collect_events=True``, the default).
+        """
+        return cls(
+            engine=engine,
+            n=result.n,
+            k=result.k,
+            steps=result.steps,
+            topk_history=result.topk_history,
+            by_phase={p.value: c for p, c in result.ledger.by_phase.items() if c},
+            resets=result.resets,
+            handler_calls=result.handler_calls,
+            reset_times=result.reset_times(),
+            handler_times=result.handler_times(),
+            raw=result,
+        )
+
+    @classmethod
+    def from_counting(cls, result, engine: str) -> "RunResult":
+        """Adapt a counting-engine result (``VectorizedResult``-shaped)."""
+        return cls(
+            engine=engine,
+            n=result.n,
+            k=result.k,
+            steps=result.steps,
+            topk_history=result.topk_history,
+            by_phase={p: c for p, c in result.by_phase.items() if c},
+            resets=result.resets,
+            handler_calls=result.handler_calls,
+            reset_times=list(result.reset_times),
+            handler_times=list(result.handler_times),
+            raw=result,
+        )

@@ -20,6 +20,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.protocols import ProtocolConfig
+from repro.engine.registry import CAP_COUNTING, CAP_TRAJECTORY, register_engine
+from repro.engine.results import RunResult
+from repro.errors import ConfigurationError
+from repro.util.deprecation import warn_deprecated
 from repro.util.intmath import ceil_log2
 from repro.util.seeding import derive_rng
 from repro.util.validation import check_k, check_matrix
@@ -207,7 +211,7 @@ def _reset_sweeps(ids: np.ndarray, row: np.ndarray, n: int, k: int, protocol_run
     return winners, winner_vals
 
 
-def run_vectorized(
+def _run_vectorized(
     values: np.ndarray,
     k: int,
     *,
@@ -291,3 +295,51 @@ def run_vectorized(
                 counts["midpoint_broadcast"] += 1
         history[t] = top_ids
     return result
+
+
+def run_vectorized(
+    values: np.ndarray,
+    k: int,
+    *,
+    seed=None,
+    skip_redundant_min: bool = False,
+    protocol: ProtocolConfig | None = None,
+) -> VectorizedResult:
+    """Deprecated entry point; use ``repro.run(RunSpec(..., engine="vectorized"))``."""
+    warn_deprecated("run_vectorized", 'repro.run(RunSpec(..., engine="vectorized"))')
+    return _run_vectorized(
+        values, k, seed=seed, skip_redundant_min=skip_redundant_min, protocol=protocol
+    )
+
+
+def check_counting_config(config, engine: str) -> None:
+    """Reject :class:`~repro.core.monitor.MonitorConfig` requests a counting
+    engine cannot honour.  ``collect_events``/``track_series`` defaults pass
+    silently (absent capabilities, not errors); explicit instrumentation or
+    ablation requests fail loudly and point at the faithful engine."""
+    for flag in ("audit", "always_reset", "record_messages", "track_series"):
+        if getattr(config, flag):
+            raise ConfigurationError(
+                f"the {engine!r} engine does not support {flag}=True; "
+                f"use engine='faithful' for instrumented or ablation runs"
+            )
+
+
+def _engine_runner(values: np.ndarray, k: int, *, seed, config) -> RunResult:
+    check_counting_config(config, "vectorized")
+    result = _run_vectorized(
+        values,
+        k,
+        seed=seed,
+        skip_redundant_min=config.skip_redundant_min,
+        protocol=config.protocol,
+    )
+    return RunResult.from_counting(result, engine="vectorized")
+
+
+register_engine(
+    "vectorized",
+    description="flat-NumPy per-step counting engine: trajectory + per-phase counters",
+    capabilities={CAP_TRAJECTORY, CAP_COUNTING},
+    runner=_engine_runner,
+)

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.api import RunSpec, run as run_spec
+from repro.core.monitor import MonitorConfig
 from repro.core.protocols import ProtocolConfig, maximum_protocol
 from repro.experiments.spec import ExperimentOutput, register, scaled
 from repro.streams import random_walk
@@ -77,10 +78,18 @@ def run(scale: str = "default") -> ExperimentOutput:
     n = scaled(scale, 32, 64, 128)
     k = scaled(scale, 8, 16, 32)
     values = _deepening_dips(n=n, k=k, depth_log2=scaled(scale, 10, 14, 18))
-    base = TopKMonitor(n=n, k=k, seed=11, config=MonitorConfig(audit=True)).run(values)
-    always = TopKMonitor(
-        n=n, k=k, seed=11, config=MonitorConfig(always_reset=True, audit=True)
-    ).run(values)
+    base = run_spec(
+        RunSpec(values, k=k, seed=11, engine="faithful", config=MonitorConfig(audit=True))
+    )
+    always = run_spec(
+        RunSpec(
+            values,
+            k=k,
+            seed=11,
+            engine="faithful",
+            config=MonitorConfig(always_reset=True, audit=True),
+        )
+    )
     t1 = Table(["variant", "messages", "resets", "handler calls"], title="A1: midpoint halving")
     t1.add_row(["algorithm1 (halving)", base.total_messages, base.resets, base.handler_calls])
     t1.add_row(["always-reset", always.total_messages, always.resets, always.handler_calls])
@@ -99,15 +108,17 @@ def run(scale: str = "default") -> ExperimentOutput:
     steps = scaled(scale, 300, 1500, 6000)
     values = random_walk(n_w, steps, seed=6, step_size=4, spread=40).generate()
     n, k = n_w, k_w
-    base = TopKMonitor(n=n, k=k, seed=11).run(values)
+    base = run_spec(RunSpec(values, k=k, seed=11, engine="faithful"))
 
     # --- A2: redundant min ------------------------------------------------
-    skip = TopKMonitor(n=n, k=k, seed=11, config=MonitorConfig(skip_redundant_min=True)).run(values)
+    skip = run_spec(
+        RunSpec(
+            values, k=k, seed=11, engine="faithful", config=MonitorConfig(skip_redundant_min=True)
+        )
+    )
     t2 = Table(["variant", "messages", "handler_min msgs"], title="A2: redundant MinimumProtocol")
-    from repro.model.message import Phase
-
-    t2.add_row(["verbatim listing", base.total_messages, base.ledger.by_phase[Phase.HANDLER_MIN]])
-    t2.add_row(["skip redundant min", skip.total_messages, skip.ledger.by_phase[Phase.HANDLER_MIN]])
+    t2.add_row(["verbatim listing", base.total_messages, base.by_phase.get("handler_min", 0)])
+    t2.add_row(["skip redundant min", skip.total_messages, skip.by_phase.get("handler_min", 0)])
     out.tables.append(t2)
     out.check(
         "skipping the redundant min run saves messages without changing answers",

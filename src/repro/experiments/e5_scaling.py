@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.fast import run_fast
+from repro.api import RunSpec, run as run_spec
 from repro.experiments.spec import ExperimentOutput, register, scaled
 from repro.streams import crossing_pair
 from repro.util.ascii_plot import line_plot
@@ -30,7 +30,7 @@ def _epoch_cost(n: int, k: int, delta: int, steps: int, seed: int) -> float:
     period = 25
     spec = crossing_pair(n, steps, k=k, period=period, delta=delta, seed=seed)
     values = spec.generate()
-    res = run_fast(values, k, seed=seed + 1)
+    res = run_spec(RunSpec(values, k=k, seed=seed + 1, engine="fast"))
     epochs = steps // period  # one boundary swap per period
     return res.total_messages / max(1, epochs)
 
@@ -48,7 +48,7 @@ def _drift_epoch_cost(n: int, k: int, gap: int, steps: int, seed: int, out_table
     rate = 4
     horizon = max(steps, 6 * gap // rate)
     values = drifting_staircase(n, horizon, gap=gap, rate=rate, seed=seed).generate()
-    res = run_fast(values, k, seed=seed + 1)
+    res = run_spec(RunSpec(values, k=k, seed=seed + 1, engine="fast"))
     epochs = opt_result(values, k).epochs
     cost = res.total_messages / max(1, epochs)
     if out_table is not None:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.baselines.naive import NaiveMonitor
 from repro.baselines.periodic import PeriodicRecomputeMonitor
-from repro.engine.fast import run_fast
+from repro.api import RunSpec, run as run_spec
 from repro.experiments.spec import ExperimentOutput, register, scaled
 from repro.streams import adversarial_rotation, random_walk
 from repro.util.ascii_plot import bar_chart
@@ -34,7 +34,7 @@ def _run_all(values, k: int, seed: int) -> dict[str, int]:
         "classical": PeriodicRecomputeMonitor(n, k, seed=seed).run(values).total_messages,
         # Algorithm 1 via the fast engine: same counts as the faithful
         # monitor for the same seed (enforced by differential_check).
-        "algorithm1": run_fast(values, k, seed=seed + 1).total_messages,
+        "algorithm1": run_spec(RunSpec(values, k=k, seed=seed + 1, engine="fast")).total_messages,
     }
 
 

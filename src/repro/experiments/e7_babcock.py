@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.baselines.babcock_olston import BabcockOlstonMonitor
 from repro.baselines.naive import NaiveMonitor
-from repro.engine.fast import run_fast
+from repro.api import RunSpec, run as run_spec
 from repro.experiments.spec import ExperimentOutput, register, scaled
 from repro.streams import crossing_pair, drifting_staircase, random_walk
 from repro.util.ascii_plot import line_plot
@@ -47,7 +47,7 @@ def run(scale: str = "default") -> ExperimentOutput:
     bo = BabcockOlstonMonitor(n, k).run(smooth)
     # Algorithm 1 counts via the fast engine (bit-identical to the
     # faithful monitor for the same seed, per differential_check).
-    alg1 = run_fast(smooth, k, seed=7)
+    alg1 = run_spec(RunSpec(smooth, k=k, seed=7, engine="fast"))
     t_a = Table(["algorithm", "messages", "naive/x"], title="E7a: smooth walk")
     for name, msgs in (("naive", naive), ("babcock_olston", bo.total_messages), ("algorithm1", alg1.total_messages)):
         t_a.add_row([name, msgs, naive / msgs])
@@ -78,7 +78,7 @@ def run(scale: str = "default") -> ExperimentOutput:
     for n_s in ns:
         values = drifting_staircase(n_s, sweep_steps, gap=gap, rate=rate, seed=3).generate()
         bo_cost = BabcockOlstonMonitor(n_s, 4).run(values).total_messages
-        alg_cost = run_fast(values, 4, seed=8).total_messages
+        alg_cost = run_spec(RunSpec(values, k=4, seed=8, engine="fast")).total_messages
         bo_series.append(bo_cost)
         alg_series.append(alg_cost)
         t_b.add_row([n_s, bo_cost, alg_cost, bo_cost / alg_cost])
@@ -90,7 +90,7 @@ def run(scale: str = "default") -> ExperimentOutput:
     cp_steps = scaled(scale, 250, 1000, 2500)
     cp = crossing_pair(n_cp, cp_steps, k=4, period=25, delta=64, seed=3).generate()
     bo_cp = BabcockOlstonMonitor(n_cp, 4).run(cp).total_messages
-    alg_cp = run_fast(cp, 4, seed=8).total_messages
+    alg_cp = run_spec(RunSpec(cp, k=4, seed=8, engine="fast")).total_messages
     t_c = Table(["workload", "BO msgs", "alg1 msgs", "BO/alg1"], title="E7c: boundary swaps only")
     t_c.add_row(["crossing_pair", bo_cp, alg_cp, bo_cp / alg_cp])
     out.tables.append(t_c)

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from repro.baselines.lam_dominance import DominanceTrackingMonitor
 from repro.baselines.offline_opt import opt_result
-from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.api import RunSpec, run as run_spec
+from repro.core.monitor import MonitorConfig
 from repro.experiments.spec import ExperimentOutput, register, scaled
 from repro.streams import churn_below_boundary
 from repro.util.tables import Table
@@ -43,7 +44,9 @@ def run(scale: str = "default") -> ExperimentOutput:
         values = churn_below_boundary(n, T, k=k, seed=4).generate()
         opt = opt_result(values, k)
         lam = DominanceTrackingMonitor(n, k).run(values)
-        alg = TopKMonitor(n=n, k=k, seed=9, config=MonitorConfig(audit=True)).run(values)
+        alg = run_spec(
+            RunSpec(values, k=k, seed=9, engine="faithful", config=MonitorConfig(audit=True))
+        )
         lam_ratios.append(lam.total_messages / opt.epochs)
         alg_ratios.append(alg.total_messages / opt.epochs)
         table.add_row(

@@ -34,7 +34,13 @@ from repro.streams.adversarial import (
 )
 from repro.streams.replay import replay, staircase
 from repro.streams.mixtures import concat, offset, stitch
-from repro.streams.catalog import WORKLOADS, get_workload, list_workloads
+from repro.streams.catalog import (
+    WORKLOADS,
+    WORKLOAD_DESCRIPTIONS,
+    describe_workloads,
+    get_workload,
+    list_workloads,
+)
 
 __all__ = [
     "StreamSpec",
@@ -55,6 +61,8 @@ __all__ = [
     "stitch",
     "staircase",
     "WORKLOADS",
+    "WORKLOAD_DESCRIPTIONS",
+    "describe_workloads",
     "get_workload",
     "list_workloads",
 ]

@@ -17,9 +17,33 @@ from repro.streams.replay import staircase
 from repro.streams.sensor import sensor_field
 from repro.streams.walks import bursty, drifting_staircase, random_walk
 
-__all__ = ["WORKLOADS", "get_workload", "list_workloads"]
+__all__ = [
+    "WORKLOADS",
+    "WORKLOAD_DESCRIPTIONS",
+    "get_workload",
+    "list_workloads",
+    "describe_workloads",
+]
 
 WorkloadFactory = Callable[..., StreamSpec]
+
+#: One-line description per workload (kept in lockstep with WORKLOADS;
+#: surfaced by ``python -m repro --list-workloads``).
+WORKLOAD_DESCRIPTIONS: dict[str, str] = {
+    "random_walk": "independent lazy random walks, mildly separated base levels",
+    "random_walk_spread": "random walks with widely separated base levels (quiet regime)",
+    "lazy_walk": "slow-moving walks (move_prob=0.2): long quiet segments",
+    "sensor_field": "correlated diurnal sensor field (the paper's motivating scenario)",
+    "bursty": "calm walks with occasional correlated bursts",
+    "staircase": "static well-separated values: zero communication after init",
+    "drifting_staircase": "whole field sinks steadily: gradual boundary approach",
+    "iid_uniform": "fresh uniform draws each step: heavy churn",
+    "iid_zipf": "fresh Zipf draws each step: churn with heavy ties",
+    "iid_lognormal": "fresh lognormal draws each step: heavy-tailed churn",
+    "adversarial_rotation": "rank rotation forcing top-k changes on schedule",
+    "crossing_pair": "one boundary pair swaps per period (pinned OPT epochs)",
+    "churn_below_boundary": "top-k frozen, bottom side permutes violently",
+}
 
 WORKLOADS: dict[str, WorkloadFactory] = {
     # filter-friendly regimes
@@ -47,6 +71,11 @@ WORKLOADS: dict[str, WorkloadFactory] = {
 def list_workloads() -> list[str]:
     """Sorted names of all registered workloads."""
     return sorted(WORKLOADS)
+
+
+def describe_workloads() -> list[tuple[str, str]]:
+    """``(name, one-line description)`` pairs in name order."""
+    return [(name, WORKLOAD_DESCRIPTIONS.get(name, "")) for name in sorted(WORKLOADS)]
 
 
 def get_workload(name: str, n: int, steps: int, *, seed: int = 0, **overrides) -> StreamSpec:

@@ -1,0 +1,32 @@
+"""One-shot deprecation warnings for legacy call paths.
+
+Deprecated shims (``run_fast``, ``run_vectorized``) stay callable for the
+life of the 1.x line but should nag exactly once per process — a sweep
+calling a shim ten thousand times must not print ten thousand warnings even
+under ``-W always``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated"]
+
+_WARNED: set[str] = set()
+
+
+def warn_deprecated(old: str, replacement: str, *, stacklevel: int = 3) -> None:
+    """Emit a :class:`DeprecationWarning` for ``old``, once per process."""
+    if old in _WARNED:
+        return
+    _WARNED.add(old)
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_warned() -> None:
+    """Forget which shims already warned (test isolation hook)."""
+    _WARNED.clear()
