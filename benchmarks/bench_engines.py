@@ -110,6 +110,33 @@ def test_sweep_parallel(benchmark):
     assert len(res.points) == 2
 
 
+def test_sweep_process(benchmark):
+    """Same sweep on the process-pool backend (pickling + fork overhead)."""
+    res = benchmark(
+        lambda: run_sweep(
+            "bench", _SWEEP_GRID, _sweep_measure, repetitions=6, seed=3,
+            workers=4, backend="process",
+        )
+    )
+    assert len(res.points) == 2
+
+
+def test_sweep_queue(benchmark):
+    """Same sweep on the distributed work-queue backend (Manager transport).
+
+    The number to compare against ``test_sweep_process``: both pay process
+    startup; the queue backend adds Manager round-trips per chunk, which is
+    the price of multi-host capability and checkpoint granularity.
+    """
+    res = benchmark(
+        lambda: run_sweep(
+            "bench", _SWEEP_GRID, _sweep_measure, repetitions=6, seed=3,
+            workers=4, backend="queue",
+        )
+    )
+    assert len(res.points) == 2
+
+
 def test_recording_transport_overhead(benchmark, walk_matrix):
     """Faithful engine with full message recording (tracing cost)."""
     cfg = MonitorConfig(record_messages=True)

@@ -10,6 +10,13 @@ PRs diff their run against this file to prove (or disprove) a speedup:
 
 The trimmed schema is ``{"machine": {...}, "benchmarks": {name: {mean,
 stddev, median, min, rounds}}}`` with times in seconds.
+
+``--select EXPR`` (a pytest ``-k`` expression) records only a benchmark
+subset, and ``--merge`` folds the fresh entries into the existing baseline
+instead of replacing it — the combination used to add a new benchmark
+family (e.g. the queue-backend sweeps) without re-timing everything::
+
+    PYTHONPATH=src python benchmarks/record.py --select sweep --merge
 """
 
 from __future__ import annotations
@@ -62,6 +69,16 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "benchmarks" / "bench_engines.py",
         help="benchmark file to run",
     )
+    parser.add_argument(
+        "--select",
+        metavar="EXPR",
+        help="pytest -k expression restricting which benchmarks run",
+    )
+    parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="update entries in the existing baseline instead of replacing the file",
+    )
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -77,6 +94,8 @@ def main(argv: list[str] | None = None) -> int:
             "-q",
             f"--benchmark-json={raw_path}",
         ]
+        if args.select:
+            cmd += ["-k", args.select]
         proc = subprocess.run(cmd, cwd=REPO_ROOT)
         if proc.returncode != 0:
             print(f"benchmark run failed with exit code {proc.returncode}", file=sys.stderr)
@@ -84,8 +103,17 @@ def main(argv: list[str] | None = None) -> int:
         raw = json.loads(raw_path.read_text())
 
     trimmed = trim(raw)
+    fresh = len(trimmed["benchmarks"])
+    if args.merge and args.out.exists():
+        baseline = json.loads(args.out.read_text())
+        baseline.setdefault("benchmarks", {}).update(trimmed["benchmarks"])
+        baseline["machine"] = trimmed["machine"]  # last recording wins
+        trimmed = baseline
     args.out.write_text(json.dumps(trimmed, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {len(trimmed['benchmarks'])} benchmark entries to {args.out}")
+    print(
+        f"wrote {fresh} fresh benchmark entries to {args.out} "
+        f"({len(trimmed['benchmarks'])} total)"
+    )
     return 0
 
 

@@ -41,8 +41,12 @@ Public surface
 * :mod:`repro.baselines` — naive / classical / offline-OPT / Lam /
   Babcock–Olston comparators.
 * :mod:`repro.analysis` — theoretical bounds, competitive ratios, sweeps
-  and their pluggable execution backends.
+  and their pluggable execution backends (serial/thread/process and the
+  distributed work-queue ``queue`` backend with checkpoint/resume).
 * :mod:`repro.experiments` — the E1–E9 reproduction harness.
+
+See ``README.md`` for the quickstart and registry tables, and
+``docs/architecture.md`` for the registry/message-protocol architecture.
 """
 
 from repro.api import RunSpec, run
@@ -69,7 +73,7 @@ from repro.errors import (
     WorkloadError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "run",

@@ -9,9 +9,11 @@
 * :mod:`repro.analysis.competitive` — competitive ratios against the
   offline optimum,
 * :mod:`repro.analysis.sweeps` — a generic parameter-sweep harness used by
-  all experiments,
+  all experiments (with checkpoint/resume journaling),
 * :mod:`repro.analysis.backends` — the pluggable execution backends
-  (serial/thread/process) behind ``run_sweep``.
+  (serial/thread/process/queue) behind ``run_sweep``,
+* :mod:`repro.analysis.distributed_backend` — the distributed work-queue
+  backend: coordinator + worker processes, multi-host via a served queue.
 """
 
 from repro.analysis.backends import (
@@ -42,7 +44,12 @@ from repro.analysis.stats import (
     summarize,
     tail_probability,
 )
-from repro.analysis.sweeps import SweepResult, run_sweep
+from repro.analysis.sweeps import (
+    SweepResult,
+    run_sweep,
+    set_sweep_defaults,
+    sweep_defaults,
+)
 
 __all__ = [
     "max_protocol_expected_bound",
@@ -71,6 +78,8 @@ __all__ = [
     "tail_probability",
     "SweepResult",
     "run_sweep",
+    "set_sweep_defaults",
+    "sweep_defaults",
     "BackendInfo",
     "register_backend",
     "get_backend",

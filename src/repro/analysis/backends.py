@@ -13,13 +13,17 @@ Built-ins:
 * ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`; true
   parallelism for pure-Python measures, requires a picklable module-level
   ``measure``.
+* ``queue`` — the distributed work-queue coordinator
+  (:mod:`repro.analysis.distributed_backend`): worker processes pull job
+  chunks from a ``multiprocessing.Manager`` queue, optionally served over
+  a socket so workers attach from other hosts.
 
 Both pool backends collect futures with
 :func:`~concurrent.futures.as_completed`, so one slow early sample never
 serializes result collection.
 
-A distributed backend (the ROADMAP's multi-host sweep) plugs in the same
-way any other does — register from its own module::
+A new backend plugs in the same way the built-ins do — register from its
+own module::
 
     from repro.analysis.backends import register_backend
 
@@ -27,10 +31,19 @@ way any other does — register from its own module::
     def _cluster(measure, jobs, workers):
         ...
         yield job_index, sample
+
+Example::
+
+    >>> from repro.analysis.backends import get_backend, list_backends
+    >>> [info.name for info in list_backends()]
+    ['process', 'queue', 'serial', 'thread']
+    >>> get_backend("serial").description
+    'in-process loop; no pool overhead (workers ignored)'
 """
 
 from __future__ import annotations
 
+import importlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping, Sequence
@@ -64,9 +77,41 @@ class BackendInfo:
 
 BACKENDS: dict[str, BackendInfo] = {}
 
+# The queue backend lives in its own module (it drags multiprocessing
+# machinery along) and self-registers at import, mirroring how engines
+# self-register with repro.engine.registry.
+_BUILTIN_MODULES = ("repro.analysis.distributed_backend",)
+_builtins_loaded = False
+
+
+def _load_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
 
 def register_backend(name: str, *, description: str):
-    """Decorator registering a :data:`BackendRunner` under ``name``."""
+    """Decorator registering a :data:`BackendRunner` under ``name``.
+
+    Args
+    ----
+    name:
+        Registry key, as passed to ``run_sweep(..., backend=name)``.
+    description:
+        One line for listings (README tables, ``list_backends``).
+
+    Returns
+    -------
+    The decorator; it returns the runner unchanged.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``name`` is already registered.
+    """
 
     def deco(fn: BackendRunner) -> BackendRunner:
         if name in BACKENDS:
@@ -78,7 +123,24 @@ def register_backend(name: str, *, description: str):
 
 
 def get_backend(name: str) -> BackendInfo:
-    """Look up a registered backend by name."""
+    """Look up a registered backend by name.
+
+    Args
+    ----
+    name:
+        A registered backend name (``serial``, ``thread``, ``process``,
+        ``queue``, or anything registered by third-party code).
+
+    Returns
+    -------
+    The backend's :class:`BackendInfo`.
+
+    Raises
+    ------
+    ConfigurationError
+        If no backend of that name is registered.
+    """
+    _load_builtins()
     try:
         return BACKENDS[name]
     except KeyError:
@@ -89,7 +151,8 @@ def get_backend(name: str) -> BackendInfo:
 
 
 def list_backends() -> list[BackendInfo]:
-    """All registered backends in name order."""
+    """All registered backends in name order (built-ins loaded on demand)."""
+    _load_builtins()
     return [BACKENDS[name] for name in sorted(BACKENDS)]
 
 

@@ -1,9 +1,8 @@
 """The unified front door: describe a run with :class:`RunSpec`, execute it
 with :func:`run`.
 
-PR 1 left three ways to execute Algorithm 1 — ``TopKMonitor(...).run``,
-``run_vectorized`` and ``run_fast`` — each with its own signature and
-result type.  This module replaces them with one seam::
+This is the single seam through which every caller — experiments, CLI,
+benchmarks, examples — executes Algorithm 1::
 
     >>> import repro
     >>> spec = repro.RunSpec("random_walk", k=4, n=32, steps=2000, seed=2)
@@ -17,6 +16,10 @@ matrix), the monitoring parameters ``k``/``seed``, the engine choice, and
 the config knobs.  :func:`run` resolves the workload, dispatches through
 the engine registry (:mod:`repro.engine.registry`) and always returns a
 :class:`~repro.engine.results.RunResult`, whatever the engine.
+
+(The pre-1.2 entry points ``run_fast``/``run_vectorized`` survive only as
+once-warning deprecation shims in :mod:`repro.engine`; new code should
+never call them.)
 """
 
 from __future__ import annotations
@@ -78,7 +81,26 @@ class RunSpec:
     config: MonitorConfig | None = None
 
     def resolve_values(self) -> np.ndarray:
-        """Materialize the ``(T, n)`` value matrix this spec describes."""
+        """Materialize the ``(T, n)`` value matrix this spec describes.
+
+        Returns
+        -------
+        The integer value matrix: row ``t`` holds all nodes' observations
+        at time ``t``.
+
+        Raises
+        ------
+        ConfigurationError
+            For a named workload without explicit ``n``/``steps``, or a
+            raw matrix whose shape contradicts the given ``n``/``steps``.
+        WorkloadError
+            If the named workload rejects its parameters.
+
+        Example
+        -------
+        >>> RunSpec("staircase", k=2, n=6, steps=4).resolve_values().shape
+        (4, 6)
+        """
         if isinstance(self.workload, str):
             if self.n is None or self.steps is None:
                 raise ConfigurationError(
@@ -111,9 +133,31 @@ class RunSpec:
 def run(spec: RunSpec, *, engine: str | None = None) -> RunResult:
     """Execute ``spec`` on a registered engine; return the unified result.
 
-    ``engine`` overrides ``spec.engine``.  For any fixed spec and seed, all
-    built-in engines return bit-identical trajectories, reset times, and
-    per-phase message counts (the differential-test invariant I4).
+    Args
+    ----
+    spec:
+        The run description (workload, ``k``, seed, engine, config).
+    engine:
+        Optional engine-name override of ``spec.engine``.
+
+    Returns
+    -------
+    A :class:`~repro.engine.results.RunResult`.  For any fixed spec and
+    seed, all built-in engines return bit-identical trajectories, reset
+    times, and per-phase message counts (the differential-test
+    invariant I4).
+
+    Raises
+    ------
+    ConfigurationError
+        For an unknown engine name, an invalid ``k``, an unresolvable
+        workload, or config knobs the chosen engine rejects.
+
+    Example
+    -------
+    >>> result = run(RunSpec("staircase", k=2, n=6, steps=50, seed=1))
+    >>> result.steps
+    50
     """
     values = spec.resolve_values()
     k, _ = check_k(spec.k, values.shape[1])

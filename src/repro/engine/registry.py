@@ -116,7 +116,29 @@ def register_engine(
     capabilities=(),
     runner: EngineRunner,
 ) -> EngineInfo:
-    """Register an engine under ``name``; returns its :class:`EngineInfo`."""
+    """Register an engine under ``name``.
+
+    Args
+    ----
+    name:
+        Registry key, as passed to ``repro.run(spec, engine=name)`` and
+        the CLI's ``--engine``.
+    description:
+        One line for ``--list-engines`` and the README engine table.
+    capabilities:
+        Iterable of the ``CAP_*`` flags the engine's results support.
+    runner:
+        ``runner(values, k, *, seed, config) -> RunResult``.
+
+    Returns
+    -------
+    The stored :class:`EngineInfo`.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``name`` is already registered.
+    """
     if name in ENGINES:
         raise ConfigurationError(f"engine {name!r} is already registered")
     info = EngineInfo(
@@ -130,7 +152,27 @@ def register_engine(
 
 
 def get_engine(name: str) -> EngineInfo:
-    """Look up a registered engine by name."""
+    """Look up a registered engine by name.
+
+    Args
+    ----
+    name:
+        A registered engine name (built-ins load on first lookup).
+
+    Returns
+    -------
+    The engine's :class:`EngineInfo`.
+
+    Raises
+    ------
+    ConfigurationError
+        If no engine of that name is registered.
+
+    Example
+    -------
+    >>> get_engine("fast").supports(CAP_COUNTING)
+    True
+    """
     _load_builtins()
     try:
         return ENGINES[name]
@@ -141,6 +183,10 @@ def get_engine(name: str) -> EngineInfo:
 
 
 def list_engines() -> list[EngineInfo]:
-    """All registered engines in name order."""
+    """All registered engines in name order (built-ins loaded on demand).
+
+    >>> [info.name for info in list_engines()]
+    ['faithful', 'fast', 'vectorized']
+    """
     _load_builtins()
     return [ENGINES[name] for name in sorted(ENGINES)]

@@ -5,6 +5,14 @@ Examples::
     python -m repro.experiments --list
     python -m repro.experiments e1 e3 --scale smoke
     python -m repro.experiments --all --scale full --markdown out.md
+    python -m repro.experiments e5 --backend queue --workers 4 \
+        --checkpoint-dir .sweeps --resume
+
+The sweep flags (``--backend``, ``--workers``, ``--checkpoint-dir``,
+``--resume``) install process-wide sweep defaults
+(:func:`repro.analysis.sweeps.sweep_defaults`), so every parameter sweep an
+experiment runs through ``run_sweep`` — e.g. the E5 n/k scaling sweeps —
+fans out on the chosen backend and journals/resumes its progress.
 """
 
 from __future__ import annotations
@@ -29,6 +37,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", choices=SCALES, default="default", help="workload scale")
     parser.add_argument("--markdown", metavar="PATH", help="also write a Markdown report")
     parser.add_argument("--json", metavar="PATH", help="also write a JSON results file")
+    parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        help="execution backend for parameter sweeps (serial/thread/process/queue)",
+    )
+    parser.add_argument("--workers", type=int, metavar="N", help="parallel sweep workers")
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="journal every sweep to DIR/<name>.sweep.jsonl (enables --resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume sweeps from existing journals instead of failing on them",
+    )
     return parser
 
 
@@ -43,16 +67,29 @@ def main(argv: list[str] | None = None) -> int:
     if not ids:
         print("no experiments selected; use --all, --list, or pass ids", file=sys.stderr)
         return 2
+    overrides = {
+        key: value
+        for key, value in (
+            ("backend", args.backend),
+            ("workers", args.workers),
+            ("checkpoint_dir", args.checkpoint_dir),
+            ("resume", args.resume or None),
+        )
+        if value is not None
+    }
+    from repro.analysis.sweeps import sweep_defaults
+
     outputs = []
-    for exp_id in ids:
-        entry = get_experiment(exp_id)
-        start = time.perf_counter()
-        output = entry.runner(args.scale)
-        elapsed = time.perf_counter() - start
-        outputs.append(output)
-        print(render_output(output))
-        print(f"(elapsed: {elapsed:.1f}s)")
-        print()
+    with sweep_defaults(**overrides):
+        for exp_id in ids:
+            entry = get_experiment(exp_id)
+            start = time.perf_counter()
+            output = entry.runner(args.scale)
+            elapsed = time.perf_counter() - start
+            outputs.append(output)
+            print(render_output(output))
+            print(f"(elapsed: {elapsed:.1f}s)")
+            print()
     print(render_summary(outputs))
     if args.markdown:
         with open(args.markdown, "w") as fh:

@@ -12,12 +12,18 @@ Method: drive the segment-skipping *fast* engine (bit-identical to the
 faithful and vectorized engines, see :mod:`repro.engine.compare`) over the
 crossing-pair family (whose OPT epoch count is pinned by construction: one
 epoch per swap), sweeping one parameter at a time, and fit the growth shape.
+
+The n and k sweeps run through :func:`repro.analysis.sweeps.run_sweep`, so
+``python -m repro.experiments e5 --backend queue --workers 4`` fans their
+repetitions out over any execution backend (and ``--checkpoint-dir`` /
+``--resume`` journal them) without changing a single number.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.sweeps import run_sweep
 from repro.api import RunSpec, run as run_spec
 from repro.experiments.spec import ExperimentOutput, register, scaled
 from repro.streams import crossing_pair
@@ -33,6 +39,14 @@ def _epoch_cost(n: int, k: int, delta: int, steps: int, seed: int) -> float:
     res = run_spec(RunSpec(values, k=k, seed=seed + 1, engine="fast"))
     epochs = steps // period  # one boundary swap per period
     return res.total_messages / max(1, epochs)
+
+
+def _epoch_cost_measure(rng_seed: int, n: int, k: int, delta: int, steps: int) -> float:
+    """``run_sweep`` measure wrapping :func:`_epoch_cost`.
+
+    Module-level (picklable) so the process and queue backends can run it.
+    """
+    return _epoch_cost(n, k, delta, steps, seed=rng_seed)
 
 
 def _drift_epoch_cost(n: int, k: int, gap: int, steps: int, seed: int, out_table=None) -> float:
@@ -70,22 +84,32 @@ def run(scale: str = "default") -> ExperimentOutput:
     # --- sweep n at fixed k, delta ---------------------------------------
     ns = scaled(scale, [16, 64, 256], [16, 32, 64, 128, 256, 512], [16, 64, 256, 1024, 4096])
     t_n = Table(["n", "msgs/epoch (mean)"], title="E5a: n sweep (k=4, Δ=64)")
-    n_means = []
-    for n in ns:
-        samples = [_epoch_cost(n, 4, 64, steps, seed=s) for s in range(reps)]
-        n_means.append(float(np.mean(samples)))
-        t_n.add_row([n, n_means[-1]])
+    res_n = run_sweep(
+        "e5a_n_sweep",
+        [{"n": n, "k": 4, "delta": 64, "steps": steps} for n in ns],
+        _epoch_cost_measure,
+        repetitions=reps,
+        seed=50,
+    )
+    n_means = res_n.means()
+    for n, mean in zip(ns, n_means):
+        t_n.add_row([n, mean])
     out.tables.append(t_n)
 
     # --- sweep k at fixed n, delta ---------------------------------------
     n_fix = scaled(scale, 64, 128, 256)
     ks = scaled(scale, [2, 8, 24], [2, 4, 8, 16, 32, 48], [2, 4, 8, 16, 32, 64, 96])
     t_k = Table(["k", "msgs/epoch (mean)"], title=f"E5b: k sweep (n={n_fix}, Δ=64)")
-    k_means = []
-    for k in ks:
-        samples = [_epoch_cost(n_fix, k, 64, steps, seed=s) for s in range(reps)]
-        k_means.append(float(np.mean(samples)))
-        t_k.add_row([k, k_means[-1]])
+    res_k = run_sweep(
+        "e5b_k_sweep",
+        [{"n": n_fix, "k": k, "delta": 64, "steps": steps} for k in ks],
+        _epoch_cost_measure,
+        repetitions=reps,
+        seed=51,
+    )
+    k_means = res_k.means()
+    for k, mean in zip(ks, k_means):
+        t_k.add_row([k, mean])
     out.tables.append(t_k)
 
     # --- sweep delta at fixed n, k ---------------------------------------

@@ -4,21 +4,37 @@
 content machine-readably so future runs can be diffed numerically
 (``topkmon-experiments --all --json results.json`` style usage, and the
 regression test suite compares stored vs fresh smoke-scale results).
+
+It also holds :class:`SweepJournal`, the append-only checkpoint file behind
+``run_sweep(..., checkpoint=...)``: the sweep coordinator journals every
+completed ``(job_index, sample)`` pair as one JSON line, so a killed sweep
+resumes from exactly the jobs that finished.  The journal follows the same
+conventions as the results files above — a schema-versioned JSON header,
+plain-JSON records — but is line-oriented so a crash can lose at most the
+final partially-written line.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
-from repro.errors import ExperimentError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.spec import ExperimentOutput, Finding
 from repro.util.tables import Table
 
-__all__ = ["output_to_dict", "output_from_dict", "save_outputs", "load_outputs"]
+__all__ = [
+    "output_to_dict",
+    "output_from_dict",
+    "save_outputs",
+    "load_outputs",
+    "SweepJournal",
+]
 
 _SCHEMA_VERSION = 1
+_JOURNAL_SCHEMA_VERSION = 1
+_JOURNAL_KIND = "sweep-journal"
 
 
 def output_to_dict(out: ExperimentOutput) -> dict[str, Any]:
@@ -74,3 +90,106 @@ def load_outputs(path: str | Path) -> tuple[str, list[ExperimentOutput]]:
             f"unsupported results schema {data.get('schema')!r} (expected {_SCHEMA_VERSION})"
         )
     return data["scale"], [output_from_dict(d) for d in data["experiments"]]
+
+
+class SweepJournal:
+    """Append-only JSONL journal of completed sweep jobs.
+
+    Line 1 is a header ``{"schema": ..., "kind": "sweep-journal",
+    "fingerprint": {...}}``; every further line is one completed job,
+    ``{"job": <int index>, "sample": <float>}``.  The fingerprint pins the
+    sweep identity (name, a hash of the expanded job grid, repetitions,
+    seed, measure name — see ``repro.analysis.sweeps._sweep_fingerprint``)
+    so a journal can never silently resume a *different* sweep.
+
+    Records are flushed per write: a coordinator killed mid-sweep (even
+    with ``SIGKILL``) loses at most the line being written, and
+    :meth:`resume` tolerates that truncated trailer.
+
+    Use the named constructors — :meth:`create` for a fresh journal,
+    :meth:`resume` to reload one — never ``SweepJournal(...)`` directly.
+    """
+
+    def __init__(self, path: Path, fingerprint: Mapping[str, Any], completed: dict[int, float]):
+        self.path = path
+        self.fingerprint = dict(fingerprint)
+        #: Samples already journaled, keyed by flat job index.
+        self.completed = completed
+        self._fh = open(path, "a")
+
+    @classmethod
+    def create(cls, path: str | Path, fingerprint: Mapping[str, Any]) -> "SweepJournal":
+        """Start a fresh journal at ``path`` (header written immediately)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "schema": _JOURNAL_SCHEMA_VERSION,
+            "kind": _JOURNAL_KIND,
+            "fingerprint": dict(fingerprint),
+        }
+        path.write_text(json.dumps(header) + "\n")
+        return cls(path, fingerprint, completed={})
+
+    @classmethod
+    def resume(cls, path: str | Path, fingerprint: Mapping[str, Any]) -> "SweepJournal":
+        """Reload the journal at ``path``, verifying it belongs to this sweep.
+
+        Raises
+        ------
+        ExperimentError
+            If the file is not a sweep journal or has an unsupported schema.
+        ConfigurationError
+            If the journal's fingerprint does not match ``fingerprint``
+            (i.e. it was written by a different sweep).
+        """
+        path = Path(path)
+        content = path.read_text()
+        lines = content.splitlines()
+        if not lines:
+            raise ExperimentError(f"{path} is empty, not a sweep journal")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            raise ExperimentError(f"{path} does not start with a sweep-journal header") from None
+        if header.get("kind") != _JOURNAL_KIND or header.get("schema") != _JOURNAL_SCHEMA_VERSION:
+            raise ExperimentError(
+                f"{path} is not a schema-{_JOURNAL_SCHEMA_VERSION} sweep journal "
+                f"(header: {header!r})"
+            )
+        if header.get("fingerprint") != dict(fingerprint):
+            raise ConfigurationError(
+                f"checkpoint {path} belongs to a different sweep: journal fingerprint "
+                f"{header.get('fingerprint')!r} != expected {dict(fingerprint)!r}"
+            )
+        completed: dict[int, float] = {}
+        good_lines = [lines[0]]
+        truncated = not content.endswith("\n")
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                truncated = True
+                break  # truncated trailer from a mid-write kill; drop it
+            completed[int(record["job"])] = float(record["sample"])
+            good_lines.append(line)
+        if truncated:
+            # Rewrite to the last complete line so appended records never
+            # glue onto a partial one.
+            path.write_text("\n".join(good_lines) + "\n")
+        return cls(path, fingerprint, completed=completed)
+
+    def record(self, job: int, sample: float) -> None:
+        """Journal one completed job (flushed immediately)."""
+        self.completed[int(job)] = float(sample)
+        self._fh.write(json.dumps({"job": int(job), "sample": float(sample)}) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        self._fh.close()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,67 @@
+"""Process-wide option state: one frozen dataclass, set/override/current.
+
+Both the sweep harness (:class:`~repro.analysis.sweeps.SweepDefaults`) and
+the queue backend (:class:`~repro.analysis.distributed_backend.QueueOptions`)
+need the same three operations over a module-wide frozen-dataclass value:
+read it, replace fields (rejecting unknown names loudly), and override it
+within a ``with`` block.  This class implements them once.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Any, Generic, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OptionState"]
+
+T = TypeVar("T")
+
+
+class OptionState(Generic[T]):
+    """Holder for one process-wide frozen-dataclass options value.
+
+    Args
+    ----
+    initial:
+        The starting (default-constructed) options dataclass instance.
+    label:
+        Human label used in error messages, e.g. ``"queue option"``.
+    """
+
+    def __init__(self, initial: T, label: str):
+        self._value = initial
+        self._label = label
+
+    def current(self) -> T:
+        """The options value in effect right now."""
+        return self._value
+
+    def set(self, **overrides: Any) -> T:
+        """Replace fields; returns the new value.
+
+        Raises
+        ------
+        ConfigurationError
+            For a field name the dataclass does not define.
+        """
+        try:
+            self._value = replace(self._value, **overrides)
+        except TypeError:
+            known = ", ".join(type(self._value).__dataclass_fields__)
+            raise ConfigurationError(
+                f"unknown {self._label}(s) in {sorted(overrides)}; known: {known}"
+            ) from None
+        return self._value
+
+    @contextmanager
+    def override(self, **overrides: Any):
+        """Temporarily apply ``overrides`` (restored on exit)."""
+        saved = self._value
+        self.set(**overrides)
+        try:
+            yield self._value
+        finally:
+            self._value = saved

@@ -25,6 +25,7 @@ from repro.analysis.stats import (
     summarize,
     tail_probability,
 )
+from repro.analysis.backends import list_backends
 from repro.analysis.sweeps import run_sweep
 from repro.errors import ConfigurationError
 from repro.streams import crossing_pair, staircase
@@ -170,6 +171,11 @@ def _picklable_measure(rng_seed, x):
     return float((rng_seed * 31 + x) % 997)
 
 
+def _other_measure(rng_seed, x):
+    """A second measure: resuming a journal written by another one must fail."""
+    return float(x)
+
+
 class TestSweeps:
     def test_grid_and_repetitions(self):
         calls = []
@@ -208,7 +214,20 @@ class TestSweeps:
         with pytest.raises(ConfigurationError):
             run_sweep("s", [{"x": 1}], lambda rng_seed, x: 0.0, workers=0)
         with pytest.raises(ConfigurationError):
-            run_sweep("s", [{"x": 1}], lambda rng_seed, x: 0.0, executor="banana")
+            run_sweep("s", [{"x": 1}], lambda rng_seed, x: 0.0, backend="banana")
+
+    def test_executor_alias_warns_and_works(self):
+        from repro.util import deprecation
+
+        deprecation.reset_warned()
+        with pytest.warns(DeprecationWarning, match="executor"):
+            legacy = run_sweep(
+                "s", [{"x": 1}], _picklable_measure, repetitions=2, seed=3, executor="serial"
+            )
+        modern = run_sweep(
+            "s", [{"x": 1}], _picklable_measure, repetitions=2, seed=3, backend="serial"
+        )
+        assert legacy.points[0].samples == modern.points[0].samples
 
     @pytest.mark.parametrize("workers", [2, 5])
     def test_parallel_results_identical_to_serial(self, workers):
@@ -242,18 +261,17 @@ class TestSweeps:
             repetitions=3,
             seed=4,
             workers=2,
-            executor="process",
+            backend="process",
         )
         assert serial.points[0].samples == parallel.points[0].samples
 
     def test_engine_measure_parallel_sweep(self):
         """End-to-end: a fast-engine measurement fanned out over threads."""
-        from repro.engine import run_fast
-        from repro.streams import get_workload
+        from repro.api import RunSpec, run
 
         def measure(rng_seed, n):
-            values = get_workload("random_walk", n, 120, seed=rng_seed).generate()
-            return float(run_fast(values, 3, seed=rng_seed).total_messages)
+            spec = RunSpec("random_walk", k=3, n=n, steps=120, seed=rng_seed)
+            return float(run(spec).total_messages)
 
         grid = [{"n": 8}, {"n": 12}]
         serial = run_sweep("msgs", grid, measure, repetitions=3, seed=7)
@@ -265,6 +283,97 @@ class TestSweeps:
             "s", [{"x": v} for v in (3, 1, 2)], lambda rng_seed, x: float(x), repetitions=2
         )
         assert res.means() == [3.0, 1.0, 2.0]
+
+    def test_backend_executor_conflict(self):
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            run_sweep(
+                "s", [{"x": 1}], _picklable_measure, backend="serial", executor="thread"
+            )
+
+
+class TestBackendDeterminism:
+    """Every registered backend must reproduce the serial sweep bit for bit,
+    including after a mid-sweep kill/resume."""
+
+    GRID = [{"x": v} for v in range(4)]
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return run_sweep(
+            "det", self.GRID, _picklable_measure, repetitions=5, seed=12, backend="serial"
+        )
+
+    @pytest.mark.parametrize("backend", [b.name for b in list_backends()])
+    def test_backend_identical_to_serial(self, backend, reference):
+        res = run_sweep(
+            "det", self.GRID, _picklable_measure, repetitions=5, seed=12,
+            workers=3, backend=backend,
+        )
+        for a, b in zip(reference.points, res.points):
+            assert a.params == b.params
+            assert a.samples == b.samples
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "queue"])
+    def test_mid_sweep_resume_identical(self, backend, reference, tmp_path):
+        """Resume from a journal holding half the jobs: same sweep, bit for bit."""
+        checkpoint = tmp_path / f"{backend}.sweep.jsonl"
+        full = run_sweep(
+            "det", self.GRID, _picklable_measure, repetitions=5, seed=12,
+            checkpoint=checkpoint,
+        )
+        # Keep the header and the first half of the records — the state a
+        # coordinator killed at ~50% leaves behind.
+        lines = checkpoint.read_text().splitlines()
+        n_jobs = len(lines) - 1
+        checkpoint.write_text("\n".join(lines[: 1 + n_jobs // 2]) + "\n")
+        resumed = run_sweep(
+            "det", self.GRID, _picklable_measure, repetitions=5, seed=12,
+            workers=3, backend=backend, checkpoint=checkpoint, resume=True,
+        )
+        assert [p.samples for p in resumed.points] == [p.samples for p in full.points]
+        assert [p.samples for p in resumed.points] == [p.samples for p in reference.points]
+
+    def test_resume_replays_instead_of_recomputing(self, tmp_path):
+        """Journaled samples are trusted verbatim — the proof no finished job reruns."""
+        import json
+
+        checkpoint = tmp_path / "fake.sweep.jsonl"
+        run_sweep(
+            "det", self.GRID, _picklable_measure, repetitions=5, seed=12,
+            checkpoint=checkpoint,
+        )
+        # Rewrite the first 10 records with values no measure could produce
+        # and drop the rest — the resumed sweep must carry the fakes through.
+        lines = checkpoint.read_text().splitlines()
+        fakes = [
+            json.dumps({"job": json.loads(line)["job"], "sample": -1000.0 - i})
+            for i, line in enumerate(lines[1:11])
+        ]
+        checkpoint.write_text("\n".join([lines[0], *fakes]) + "\n")
+        res = run_sweep(
+            "det", self.GRID, _picklable_measure, repetitions=5, seed=12,
+            checkpoint=checkpoint, resume=True,
+        )
+        replayed = [s for p in res.points for s in p.samples][:10]
+        assert replayed == [-1000.0 - i for i in range(10)]
+
+    def test_resume_changed_grid_rejected(self, tmp_path):
+        """Same shape, different grid values: the fingerprint must catch it."""
+        checkpoint = tmp_path / "grid.sweep.jsonl"
+        run_sweep("det", self.GRID, _picklable_measure, repetitions=5, seed=12,
+                  checkpoint=checkpoint)
+        changed = [{"x": v + 100} for v in range(4)]
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            run_sweep("det", changed, _picklable_measure, repetitions=5, seed=12,
+                      checkpoint=checkpoint, resume=True)
+
+    def test_resume_changed_measure_rejected(self, tmp_path):
+        checkpoint = tmp_path / "meas.sweep.jsonl"
+        run_sweep("det", self.GRID, _picklable_measure, repetitions=5, seed=12,
+                  checkpoint=checkpoint)
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            run_sweep("det", self.GRID, _other_measure, repetitions=5, seed=12,
+                      checkpoint=checkpoint, resume=True)
 
 
 class TestStatisticalShapes:

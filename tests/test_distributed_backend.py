@@ -1,0 +1,307 @@
+"""Tests for the distributed work-queue backend and the sweep journal."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.backends import get_backend
+from repro.analysis.distributed_backend import (
+    QueueOptions,
+    _chunk,
+    _measure_path,
+    _parse_address,
+    _resolve_measure,
+    build_parser,
+    current_queue_options,
+    queue_options,
+    set_queue_options,
+)
+from repro.analysis.sweeps import run_sweep, sweep_defaults
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.persist import SweepJournal
+
+
+def _measure(rng_seed, x):
+    """Module-level measure (picklable, importable by served workers)."""
+    return float((rng_seed * 13 + x) % 499)
+
+
+def _failing_measure(rng_seed, x):
+    raise ValueError(f"measure blew up on x={x}")
+
+
+def _slow_measure(rng_seed, x):
+    import time
+
+    time.sleep(0.3)
+    return _measure(rng_seed, x)
+
+
+GRID = [{"x": v} for v in range(3)]
+
+
+class TestQueueOptions:
+    def test_defaults(self):
+        opts = current_queue_options()
+        assert opts.chunk_size is None and opts.address is None
+
+    def test_context_manager_restores(self):
+        before = current_queue_options()
+        with queue_options(chunk_size=2) as opts:
+            assert opts.chunk_size == 2
+            assert current_queue_options() is opts
+        assert current_queue_options() == before
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown queue option"):
+            set_queue_options(chunks=5)
+
+    def test_parse_address(self):
+        assert _parse_address("host:99") == ("host", 99)
+        assert _parse_address(("h", 7)) == ("h", 7)
+        with pytest.raises(ConfigurationError):
+            _parse_address("no-port")
+
+    def test_chunking(self):
+        jobs = [{"x": i} for i in range(10)]
+        tasks = _chunk(jobs, 4, workers=2)
+        assert [cid for cid, _ in tasks] == [0, 1, 2]
+        flat = [idx for _, chunk in tasks for idx, _ in chunk]
+        assert flat == list(range(10))
+        # auto-size: ~4 chunks per worker
+        auto = _chunk(jobs, None, workers=2)
+        assert all(len(chunk) <= 2 for _, chunk in auto)
+        with pytest.raises(ConfigurationError):
+            _chunk(jobs, 0, workers=2)
+
+    def test_measure_path_roundtrip(self):
+        path = _measure_path(_measure)
+        assert _resolve_measure(path) is _measure
+
+    def test_measure_path_rejects_closures(self):
+        with pytest.raises(ConfigurationError, match="module-level measure"):
+            _measure_path(lambda rng_seed, x: 0.0)
+
+
+class TestLocalQueueBackend:
+    def test_registered(self):
+        assert get_backend("queue").name == "queue"
+
+    @pytest.mark.parametrize("chunk_size", [None, 1, 5])
+    def test_identical_to_serial(self, chunk_size):
+        serial = run_sweep("q", GRID, _measure, repetitions=4, seed=3)
+        with queue_options(chunk_size=chunk_size):
+            queued = run_sweep(
+                "q", GRID, _measure, repetitions=4, seed=3, workers=2, backend="queue"
+            )
+        assert [p.samples for p in serial.points] == [p.samples for p in queued.points]
+
+    def test_single_worker_honoured(self):
+        """workers=1 must not silently fall back to the serial backend."""
+        res = run_sweep("q", GRID, _measure, repetitions=2, seed=1, workers=1, backend="queue")
+        serial = run_sweep("q", GRID, _measure, repetitions=2, seed=1)
+        assert [p.samples for p in res.points] == [p.samples for p in serial.points]
+
+    def test_worker_error_propagates(self):
+        with pytest.raises(ExperimentError, match="measure blew up"):
+            run_sweep(
+                "q", GRID, _failing_measure, repetitions=2, seed=1, workers=2, backend="queue"
+            )
+
+
+class TestServedQueueBackend:
+    def test_remote_worker_over_socket(self, tmp_path):
+        """A worker subprocess attaches via --connect and does all the work."""
+        procs = []
+
+        def launch(address):
+            host, port = address
+            procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.analysis.distributed_backend",
+                        "--connect",
+                        f"{host}:{port}",
+                        "--authkey",
+                        "test-secret",
+                        "--retry-seconds",
+                        "10",
+                    ],
+                    env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+                    stderr=subprocess.PIPE,
+                    text=True,
+                )
+            )
+
+        serial = run_sweep("srv", GRID, _measure, repetitions=3, seed=8)
+        with queue_options(
+            address=("127.0.0.1", 0),
+            authkey=b"test-secret",
+            remote_workers=1,
+            on_listening=launch,
+            chunk_size=2,
+        ):
+            served = run_sweep(
+                "srv", GRID, _measure, repetitions=3, seed=8, workers=0, backend="queue"
+            )
+        assert [p.samples for p in serial.points] == [p.samples for p in served.points]
+        assert len(procs) == 1
+        stderr = procs[0].communicate(timeout=30)[1]
+        assert procs[0].returncode == 0, stderr
+        assert "chunk(s) processed" in stderr or "coordinator gone" in stderr
+
+    def test_mixed_local_and_remote_workers(self):
+        """A local worker finishing early must not abort the sweep while a
+        remote worker is still computing slow chunks (regression: the
+        liveness check used to fire on the healthy sentinel-driven exit)."""
+        procs = []
+
+        def launch(address):
+            host, port = address
+            procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro.analysis.distributed_backend",
+                        "--connect", f"{host}:{port}",
+                        "--authkey", "test-secret", "--retry-seconds", "10",
+                    ],
+                    env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+                    stderr=subprocess.DEVNULL,
+                )
+            )
+
+        serial = run_sweep("mix", GRID, _slow_measure, repetitions=2, seed=6)
+        with queue_options(
+            address=("127.0.0.1", 0), authkey=b"test-secret",
+            remote_workers=1, on_listening=launch, chunk_size=1,
+        ):
+            mixed = run_sweep(
+                "mix", GRID, _slow_measure, repetitions=2, seed=6, workers=1, backend="queue"
+            )
+        assert [p.samples for p in serial.points] == [p.samples for p in mixed.points]
+        for proc in procs:
+            proc.wait(timeout=30)
+
+    def test_no_workers_rejected(self):
+        with queue_options(address=("127.0.0.1", 0), remote_workers=0):
+            with pytest.raises(ConfigurationError, match="at least one worker"):
+                run_sweep("srv", GRID, _measure, repetitions=2, workers=0, backend="queue")
+
+    def test_local_mode_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="served mode"):
+            run_sweep("srv", GRID, _measure, repetitions=2, workers=0, backend="queue")
+
+
+class TestWorkerCli:
+    def test_parser(self):
+        args = build_parser().parse_args(["--connect", "h:1", "--authkey", "k"])
+        assert args.connect == "h:1" and args.authkey == "k"
+
+    def test_connect_refused_exit_code(self):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis.distributed_backend",
+                "--connect",
+                "127.0.0.1:1",  # nothing listens on port 1
+            ],
+            env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 2
+        assert "cannot connect" in proc.stderr
+
+
+class TestSweepJournal:
+    FP = {"name": "j", "jobs": 4, "repetitions": 2, "seed": 0}
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal.create(path, self.FP) as journal:
+            journal.record(0, 1.5)
+            journal.record(2, -3.0)
+        resumed = SweepJournal.resume(path, self.FP)
+        assert resumed.completed == {0: 1.5, 2: -3.0}
+        resumed.close()
+
+    def test_fingerprint_mismatch(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        SweepJournal.create(path, self.FP).close()
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            SweepJournal.resume(path, {**self.FP, "seed": 99})
+
+    def test_not_a_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"some": "json"}\n')
+        with pytest.raises(ExperimentError, match="sweep journal"):
+            SweepJournal.resume(path, self.FP)
+        path.write_text("")
+        with pytest.raises(ExperimentError, match="empty"):
+            SweepJournal.resume(path, self.FP)
+
+    def test_truncated_trailer_dropped_and_appendable(self, tmp_path):
+        """A mid-write kill leaves a partial line; resume drops it cleanly."""
+        path = tmp_path / "j.jsonl"
+        with SweepJournal.create(path, self.FP) as journal:
+            journal.record(0, 1.0)
+        with open(path, "a") as fh:
+            fh.write('{"job": 1, "sam')  # the kill landed here
+        resumed = SweepJournal.resume(path, self.FP)
+        assert resumed.completed == {0: 1.0}
+        resumed.record(1, 2.0)
+        resumed.close()
+        reloaded = SweepJournal.resume(path, self.FP)
+        assert reloaded.completed == {0: 1.0, 1: 2.0}
+        reloaded.close()
+
+
+class TestRunSweepCheckpointing:
+    def test_existing_checkpoint_needs_resume(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        run_sweep("c", GRID, _measure, repetitions=2, seed=1, checkpoint=path)
+        with pytest.raises(ConfigurationError, match="--resume"):
+            run_sweep("c", GRID, _measure, repetitions=2, seed=1, checkpoint=path)
+
+    def test_resume_different_sweep_rejected(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        run_sweep("c", GRID, _measure, repetitions=2, seed=1, checkpoint=path)
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            run_sweep("c", GRID, _measure, repetitions=3, seed=1, checkpoint=path, resume=True)
+
+    def test_journal_contents(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        res = run_sweep("c", GRID, _measure, repetitions=2, seed=1, checkpoint=path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "sweep-journal"
+        assert lines[0]["fingerprint"]["name"] == "c"
+        samples = {rec["job"]: rec["sample"] for rec in lines[1:]}
+        flat = [s for p in res.points for s in p.samples]
+        assert samples == {i: s for i, s in enumerate(flat)}
+
+    def test_checkpoint_dir_default_via_sweep_defaults(self, tmp_path):
+        with sweep_defaults(checkpoint_dir=tmp_path, resume=True):
+            run_sweep("my sweep!", GRID, _measure, repetitions=2, seed=1)
+            # slugged file name, and a second run resumes instead of failing
+            assert (tmp_path / "my_sweep_.sweep.jsonl").exists()
+            run_sweep("my sweep!", GRID, _measure, repetitions=2, seed=1)
+
+    def test_defaults_backend_and_workers(self):
+        with sweep_defaults(backend="queue", workers=2):
+            res = run_sweep("d", GRID, _measure, repetitions=2, seed=4)
+        serial = run_sweep("d", GRID, _measure, repetitions=2, seed=4)
+        assert [p.samples for p in res.points] == [p.samples for p in serial.points]
+
+    def test_unknown_default_rejected(self):
+        from repro.analysis.sweeps import set_sweep_defaults
+
+        with pytest.raises(ConfigurationError, match="unknown sweep default"):
+            set_sweep_defaults(bakend="queue")

@@ -57,6 +57,23 @@ class TestExamples:
         proc = _run("failover.py", "--steps", "100", "--crash-at", "100")
         assert proc.returncode != 0
 
+    def test_distributed_sweep_kill_resume(self):
+        proc = _run(
+            "distributed_sweep.py", "--points", "4", "--reps", "3",
+            "--steps", "200", "--job-ms", "30",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "replayed from journal" in proc.stdout
+        assert "resumed sweep bit-identical to serial: True" in proc.stdout
+
+    def test_distributed_sweep_run_stage(self):
+        proc = _run(
+            "distributed_sweep.py", "--stage", "run", "--backend", "serial",
+            "--points", "2", "--reps", "2", "--steps", "100", "--job-ms", "0",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "sweep done: 2 points" in proc.stdout
+
     @pytest.mark.parametrize(
         "script",
         [
@@ -66,6 +83,7 @@ class TestExamples:
             "protocol_demo.py",
             "competitive_analysis.py",
             "failover.py",
+            "distributed_sweep.py",
         ],
     )
     def test_help_flag(self, script):

@@ -126,3 +126,41 @@ class TestCli:
         content = path.read_text()
         assert content.startswith("# Experiment report")
         assert "### E3" in content
+
+    def test_sweep_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["e5", "--backend", "queue", "--workers", "4", "--checkpoint-dir", "cp", "--resume"]
+        )
+        assert args.backend == "queue"
+        assert args.workers == 4
+        assert args.checkpoint_dir == "cp"
+        assert args.resume is True
+
+    def test_sweep_flags_end_to_end(self, tmp_path, capsys):
+        """E5's sweeps run on the queue backend, journal, and resume — with
+        tables identical to the default serial run."""
+        from repro.analysis.sweeps import current_sweep_defaults
+
+        code = main(["e5", "--scale", "smoke"])
+        serial_out = capsys.readouterr().out
+        flags = ["--backend", "queue", "--workers", "2", "--checkpoint-dir", str(tmp_path)]
+        assert main(["e5", "--scale", "smoke", *flags]) == code == 0
+        queue_out = capsys.readouterr().out
+        assert (tmp_path / "e5a_n_sweep.sweep.jsonl").exists()
+        assert (tmp_path / "e5b_k_sweep.sweep.jsonl").exists()
+        # journals exist now, so a re-run needs --resume...
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--resume"):
+            main(["e5", "--scale", "smoke", *flags])
+        capsys.readouterr()
+        # ...and with it, completed sweeps replay from the journal.
+        assert main(["e5", "--scale", "smoke", *flags, "--resume"]) == 0
+        resume_out = capsys.readouterr().out
+
+        def tables(text):
+            return [l for l in text.splitlines() if l.startswith("|") or "E5" in l]
+
+        assert tables(serial_out) == tables(queue_out) == tables(resume_out)
+        # the context-managed defaults must not leak past main()
+        assert current_sweep_defaults().backend is None

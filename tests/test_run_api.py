@@ -187,7 +187,7 @@ class TestBackendRegistry:
 
     def test_run_sweep_unknown_backend(self):
         with pytest.raises(ConfigurationError):
-            run_sweep("s", [{"x": 1}], lambda rng_seed, x: 0.0, executor="banana")
+            run_sweep("s", [{"x": 1}], lambda rng_seed, x: 0.0, backend="banana")
 
     def test_rng_seed_grid_param_rejected(self):
         """'rng_seed' must not silently override the derived seeds."""
@@ -210,7 +210,7 @@ class TestBackendRegistry:
                 repetitions=3,
                 seed=1,
                 workers=2,
-                executor="reversed-serial",
+                backend="reversed-serial",
             )
             assert [p.samples for p in toy.points] == [p.samples for p in base.points]
         finally:
