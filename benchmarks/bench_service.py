@@ -1,0 +1,107 @@
+"""Bench the streaming session service: throughput, latency, batching.
+
+The headline numbers (recorded into ``BENCH_engines.json`` via
+``benchmarks/record.py --select service --merge``):
+
+* ``drain_1000_sessions_batched`` / ``..._per_session`` — wall time to
+  stream ``ROWS`` rows into each of 1000 concurrent sessions and drain
+  them; sessions/sec = 1000·ROWS / mean.  The pair quantifies what the
+  batched stepping path buys over per-session Python loops.
+* ``step_sweep_1000_sessions`` — one stacked sweep advancing all 1000
+  sessions by one row: the service's unit of step latency.
+
+The batched run's outputs are asserted bit-identical to the offline
+engine on every one of the 1000 sessions — the acceptance bar for the
+serving layer, not just a timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.service import SessionManager
+from repro.streams import random_walk
+
+SESSIONS = 1000
+ROWS = 32
+N, K = 16, 3
+
+
+def _streams() -> list[np.ndarray]:
+    """One (ROWS, N) walk per session, mildly separated (quiet regime)."""
+    return [
+        random_walk(N, ROWS, seed=1000 + i, step_size=4, spread=60).generate()
+        for i in range(SESSIONS)
+    ]
+
+
+def _loaded_manager(streams: list[np.ndarray], *, batch: bool) -> SessionManager:
+    """A manager with every session created and its full stream inboxed."""
+    mgr = SessionManager(batch=batch, inbox_limit=ROWS)
+    for i, values in enumerate(streams):
+        sid = mgr.create(N, K, seed=2000 + i)
+        for row in values:
+            mgr.feed(sid, row)
+    return mgr
+
+
+def test_drain_1000_sessions_batched(benchmark):
+    """Throughput of the batched stepping path, verified bit-identical."""
+    streams = _streams()
+
+    def setup():
+        return (_loaded_manager(streams, batch=True),), {}
+
+    def drain(mgr):
+        mgr.drain()
+        return mgr
+
+    mgr = benchmark.pedantic(drain, setup=setup, rounds=3, iterations=1)
+    snap = mgr.metrics_snapshot()
+    assert snap.rows_processed == SESSIONS * ROWS
+    assert snap.rows_batched > 0.9 * SESSIONS * ROWS
+    assert snap.rows_quiet > 0  # the quiet lane is the whole point
+    # Acceptance bar: every session's answer and message count equals the
+    # offline engine on the same values.
+    for i, (sid, values) in enumerate(zip(mgr.session_ids(), streams)):
+        view = mgr.query(sid)
+        offline = repro.run(repro.RunSpec(values, k=K, seed=2000 + i, engine="vectorized"))
+        assert view.topk == tuple(offline.topk_history[-1].tolist()), sid
+        assert view.message_count == offline.total_messages, sid
+
+
+def test_drain_1000_sessions_per_session(benchmark):
+    """The same drain with batching disabled (the baseline it beats)."""
+    streams = _streams()
+
+    def setup():
+        return (_loaded_manager(streams, batch=False),), {}
+
+    def drain(mgr):
+        mgr.drain()
+        return mgr
+
+    mgr = benchmark.pedantic(drain, setup=setup, rounds=3, iterations=1)
+    snap = mgr.metrics_snapshot()
+    assert snap.rows_processed == SESSIONS * ROWS
+    assert snap.rows_batched == 0
+
+
+def test_step_sweep_1000_sessions(benchmark):
+    """Latency of one stacked sweep over 1000 pending sessions."""
+    streams = _streams()
+    mgr = _loaded_manager(streams, batch=True)
+
+    def sweep():
+        processed = mgr.step()
+        if mgr.total_pending() == 0:  # refill so every round has work
+            for sid, values in zip(mgr.session_ids(), streams):
+                for row in values:
+                    mgr.feed(sid, row)
+        return processed
+
+    processed = benchmark(sweep)
+    assert processed == SESSIONS
+    snap = mgr.metrics_snapshot()
+    assert snap.step_latency_p99_us > snap.step_latency_p50_us >= 0.0

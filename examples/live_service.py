@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Live service demo: one server, two clients, streaming telemetry.
+
+Launches the streaming session service in-process (`repro.serve`),
+attaches two independent clients — a *sensor gateway* feeding the
+sensor-field workload and a *fleet gateway* feeding server-load walks —
+and prints live top-k answers and message-count telemetry while rows
+stream in.  At the end, every session's answer and message count is
+verified bit-identical against the offline ``TopKMonitor.run`` on the
+same value sequence.
+
+Usage::
+
+    python examples/live_service.py [--n 24] [--k 4] [--steps 600]
+    python examples/live_service.py --address host:port   # external server
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+
+import numpy as np
+
+import repro
+from repro.streams import get_workload
+
+FEEDS = (
+    ("sensor-gateway", "sensor_field"),
+    ("fleet-gateway", "random_walk_spread"),
+)
+
+
+def gateway(address, label: str, workload: str, values: np.ndarray, k: int, seed: int, out: dict) -> None:
+    """One client connection feeding a full stream row by row."""
+    with repro.connect(address) as client:
+        session = client.create_session(n=values.shape[1], k=k, seed=seed)
+        out[label] = session.id
+        for row in values:
+            session.feed(row)
+        # Park until every fed row is stepped, then read the final state.
+        out[f"{label}.final"] = session.query(wait=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=24, help="nodes per stream")
+    parser.add_argument("--k", type=int, default=4, help="top-k size")
+    parser.add_argument("--steps", type=int, default=600, help="rows per stream")
+    parser.add_argument("--seed", type=int, default=3, help="workload/protocol seed")
+    parser.add_argument("--address", help="attach to a running server instead of launching one")
+    args = parser.parse_args()
+
+    server = None
+    if args.address:
+        address = args.address
+    else:
+        server = repro.serve()
+        address = server.address
+        print(f"service listening on {address[0]}:{address[1]}")
+
+    streams = {
+        label: get_workload(name, args.n, args.steps, seed=args.seed + i).generate()
+        for i, (label, name) in enumerate(FEEDS)
+    }
+    shared: dict = {}
+    threads = [
+        threading.Thread(
+            target=gateway,
+            args=(address, label, name, streams[label], args.k, args.seed + 10 + i, shared),
+            daemon=True,
+        )
+        for i, (label, name) in enumerate(FEEDS)
+    ]
+    for thread in threads:
+        thread.start()
+
+    # Telemetry loop: poll the service while the gateways stream.
+    with repro.connect(address) as observer:
+        while any(t.is_alive() for t in threads):
+            for thread in threads:
+                thread.join(timeout=0.05)
+            metrics = observer.metrics()
+            line = (
+                f"[telemetry] rows={metrics['rows_processed']:>6} "
+                f"({metrics['rows_per_sec']:.0f}/s, p99 {metrics['step_latency_p99_us']:.0f}us) "
+                f"msgs={metrics['protocol_messages']}"
+            )
+            for label, _ in FEEDS:
+                if label in shared:
+                    view = observer.session(shared[label]).query()
+                    line += f" | {label}: t={view['time']} top-{args.k}={view['topk']}"
+            print(line)
+        metrics = observer.metrics()
+
+    print()
+    print(f"final telemetry: {metrics['rows_processed']} rows, "
+          f"{metrics['protocol_messages']} protocol messages, "
+          f"p50/p99 step latency {metrics['step_latency_p50_us']:.0f}/"
+          f"{metrics['step_latency_p99_us']:.0f}us, "
+          f"{metrics['rows_batched']} rows batch-stepped")
+
+    ok = True
+    for i, (label, _) in enumerate(FEEDS):
+        final = shared[f"{label}.final"]
+        offline = repro.TopKMonitor(n=args.n, k=args.k, seed=args.seed + 10 + i).run(streams[label])
+        match = (
+            final["topk"] == offline.topk_history[-1].tolist()
+            and final["messages"] == offline.total_messages
+        )
+        ok &= match
+        naive = args.n * args.steps
+        print(
+            f"{label}: top-{args.k} {final['topk']}, {final['messages']} msgs "
+            f"(naive would send {naive}; saving {1 - final['messages'] / naive:.1%}) "
+            f"| identical to offline run: {match}"
+        )
+
+    if server is not None:
+        server.close()
+        print("service stopped")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

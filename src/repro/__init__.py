@@ -33,6 +33,9 @@ run on the faithful engine).  For deployment-shaped streaming use
 Public surface
 --------------
 * :func:`run` / :class:`RunSpec` / :class:`RunResult` — the unified run API.
+* :func:`serve` / :func:`connect` — the streaming session service
+  (:mod:`repro.service`): thousands of live monitors behind one batched
+  JSONL-over-TCP serving layer.
 * :func:`register_engine` / :func:`get_engine` / :func:`list_engines` — the
   engine registry (pluggable Algorithm-1 implementations).
 * :class:`TopKMonitor` / :class:`OnlineSession` — Algorithm 1, object form.
@@ -49,7 +52,7 @@ See ``README.md`` for the quickstart and registry tables, and
 ``docs/architecture.md`` for the registry/message-protocol architecture.
 """
 
-from repro.api import RunSpec, run
+from repro.api import RunSpec, connect, run, serve
 from repro.core.events import MonitorResult, StepEvent, StepKind
 from repro.core.filters import Filter, FilterSet
 from repro.core.monitor import MonitorConfig, OnlineSession, TopKMonitor
@@ -73,11 +76,13 @@ from repro.errors import (
     WorkloadError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "run",
     "RunSpec",
+    "serve",
+    "connect",
     "RunResult",
     "EngineInfo",
     "register_engine",
@@ -118,6 +123,7 @@ _LAZY_SUBMODULES = (
     "experiments",
     "extensions",
     "model",
+    "service",
     "streams",
     "util",
 )

@@ -35,7 +35,7 @@ from repro.engine.results import RunResult
 from repro.errors import ConfigurationError
 from repro.util.validation import check_k, check_matrix
 
-__all__ = ["RunSpec", "run"]
+__all__ = ["RunSpec", "run", "serve", "connect"]
 
 
 @dataclass(frozen=True, eq=False)
@@ -167,3 +167,63 @@ def run(spec: RunSpec, *, engine: str | None = None) -> RunResult:
     # The attached spec must reproduce *this* run, including an override.
     result.spec = spec if info.name == spec.engine else replace(spec, engine=info.name)
     return result
+
+
+def serve(host: str = "127.0.0.1", port: int = 0, **options):
+    """Start an in-process streaming session service on a background thread.
+
+    The deployment-shaped counterpart of :func:`run`: instead of replaying
+    a full ``(T, n)`` matrix, the service keeps live
+    :class:`~repro.core.monitor.OnlineSession`-shaped monitors resident
+    and steps them in batched sweeps as rows arrive over TCP (JSONL wire
+    format, see ``docs/architecture.md``).
+
+    Args
+    ----
+    host / port:
+        Bind address; the default ephemeral port is read back from the
+        returned handle's ``address``.
+    options:
+        Forwarded to :class:`~repro.service.server.ServiceServer`
+        (``inbox_limit``, ``batch``, ``manager``).
+
+    Returns
+    -------
+    A :class:`~repro.service.server.ServerHandle` (context manager;
+    ``close()`` shuts the service down).
+
+    Example
+    -------
+    >>> import repro
+    >>> with repro.serve() as server:
+    ...     with repro.connect(server.address) as client:
+    ...         session = client.create_session(n=4, k=2, seed=3)
+    ...         _ = session.feed([40, 10, 30, 20])
+    ...         session.topk(wait=True)
+    [0, 2]
+    """
+    from repro.service import start_server
+
+    return start_server(host, port, **options)
+
+
+def connect(address, **options):
+    """Connect to a running session service.
+
+    Args
+    ----
+    address:
+        ``(host, port)`` or ``"host:port"`` — e.g. ``server.address`` from
+        :func:`serve`, or the address printed by
+        ``python -m repro.service --serve``.
+    options:
+        Forwarded to :class:`~repro.service.client.ServiceClient`
+        (``timeout``).
+
+    Returns
+    -------
+    A :class:`~repro.service.client.ServiceClient` (context manager).
+    """
+    from repro.service import ServiceClient
+
+    return ServiceClient(address, **options)

@@ -133,6 +133,11 @@ class OnlineSession:
         """The current filter bound ``M`` (exact)."""
         return Fraction(self._m2, 2)
 
+    @property
+    def message_count(self) -> int:
+        """Total unit-cost messages exchanged so far (the ledger total)."""
+        return self.ledger.total
+
     def filter_set(self) -> FilterSet:
         """Materialize the implied filter set (for validation / display)."""
         from repro.core.filters import Filter
@@ -175,6 +180,24 @@ class OnlineSession:
                     f"top-{self.k} set"
                 )
         return self.topk
+
+    def step(self, row: ValueRow) -> np.ndarray:
+        """Alias for :meth:`observe` — the generic session-stepper entry
+        point shared with the engine-registry session factories, so the
+        streaming service drives faithful sessions and counting kernels
+        through one interface."""
+        return self.observe(row)
+
+    def observe_many(self, rows: ValueMatrix) -> np.ndarray:
+        """Process several observation rows; returns the ``(T, k)`` top-k
+        history over those rows (ascending id order per row)."""
+        rows = np.asarray(rows)
+        if rows.ndim != 2:
+            raise ConfigurationError(f"rows must be a 2-D (T, n) array, got shape {rows.shape}")
+        history = np.empty((rows.shape[0], self.k), dtype=np.int64)
+        for t in range(rows.shape[0]):
+            history[t] = self.observe(rows[t])
+        return history
 
     def finish(self) -> None:
         """Flush instrumentation at the end of a run."""
@@ -328,9 +351,7 @@ class TopKMonitor:
         values = check_matrix(values, n=self.n)
         T = values.shape[0]
         session = self.session()
-        history = np.empty((T, self.k), dtype=np.int64)
-        for t in range(T):
-            history[t] = session.observe(values[t])
+        history = session.observe_many(values)
         session.finish()
         return MonitorResult(
             n=self.n,

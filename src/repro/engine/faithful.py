@@ -12,12 +12,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.monitor import MonitorConfig, TopKMonitor
+from repro.core.monitor import MonitorConfig, OnlineSession, TopKMonitor
 from repro.engine.registry import (
     CAP_ABLATIONS,
     CAP_AUDIT,
     CAP_EVENTS,
     CAP_MESSAGES,
+    CAP_STREAMING,
     CAP_TRAJECTORY,
     register_engine,
 )
@@ -31,9 +32,20 @@ def _run_faithful(values: np.ndarray, k: int, *, seed, config: MonitorConfig) ->
     return RunResult.from_monitor(result, engine="faithful")
 
 
+def _session_factory(n: int, k: int, *, seed=None, config=None) -> OnlineSession:
+    if config is None:
+        # Streaming sessions live indefinitely and nothing in the service
+        # reads per-step events; the batch default (collect_events=True)
+        # would grow one StepEvent per row forever.  Callers who want the
+        # instrumentation pass an explicit config.
+        config = MonitorConfig(collect_events=False)
+    return OnlineSession(n, k, seed=seed, config=config)
+
+
 register_engine(
     "faithful",
     description="object-model monitor: transports, ledger, events; audit + all ablations",
-    capabilities={CAP_TRAJECTORY, CAP_EVENTS, CAP_MESSAGES, CAP_AUDIT, CAP_ABLATIONS},
+    capabilities={CAP_TRAJECTORY, CAP_EVENTS, CAP_MESSAGES, CAP_AUDIT, CAP_ABLATIONS, CAP_STREAMING},
     runner=_run_faithful,
+    session_factory=_session_factory,
 )

@@ -49,10 +49,12 @@ __all__ = [
     "CAP_MESSAGES",
     "CAP_AUDIT",
     "CAP_ABLATIONS",
+    "CAP_STREAMING",
     "EngineInfo",
     "ENGINES",
     "register_engine",
     "get_engine",
+    "get_session_factory",
     "list_engines",
 ]
 
@@ -68,19 +70,27 @@ CAP_MESSAGES = "messages"
 CAP_AUDIT = "audit"
 #: Ablation knobs (``always_reset``, ``broadcast_every_round``).
 CAP_ABLATIONS = "ablations"
+#: Incremental row-at-a-time stepping (``session_factory`` registered);
+#: required to host live sessions in :mod:`repro.service`.
+CAP_STREAMING = "streaming"
 
 #: ``runner(values, k, *, seed, config) -> RunResult``
 EngineRunner = Callable[..., Any]
+#: ``session_factory(n, k, *, seed, config) -> stepper`` where the stepper
+#: exposes ``step(row) -> topk``, ``time``, ``topk`` and ``message_count``
+#: (the contract :mod:`repro.service` builds on).
+SessionFactory = Callable[..., Any]
 
 
 @dataclass(frozen=True)
 class EngineInfo:
-    """One registered engine: identity, capabilities, and entry point."""
+    """One registered engine: identity, capabilities, and entry points."""
 
     name: str
     description: str
     capabilities: frozenset[str]
     runner: EngineRunner
+    session_factory: SessionFactory | None = None
 
     def supports(self, capability: str) -> bool:
         """Whether this engine advertises ``capability``."""
@@ -115,6 +125,7 @@ def register_engine(
     description: str,
     capabilities=(),
     runner: EngineRunner,
+    session_factory: SessionFactory | None = None,
 ) -> EngineInfo:
     """Register an engine under ``name``.
 
@@ -129,6 +140,11 @@ def register_engine(
         Iterable of the ``CAP_*`` flags the engine's results support.
     runner:
         ``runner(values, k, *, seed, config) -> RunResult``.
+    session_factory:
+        Optional ``(n, k, *, seed, config) -> stepper`` constructor for
+        incremental row-at-a-time sessions; registering one is what makes
+        the engine usable by the streaming service (advertise it with
+        :data:`CAP_STREAMING`).
 
     Returns
     -------
@@ -146,6 +162,7 @@ def register_engine(
         description=description,
         capabilities=frozenset(capabilities),
         runner=runner,
+        session_factory=session_factory,
     )
     ENGINES[name] = info
     return info
@@ -180,6 +197,40 @@ def get_engine(name: str) -> EngineInfo:
         raise ConfigurationError(
             f"unknown engine {name!r}; registered engines: {', '.join(sorted(ENGINES))}"
         ) from None
+
+
+def get_session_factory(name: str) -> SessionFactory:
+    """The streaming-session constructor of a registered engine.
+
+    Args
+    ----
+    name:
+        A registered engine name.
+
+    Returns
+    -------
+    The engine's ``session_factory``.
+
+    Raises
+    ------
+    ConfigurationError
+        If the engine exists but registered no session factory (it cannot
+        host live sessions), or if no engine of that name is registered.
+
+    Example
+    -------
+    >>> stepper = get_session_factory("vectorized")(4, 2, seed=0)
+    >>> stepper.step([30, 10, 20, 40]).tolist()
+    [0, 3]
+    """
+    info = get_engine(name)
+    if info.session_factory is None:
+        streaming = sorted(e.name for e in ENGINES.values() if e.session_factory is not None)
+        raise ConfigurationError(
+            f"engine {name!r} does not support streaming sessions; "
+            f"streaming engines: {', '.join(streaming)}"
+        )
+    return info.session_factory
 
 
 def list_engines() -> list[EngineInfo]:

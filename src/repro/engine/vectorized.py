@@ -20,7 +20,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.protocols import ProtocolConfig
-from repro.engine.registry import CAP_COUNTING, CAP_TRAJECTORY, register_engine
+from repro.engine.registry import (
+    CAP_COUNTING,
+    CAP_STREAMING,
+    CAP_TRAJECTORY,
+    register_engine,
+)
 from repro.engine.results import RunResult
 from repro.errors import ConfigurationError
 from repro.util.deprecation import warn_deprecated
@@ -28,7 +33,7 @@ from repro.util.intmath import ceil_log2
 from repro.util.seeding import derive_rng
 from repro.util.validation import check_k, check_matrix
 
-__all__ = ["VectorizedResult", "run_vectorized"]
+__all__ = ["VectorizedResult", "IncrementalKernel", "run_vectorized"]
 
 # Phase keys mirrored from repro.model.message.Phase (plain strings here —
 # this module deliberately avoids importing the object model).
@@ -211,6 +216,175 @@ def _reset_sweeps(ids: np.ndarray, row: np.ndarray, n: int, k: int, protocol_run
     return winners, winner_vals
 
 
+class IncrementalKernel:
+    """The vectorized engine in stateful, row-at-a-time form.
+
+    One kernel is one Algorithm-1 coordinator: :meth:`step` consumes the
+    next observation row and returns the current top-k ids, exactly like
+    :meth:`repro.core.monitor.OnlineSession.observe` but with the counting
+    engine's flat-NumPy internals.  ``_run_vectorized`` is a plain loop
+    over this class, so the kernel *is* the vectorized engine — the
+    differential tests that hold the batch entry point bit-identical to
+    the faithful engine cover the incremental path by construction.
+
+    The kernel is also the unit the streaming service batches: it exposes
+    the pieces a caller needs to decide quietness for many sessions in one
+    stacked comparison (:attr:`sides`, :attr:`m2`) plus
+    :meth:`quiet_step`, which advances time without re-deriving what the
+    caller already proved.  Quiet steps consume no randomness, so a
+    batch-stepped kernel stays bit-identical to a per-row one.
+    """
+
+    #: Marker for batch schedulers: quietness of a step can be decided
+    #: externally from ``sides``/``m2`` and applied via ``quiet_step``.
+    supports_batch = True
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        *,
+        seed=None,
+        skip_redundant_min: bool = False,
+        protocol: ProtocolConfig | None = None,
+        track_times: bool = True,
+    ):
+        self.k, self.n = check_k(k, n)
+        protocol = protocol or ProtocolConfig()
+        if protocol.broadcast_every_round:
+            raise NotImplementedError(
+                "the vectorized engine implements the default broadcast-on-improvement "
+                "policy only; use the faithful engine for ablation A3"
+            )
+        self._skip_redundant_min = skip_redundant_min
+        # ``track_times=False`` keeps indefinitely-lived streaming sessions
+        # O(1) in memory: the reset/handler *time lists* (one entry per
+        # violation step) stay empty while the counters keep counting.
+        self._track_times = track_times
+        self._rng = derive_rng(seed, 0)
+        self.counts = {p: 0 for p in _PHASES}
+        self.resets = 0
+        self.handler_calls = 0
+        self.reset_times: list[int] = []
+        self.handler_times: list[int] = []
+        self._ids = np.arange(self.n, dtype=np.int64)
+        #: Current side partition (True = TOP); read by batch schedulers.
+        self.sides = np.zeros(self.n, dtype=bool)
+        #: Current doubled filter bound; read by batch schedulers.
+        self.m2 = 0
+        self._top_ids = self._ids if self.k == self.n else self._ids[:0]
+        self._t_plus = 0
+        self._t_minus = 0
+        self._t = -1
+        self._start_charge = 1 if protocol.charge_start_broadcast else 0
+        self.trivial = self.k == self.n
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def time(self) -> int:
+        """Index of the last observed step (-1 before the first)."""
+        return self._t
+
+    @property
+    def topk(self) -> np.ndarray:
+        """Current top-k node ids (ascending id order)."""
+        return self._top_ids
+
+    @property
+    def initialized(self) -> bool:
+        """Whether the t=0 initialization reset has run."""
+        return self._t >= 0
+
+    @property
+    def message_count(self) -> int:
+        """Total unit-cost messages over all phases so far."""
+        return sum(self.counts.values())
+
+    def step(self, row) -> np.ndarray:
+        """Process one observation row; returns the (new) top-k ids.
+
+        Validates shape and integer dtype like
+        :meth:`~repro.core.monitor.OnlineSession.observe`; the first call
+        plays the t=0 initialization reset.
+        """
+        row = np.asarray(row)
+        if row.shape != (self.n,):
+            raise ConfigurationError(f"row must have shape ({self.n},), got {row.shape}")
+        if not np.issubdtype(row.dtype, np.integer):
+            raise ConfigurationError(f"row must be integer-typed, got dtype {row.dtype}")
+        return self._step(row.astype(np.int64, copy=False))
+
+    def quiet_step(self) -> np.ndarray:
+        """Advance one step the caller proved violates no filter.
+
+        The per-step logic of :meth:`step` changes no state on a quiet row
+        (and consumes no randomness), so skipping it is exact — this is the
+        batched stepping path's fast lane.
+        """
+        self._t += 1
+        return self._top_ids
+
+    # ------------------------------------------------------- Algorithm 1
+
+    def _step(self, row: np.ndarray) -> np.ndarray:
+        """Unvalidated step: ``row`` must already be int64 of shape (n,)."""
+        self._t += 1
+        if self.trivial:
+            return self._top_ids
+        if self._t == 0:
+            self._filter_reset(row)
+            return self._top_ids
+        doubled = 2 * row
+        sides = self.sides
+        below = doubled < self.m2
+        above = doubled > self.m2
+        viol_top = self._ids[sides & below]
+        viol_bot = self._ids[~sides & above]
+        if viol_top.size or viol_bot.size:
+            top_bound = max(1, self.k)
+            bottom_bound = max(1, self.n - self.k)
+            min_out = self._protocol(viol_top, row, top_bound, -1, "violation_min", False)
+            max_out = self._protocol(viol_bot, row, bottom_bound, +1, "violation_max", False)
+            self.handler_calls += 1
+            if self._track_times:
+                self.handler_times.append(self._t)
+            if max_out is None:
+                max_out = self._protocol(self._ids[~sides], row, bottom_bound, +1, "handler_max", True)
+            elif not (self._skip_redundant_min and min_out is not None):
+                min_out = self._protocol(self._ids[sides], row, top_bound, -1, "handler_min", True)
+            assert min_out is not None and max_out is not None
+            self._t_plus = min(self._t_plus, min_out[1])
+            self._t_minus = max(self._t_minus, max_out[1])
+            if self._t_plus < self._t_minus:
+                self._filter_reset(row)
+                if self._track_times:
+                    self.handler_times.pop()  # reclassified as a reset step
+            else:
+                self.m2 = self._t_plus + self._t_minus
+                self.counts["midpoint_broadcast"] += 1
+        return self._top_ids
+
+    def _protocol(self, participants, row, upper, sign, phase, initiated):
+        return _protocol_run(
+            participants, row, upper, sign, phase, initiated,
+            self.counts, self._rng, self._start_charge,
+        )
+
+    def _filter_reset(self, row: np.ndarray) -> None:
+        self.resets += 1
+        if self._track_times:
+            self.reset_times.append(self._t)
+        winners, winner_vals = _reset_sweeps(self._ids, row, self.n, self.k, self._protocol)
+        self.counts["reset_broadcast"] += 1
+        self.sides[:] = False
+        self.sides[winners[: self.k]] = True
+        self._top_ids = np.flatnonzero(self.sides)
+        self._t_plus = winner_vals[self.k - 1]
+        self._t_minus = winner_vals[self.k]
+        self.m2 = self._t_plus + self._t_minus
+
+
 def _run_vectorized(
     values: np.ndarray,
     k: int,
@@ -222,79 +396,23 @@ def _run_vectorized(
     """Run Algorithm 1 over a ``(T, n)`` matrix with array-only internals."""
     values = check_matrix(values)
     T, n = values.shape
-    k, n = check_k(k, n)
-    protocol = protocol or ProtocolConfig()
-    if protocol.broadcast_every_round:
-        raise NotImplementedError(
-            "the vectorized engine implements the default broadcast-on-improvement "
-            "policy only; use the faithful engine for ablation A3"
-        )
-    rng = derive_rng(seed, 0)
-    counts = {p: 0 for p in _PHASES}
-    history = np.empty((T, k), dtype=np.int64)
-    result = VectorizedResult(n=n, k=k, steps=T, topk_history=history, by_phase=counts)
-
-    if k == n:
-        history[:] = np.arange(n, dtype=np.int64)[None, :]
-        return result
-
-    ids = np.arange(n, dtype=np.int64)
-    sides = np.zeros(n, dtype=bool)
-    top_ids = ids[:0]  # cached top-k id vector; sides change only on reset
-    m2 = 0
-    t_plus = 0
-    t_minus = 0
-    start_charge = 1 if protocol.charge_start_broadcast else 0
-
-    def protocol_run(participants: np.ndarray, row: np.ndarray, upper: int, sign: int, phase: str, initiated: bool):
-        return _protocol_run(participants, row, upper, sign, phase, initiated, counts, rng, start_charge)
-
-    def filter_reset(row: np.ndarray, t: int) -> None:
-        nonlocal m2, t_plus, t_minus, top_ids
-        result.resets += 1
-        result.reset_times.append(t)
-        winners, winner_vals = _reset_sweeps(ids, row, n, k, protocol_run)
-        counts["reset_broadcast"] += 1
-        sides[:] = False
-        sides[winners[:k]] = True
-        top_ids = np.flatnonzero(sides)
-        t_plus = winner_vals[k - 1]
-        t_minus = winner_vals[k]
-        m2 = t_plus + t_minus
-
-    # t = 0 initialization.
-    filter_reset(values[0], 0)
-    history[0] = top_ids
-
-    bottom_bound = max(1, n - k)
-    top_bound = max(1, k)
-    for t in range(1, T):
-        row = values[t]
-        doubled = 2 * row
-        below = doubled < m2
-        above = doubled > m2
-        viol_top = ids[sides & below]
-        viol_bot = ids[~sides & above]
-        if viol_top.size or viol_bot.size:
-            min_out = protocol_run(viol_top, row, top_bound, -1, "violation_min", False)
-            max_out = protocol_run(viol_bot, row, bottom_bound, +1, "violation_max", False)
-            result.handler_calls += 1
-            result.handler_times.append(t)
-            if max_out is None:
-                max_out = protocol_run(ids[~sides], row, bottom_bound, +1, "handler_max", True)
-            elif not (skip_redundant_min and min_out is not None):
-                min_out = protocol_run(ids[sides], row, top_bound, -1, "handler_min", True)
-            assert min_out is not None and max_out is not None
-            t_plus = min(t_plus, min_out[1])
-            t_minus = max(t_minus, max_out[1])
-            if t_plus < t_minus:
-                filter_reset(row, t)
-                result.handler_times.pop()  # reclassified as a reset step
-            else:
-                m2 = t_plus + t_minus
-                counts["midpoint_broadcast"] += 1
-        history[t] = top_ids
-    return result
+    kernel = IncrementalKernel(
+        n, k, seed=seed, skip_redundant_min=skip_redundant_min, protocol=protocol
+    )
+    history = np.empty((T, kernel.k), dtype=np.int64)
+    for t in range(T):
+        history[t] = kernel._step(values[t])
+    return VectorizedResult(
+        n=kernel.n,
+        k=kernel.k,
+        steps=T,
+        topk_history=history,
+        by_phase=kernel.counts,
+        resets=kernel.resets,
+        handler_calls=kernel.handler_calls,
+        reset_times=kernel.reset_times,
+        handler_times=kernel.handler_times,
+    )
 
 
 def run_vectorized(
@@ -337,9 +455,24 @@ def _engine_runner(values: np.ndarray, k: int, *, seed, config) -> RunResult:
     return RunResult.from_counting(result, engine="vectorized")
 
 
+def _session_factory(n: int, k: int, *, seed=None, config=None) -> IncrementalKernel:
+    if config is None:
+        from repro.core.monitor import MonitorConfig
+
+        config = MonitorConfig()
+    check_counting_config(config, "vectorized")
+    return IncrementalKernel(
+        n, k, seed=seed,
+        skip_redundant_min=config.skip_redundant_min,
+        protocol=config.protocol,
+        track_times=False,  # streaming sessions are indefinitely lived
+    )
+
+
 register_engine(
     "vectorized",
     description="flat-NumPy per-step counting engine: trajectory + per-phase counters",
-    capabilities={CAP_TRAJECTORY, CAP_COUNTING},
+    capabilities={CAP_TRAJECTORY, CAP_COUNTING, CAP_STREAMING},
     runner=_engine_runner,
+    session_factory=_session_factory,
 )

@@ -15,6 +15,8 @@ __all__ = [
     "ProtocolError",
     "InvariantViolation",
     "ExperimentError",
+    "ServiceError",
+    "BackpressureError",
 ]
 
 
@@ -53,3 +55,27 @@ class InvariantViolation(ReproError, AssertionError):
 
 class ExperimentError(ReproError, RuntimeError):
     """Raised by the experiment harness (unknown ids, bad sweep specs)."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Raised by the streaming session service (:mod:`repro.service`).
+
+    Covers unknown session ids, protocol violations on the wire, and
+    server-reported request failures surfaced by the client.
+    """
+
+
+class BackpressureError(ServiceError):
+    """Raised when a session's bounded inbox is full.
+
+    The service refuses the row instead of queueing unboundedly; callers
+    should let the stepper drain (e.g. a waiting query) and retry.
+    """
+
+    def __init__(self, session_id: str, limit: int):
+        super().__init__(
+            f"session {session_id!r}: inbox full ({limit} pending rows); "
+            "drain before feeding more"
+        )
+        self.session_id = session_id
+        self.limit = limit

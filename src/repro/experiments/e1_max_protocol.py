@@ -9,6 +9,11 @@ permutation (the distribution used by the lower bound), ascending ids
 all-equal values (maximal tie pressure).  For every (n, profile) we run the
 protocol over many independent seeds and report mean ± CI next to the
 bound.
+
+The (n, profile) grid runs through
+:func:`repro.analysis.sweeps.run_sweep`, so ``python -m repro.experiments
+e1 --backend queue --workers 4`` fans the repetitions out over any
+execution backend, and ``--checkpoint-dir``/``--resume`` journal them.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ import numpy as np
 
 from repro.analysis.bounds import max_protocol_expected_bound
 from repro.analysis.exact import lemma41_expected_messages
-from repro.analysis.stats import summarize
+from repro.analysis.sweeps import run_sweep
 from repro.core.protocols import maximum_protocol
 from repro.experiments.spec import ExperimentOutput, register, scaled
 from repro.util.ascii_plot import line_plot
@@ -43,17 +48,16 @@ def _values(profile: str, n: int, rng: np.random.Generator) -> np.ndarray:
     raise ValueError(f"unknown profile {profile!r}")
 
 
-def measure_mean_messages(n: int, profile: str, reps: int, seed: int) -> list[int]:
-    """Per-repetition node-message counts of one (n, profile) cell."""
-    rng_protocol = derive_rng(seed, 1)
-    rng_values = derive_rng(seed, 2)
+def protocol_messages(rng_seed: int, n: int, profile: str) -> float:
+    """``run_sweep`` measure: node messages of one MaximumProtocol run.
+
+    Module-level (picklable) so the process and queue backends can run it.
+    """
+    rng_protocol = derive_rng(rng_seed, 1)
+    rng_values = derive_rng(rng_seed, 2)
     ids = np.arange(n, dtype=np.int64)
-    counts = []
-    for _ in range(reps):
-        vals = _values(profile, n, rng_values)
-        out = maximum_protocol(ids, vals, n, rng_protocol)
-        counts.append(out.node_messages)
-    return counts
+    vals = _values(profile, n, rng_values)
+    return float(maximum_protocol(ids, vals, n, rng_protocol).node_messages)
 
 
 @register("e1", "MaximumProtocol expected messages vs the 2·log2(N)+1 bound")
@@ -70,24 +74,29 @@ def run(scale: str = "default") -> ExperimentOutput:
         ["n", "profile", "mean msgs", "ci95 half", "lemma4.1 sum", "bound", "mean/bound"],
         title="E1",
     )
+    sweep = run_sweep(
+        "e1_messages",
+        [{"n": 2**e, "profile": profile} for e in exponents for profile in PROFILES],
+        protocol_messages,
+        repetitions=reps,
+        seed=101,
+    )
     xs, series_mean, series_bound = [], [], []
     worst = 0.0
     worst_vs_exact = 0.0
-    for e in exponents:
-        n = 2**e
+    for point in sweep.points:
+        n, profile = point["n"], point["profile"]
         bound = max_protocol_expected_bound(n)
         exact = lemma41_expected_messages(n)
-        for profile in PROFILES:
-            counts = measure_mean_messages(n, profile, reps, seed=101 + e)
-            s = summarize(counts)
-            ratio = s.mean / bound
-            worst = max(worst, ratio)
-            worst_vs_exact = max(worst_vs_exact, s.mean / exact)
-            table.add_row([n, profile, s.mean, (s.ci_high - s.ci_low) / 2, exact, bound, ratio])
-            if profile == "permutation":
-                xs.append(e)
-                series_mean.append(s.mean)
-                series_bound.append(bound)
+        s = point.summary
+        ratio = s.mean / bound
+        worst = max(worst, ratio)
+        worst_vs_exact = max(worst_vs_exact, s.mean / exact)
+        table.add_row([n, profile, s.mean, (s.ci_high - s.ci_low) / 2, exact, bound, ratio])
+        if profile == "permutation":
+            xs.append(int(np.log2(n)))
+            series_mean.append(s.mean)
+            series_bound.append(bound)
     out.tables.append(table)
     out.figures.append(
         line_plot(
@@ -118,15 +127,22 @@ def run(scale: str = "default") -> ExperimentOutput:
     # values equal no broadcast ever deactivates anyone and every node
     # reports — E[X] = n, not O(log n).  Documented, not a bound violation.
     n_tie = 2 ** exponents[-1]
-    tie_counts = measure_mean_messages(n_tie, "all_equal", max(10, reps // 10), seed=909)
+    tie_sweep = run_sweep(
+        "e1_ties",
+        [{"n": n_tie, "profile": "all_equal"}],
+        protocol_messages,
+        repetitions=max(10, reps // 10),
+        seed=909,
+    )
+    tie_mean = tie_sweep.points[0].summary.mean
     tie_table = Table(["n", "profile", "mean msgs", "note"], title="E1 (ties caveat)")
     tie_table.add_row(
-        [n_tie, "all_equal", float(np.mean(tie_counts)), "distinctness assumption violated -> Θ(n)"]
+        [n_tie, "all_equal", tie_mean, "distinctness assumption violated -> Θ(n)"]
     )
     out.tables.append(tie_table)
     out.check(
         "with all-equal values every node reports (the distinctness assumption is necessary)",
-        f"mean = {float(np.mean(tie_counts)):.1f} vs n = {n_tie}",
-        np.mean(tie_counts) >= 0.95 * n_tie,
+        f"mean = {tie_mean:.1f} vs n = {n_tie}",
+        tie_mean >= 0.95 * n_tie,
     )
     return out

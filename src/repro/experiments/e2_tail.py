@@ -8,6 +8,10 @@ Method: fix several n, sample many protocol executions, and report the
 empirical ``P[X > c · (2·log2 n + 1)]`` for growing ``c``.  The paper
 predicts a fast (empirically super-geometric) decay in ``c`` and smaller
 tails for larger n at the same ``c``.
+
+Sampling runs through :func:`repro.analysis.sweeps.run_sweep` (one point
+per n, one repetition per execution), so the experiment CLI's
+``--backend``/``--workers``/``--checkpoint-dir``/``--resume`` apply.
 """
 
 from __future__ import annotations
@@ -16,22 +20,31 @@ import numpy as np
 
 from repro.analysis.bounds import max_protocol_expected_bound
 from repro.analysis.stats import tail_probability
+from repro.analysis.sweeps import run_sweep
 from repro.core.protocols import maximum_protocol
 from repro.experiments.spec import ExperimentOutput, register, scaled
 from repro.util.seeding import derive_rng
 from repro.util.tables import Table
 
 
-def sample_counts(n: int, reps: int, seed: int) -> np.ndarray:
-    """Node-message counts over ``reps`` random permutations."""
-    rng_protocol = derive_rng(seed, 1)
-    rng_values = derive_rng(seed, 2)
+def permutation_messages(rng_seed: int, n: int) -> float:
+    """``run_sweep`` measure: node messages over one random permutation.
+
+    Module-level (picklable) so the process and queue backends can run it.
+    """
+    rng_protocol = derive_rng(rng_seed, 1)
+    rng_values = derive_rng(rng_seed, 2)
     ids = np.arange(n, dtype=np.int64)
-    out = np.empty(reps, dtype=np.int64)
-    for i in range(reps):
-        vals = rng_values.permutation(n).astype(np.int64)
-        out[i] = maximum_protocol(ids, vals, n, rng_protocol).node_messages
-    return out
+    vals = rng_values.permutation(n).astype(np.int64)
+    return float(maximum_protocol(ids, vals, n, rng_protocol).node_messages)
+
+
+def sample_counts(n: int, reps: int, seed: int) -> np.ndarray:
+    """Node-message counts over ``reps`` random permutations (one-point sweep)."""
+    sweep = run_sweep(
+        f"e2_tail_n{n}", [{"n": n}], permutation_messages, repetitions=reps, seed=seed
+    )
+    return np.asarray(sweep.points[0].samples)
 
 
 @register("e2", "MaximumProtocol tail: P[X > c·bound] decays quickly")
@@ -46,9 +59,13 @@ def run(scale: str = "default") -> ExperimentOutput:
     reps = scaled(scale, 400, 3000, 20000)
     cs = [1.0, 1.25, 1.5, 2.0, 2.5]
     table = Table(["n", "bound"] + [f"P[X>{c}b]" for c in cs], float_fmt="{:.4f}", title="E2")
+    sweep = run_sweep(
+        "e2_tail", [{"n": n} for n in ns], permutation_messages, repetitions=reps, seed=202
+    )
     tails_by_n = {}
-    for n in ns:
-        counts = sample_counts(n, reps, seed=202 + n)
+    for point in sweep.points:
+        n = point["n"]
+        counts = np.asarray(point.samples)
         bound = max_protocol_expected_bound(n)
         tails = [tail_probability(counts, c * bound) for c in cs]
         tails_by_n[n] = tails

@@ -1,0 +1,60 @@
+"""Streaming session service: many live top-k monitors behind one server.
+
+This package turns the repo's offline replay machinery into a *serving*
+subsystem (the paper's actual deployment shape — values arrive over time,
+answers must be current):
+
+* :class:`~repro.service.manager.SessionManager` — thousands of concurrent
+  :class:`~repro.core.monitor.OnlineSession`-shaped monitors, stepped in
+  batched sweeps that decide quietness for whole groups of sessions with
+  one stacked comparison (bit-identical to per-session stepping).
+* :class:`~repro.service.server.ServiceServer` — an asyncio JSONL-over-TCP
+  front end (``python -m repro.service --serve host:port``) with bounded
+  per-session inboxes (backpressure) and a metrics endpoint.
+* :class:`~repro.service.client.ServiceClient` — the blocking client:
+  push-a-row / read-top-k / read-message-count.
+
+Quickstart (in one process; :func:`repro.serve` / :func:`repro.connect`
+are the api-level spellings):
+
+>>> from repro.service import ServiceClient, start_server
+>>> server = start_server()
+>>> client = ServiceClient(server.address)
+>>> session = client.create_session(n=4, k=2, seed=1)
+>>> session.feed([40, 10, 30, 20])["pending"] >= 0
+True
+>>> session.topk(wait=True)
+[0, 2]
+>>> client.close(); server.close()
+
+Engines host sessions through the registry's ``session_factory`` seam
+(:func:`repro.engine.registry.get_session_factory`): ``vectorized``
+sessions join the batched path, ``faithful`` sessions carry full
+instrumentation, and third-party engines plug in by registering a factory.
+"""
+
+from repro.service.client import ServiceClient, SessionHandle
+from repro.service.manager import (
+    DEFAULT_ENGINE,
+    DEFAULT_INBOX_LIMIT,
+    DEFAULT_MAX_NODES,
+    SessionManager,
+    SessionView,
+)
+from repro.service.metrics import MetricsRecorder, MetricsSnapshot
+from repro.service.server import ServerHandle, ServiceServer, start_server
+
+__all__ = [
+    "SessionManager",
+    "SessionView",
+    "MetricsRecorder",
+    "MetricsSnapshot",
+    "ServiceServer",
+    "ServerHandle",
+    "start_server",
+    "ServiceClient",
+    "SessionHandle",
+    "DEFAULT_ENGINE",
+    "DEFAULT_INBOX_LIMIT",
+    "DEFAULT_MAX_NODES",
+]

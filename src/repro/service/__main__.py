@@ -1,0 +1,115 @@
+"""CLI for the streaming session service.
+
+Examples::
+
+    python -m repro.service --serve 127.0.0.1:7787
+    python -m repro.service --serve 127.0.0.1:0 --inbox-limit 256 --no-batch
+    python -m repro.service --metrics 127.0.0.1:7787
+    python -m repro.service --shutdown 127.0.0.1:7787
+
+``--serve`` prints ``listening on HOST:PORT`` once bound (port 0 picks an
+ephemeral port) and runs until SIGINT or a client ``shutdown`` op; both
+end in a clean exit.  ``--metrics`` and ``--shutdown`` are thin client
+calls against a running server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.errors import ServiceError
+from repro.service.manager import DEFAULT_INBOX_LIMIT
+from repro.service.server import ServiceServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve (or query) the streaming top-k session service.",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--serve", metavar="HOST:PORT", help="run a service server on this address")
+    mode.add_argument("--metrics", metavar="HOST:PORT", help="print a running server's metrics snapshot")
+    mode.add_argument("--shutdown", metavar="HOST:PORT", help="ask a running server to shut down")
+    parser.add_argument(
+        "--inbox-limit",
+        type=int,
+        default=DEFAULT_INBOX_LIMIT,
+        help="max pending rows per session before backpressure (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable the batched stepping path (debug/comparison only)",
+    )
+    parser.add_argument(
+        "--batch-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="linger this long after idle before sweeping, widening batches "
+        "at the cost of tail latency (default 0)",
+    )
+    return parser
+
+
+def _split_address(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"error: expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+async def _serve(host: str, port: int, *, inbox_limit: int, batch: bool, batch_linger: float) -> None:
+    server = ServiceServer(host, port, inbox_limit=inbox_limit, batch=batch, batch_linger=batch_linger)
+    await server.start()
+    bound_host, bound_port = server.address
+    print(f"listening on {bound_host}:{bound_port}", flush=True)
+    await server.run_until_stopped()
+    print("service stopped", flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.serve:
+        host, port = _split_address(args.serve)
+        try:
+            asyncio.run(
+                _serve(
+                    host,
+                    port,
+                    inbox_limit=args.inbox_limit,
+                    batch=not args.no_batch,
+                    batch_linger=args.batch_linger,
+                )
+            )
+        except KeyboardInterrupt:
+            print("service stopped", flush=True)
+        except OSError as exc:
+            print(f"error: cannot serve on {args.serve}: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    from repro.service.client import ServiceClient
+
+    address = args.metrics or args.shutdown
+    try:
+        with ServiceClient(_split_address(address)) as client:
+            if args.metrics:
+                print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+            else:
+                client.shutdown()
+                print("shutdown requested")
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

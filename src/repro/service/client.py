@@ -1,0 +1,193 @@
+"""Blocking JSONL client for the streaming session service.
+
+One :class:`ServiceClient` is one TCP connection with one request in
+flight at a time (the server multiplexes many such connections into its
+batched sweeps).  :class:`SessionHandle` wraps the per-session ops —
+push-a-row, read-top-k, read-message-count — in the same shape as a local
+:class:`~repro.core.monitor.OnlineSession`.
+
+The client is deliberately synchronous (plain sockets, no asyncio): it is
+what a sensor gateway, a shell script, or a test drives, and it needs no
+event loop of its own.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import numpy as np
+
+from repro.errors import BackpressureError, ServiceError
+
+__all__ = ["ServiceClient", "SessionHandle"]
+
+
+def _parse_address(address) -> tuple[str, int]:
+    if isinstance(address, str):
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ServiceError(f"address must be 'host:port' or (host, port), got {address!r}")
+        return host, int(port)
+    host, port = address
+    return host, int(port)
+
+
+class ServiceClient:
+    """Connect to a running service; create and drive sessions over it.
+
+    Args
+    ----
+    address:
+        ``(host, port)`` tuple or ``"host:port"`` string — e.g. the
+        ``address`` of a :class:`~repro.service.server.ServerHandle`.
+    timeout:
+        Socket timeout in seconds for each request/response round trip
+        (waiting queries park server-side until the inbox drains, so keep
+        this comfortably above the expected drain time).
+    """
+
+    def __init__(self, address, *, timeout: float = 60.0):
+        host, port = _parse_address(address)
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServiceError(f"cannot connect to service at {host}:{port}: {exc}") from exc
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------ plumbing
+
+    def request(self, op: str, **fields) -> dict:
+        """One raw round trip; returns the reply payload.
+
+        Raises
+        ------
+        BackpressureError
+            When the server refused a feed with ``code="backpressure"``.
+        ServiceError
+            For any other failure reply, a closed connection, or
+            malformed server output.
+        """
+        payload = {"op": op, **fields}
+        try:
+            self._file.write((json.dumps(payload, separators=(",", ":")) + "\n").encode())
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServiceError(f"service connection lost during {op!r}: {exc}") from exc
+        if not line:
+            raise ServiceError(f"service closed the connection during {op!r}")
+        try:
+            reply = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"malformed service reply: {exc}") from exc
+        if not reply.get("ok"):
+            if reply.get("code") == "backpressure":
+                raise BackpressureError(fields.get("session", "?"), reply.get("limit", -1))
+            raise ServiceError(reply.get("error", "service request failed"))
+        return reply
+
+    def close(self) -> None:
+        """Close the connection (sessions stay alive server-side)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ---------------------------------------------------------------- ops
+
+    def create_session(self, n: int, k: int, *, seed=None, engine: str | None = None) -> "SessionHandle":
+        """Open a session on the server; returns its handle."""
+        fields: dict = {"n": n, "k": k}
+        if seed is not None:
+            fields["seed"] = seed
+        if engine is not None:
+            fields["engine"] = engine
+        reply = self.request("create", **fields)
+        return SessionHandle(self, reply["session"])
+
+    def session(self, session_id: str) -> "SessionHandle":
+        """Handle for an existing server-side session id."""
+        return SessionHandle(self, session_id)
+
+    def metrics(self) -> dict:
+        """The server's metrics snapshot (see
+        :class:`~repro.service.metrics.MetricsSnapshot`)."""
+        return self.request("metrics")["metrics"]
+
+    def ping(self) -> bool:
+        """Liveness round trip."""
+        return bool(self.request("ping").get("ok"))
+
+    def shutdown(self) -> None:
+        """Ask the server to shut down cleanly (acknowledged first)."""
+        self.request("shutdown")
+
+
+class SessionHandle:
+    """Client-side face of one server-side session."""
+
+    def __init__(self, client: ServiceClient, session_id: str):
+        self._client = client
+        self.id = session_id
+
+    @staticmethod
+    def _rowlist(row) -> list[int]:
+        return np.asarray(row).tolist()
+
+    def feed(self, row, *, block: bool = True) -> dict:
+        """Push one observation row; returns ``{"pending", "time"}``.
+
+        With ``block=True`` (default) a backpressure refusal waits for the
+        server to drain this session and retries; with ``block=False`` the
+        :class:`~repro.errors.BackpressureError` propagates.
+        """
+        fields = {"session": self.id, "row": self._rowlist(row)}
+        while True:
+            try:
+                return self._client.request("feed", **fields)
+            except BackpressureError:
+                if not block:
+                    raise
+                self._client.request("query", session=self.id, wait=True)
+
+    def feed_rows(self, rows, *, block: bool = True) -> dict:
+        """Push several rows in one round trip (same backpressure policy)."""
+        fields = {"session": self.id, "rows": [self._rowlist(r) for r in np.asarray(rows)]}
+        while True:
+            try:
+                return self._client.request("feed", **fields)
+            except BackpressureError:
+                if not block:
+                    raise
+                self._client.request("query", session=self.id, wait=True)
+
+    def query(self, *, wait: bool = False) -> dict:
+        """Full state: time, top-k, message count, pending depth.
+
+        ``wait=True`` parks until every fed row has been stepped, so the
+        answer reflects all of this handle's feeds.
+        """
+        return self._client.request("query", session=self.id, wait=wait)
+
+    def topk(self, *, wait: bool = True) -> list[int]:
+        """Current top-k node ids (ascending)."""
+        return self.query(wait=wait)["topk"]
+
+    def message_count(self, *, wait: bool = True) -> int:
+        """Protocol messages this session has cost so far."""
+        return self.query(wait=wait)["messages"]
+
+    def pending(self) -> int:
+        """Rows fed but not yet stepped server-side."""
+        return self.query()["pending"]
+
+    def close(self) -> dict:
+        """Close the server-side session; returns its final state."""
+        return self._client.request("close", session=self.id)

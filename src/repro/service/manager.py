@@ -1,0 +1,372 @@
+"""Session manager: thousands of live Algorithm-1 monitors in one process.
+
+A :class:`SessionManager` owns a registry of named *sessions* — each one a
+streaming Algorithm-1 coordinator produced by an engine's registered
+``session_factory`` (:mod:`repro.engine.registry`).  Rows are *fed* into a
+bounded per-session inbox and *stepped* by sweeps; queries read the current
+top-k, time, and protocol message count.
+
+The batched stepping path
+-------------------------
+``step()`` advances at most one pending row per session, but it does not
+loop sessions naively: batchable steppers (the vectorized
+:class:`~repro.engine.vectorized.IncrementalKernel`) of equal ``(n, k)``
+are grouped, their pending rows stacked into one ``(B, n)`` matrix, and
+quietness — "does this row violate any filter?" — is decided for the whole
+group with one stacked integer comparison, exactly the check the kernel
+itself would run per session:
+
+    noisy[b]  =  any(sides[b] & (2·row[b] < m2[b])  |
+                     ~sides[b] & (2·row[b] > m2[b]))
+
+Quiet sessions (the regime the paper's filters create) advance via
+``quiet_step()`` — no per-session Python protocol logic, no randomness
+consumed — so batched stepping is **bit-identical** to stepping each
+session alone, while the common case collapses to a few whole-array ops
+per sweep.  Noisy sessions fall back to their own full ``step``.
+
+The manager is deliberately single-threaded: the asyncio server
+(:mod:`repro.service.server`) confines it to the event-loop thread, and
+direct users (benchmarks, tests) drive it inline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.engine.registry import get_session_factory
+from repro.errors import BackpressureError, ConfigurationError, ServiceError
+from repro.service.metrics import MetricsRecorder, MetricsSnapshot
+
+__all__ = ["SessionManager", "SessionView", "DEFAULT_ENGINE", "DEFAULT_INBOX_LIMIT"]
+
+#: Engine used when ``create`` is not told otherwise.  The vectorized
+#: kernel is the only built-in whose sessions join the batched path.
+DEFAULT_ENGINE = "vectorized"
+
+#: Default bound on pending rows per session (the backpressure threshold).
+DEFAULT_INBOX_LIMIT = 1024
+
+#: Default cap on a session's node count: one `create` allocates O(n)
+#: arrays, so a shared server must bound what a single request can ask for.
+DEFAULT_MAX_NODES = 1_000_000
+
+
+@dataclass(frozen=True)
+class SessionView:
+    """Immutable query snapshot of one session."""
+
+    session_id: str
+    engine: str
+    n: int
+    k: int
+    time: int
+    topk: tuple[int, ...]
+    message_count: int
+    pending: int
+
+    def as_dict(self) -> dict:
+        """JSON-safe shape used by the wire protocol's query reply."""
+        return {
+            "session": self.session_id,
+            "engine": self.engine,
+            "n": self.n,
+            "k": self.k,
+            "time": self.time,
+            "topk": list(self.topk),
+            "messages": self.message_count,
+            "pending": self.pending,
+        }
+
+
+class _Session:
+    """One live session: its stepper plus the bounded inbox."""
+
+    __slots__ = ("session_id", "engine", "stepper", "inbox")
+
+    def __init__(self, session_id: str, engine: str, stepper: Any):
+        self.session_id = session_id
+        self.engine = engine
+        self.stepper = stepper
+        self.inbox: deque[np.ndarray] = deque()
+
+
+class SessionManager:
+    """Create/feed/query/close live monitoring sessions by id.
+
+    Args
+    ----
+    default_engine:
+        Engine name used by :meth:`create` when none is given.  Must have
+        a registered session factory.
+    inbox_limit:
+        Maximum pending (fed but unstepped) rows per session; feeding
+        beyond it raises :class:`~repro.errors.BackpressureError`.
+    max_nodes:
+        Largest ``n`` a single :meth:`create` may ask for (a session costs
+        O(n) memory, and on the server one wire request triggers it).
+    batch:
+        Enable the grouped stepping path.  ``False`` forces one-by-one
+        stepping — results are bit-identical either way (the differential
+        tests enforce it); the flag exists for exactly that comparison.
+    """
+
+    def __init__(
+        self,
+        *,
+        default_engine: str = DEFAULT_ENGINE,
+        inbox_limit: int = DEFAULT_INBOX_LIMIT,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        batch: bool = True,
+    ):
+        if inbox_limit < 1:
+            raise ConfigurationError(f"inbox_limit must be >= 1, got {inbox_limit}")
+        get_session_factory(default_engine)  # fail fast on a non-streaming engine
+        self.default_engine = default_engine
+        self.inbox_limit = inbox_limit
+        self.max_nodes = max_nodes
+        self.batch = batch
+        self.metrics = MetricsRecorder()
+        self._sessions: dict[str, _Session] = {}
+        self._ids = itertools.count(1)
+
+    # ----------------------------------------------------------- lifecycle
+
+    def create(
+        self,
+        n: int,
+        k: int,
+        *,
+        seed=None,
+        engine: str | None = None,
+        config=None,
+        session_id: str | None = None,
+    ) -> str:
+        """Open a new session; returns its id.
+
+        Raises
+        ------
+        ConfigurationError
+            For invalid ``n``/``k``, an engine without streaming support,
+            config knobs the engine rejects, or a duplicate ``session_id``.
+        """
+        if not 1 <= n <= self.max_nodes:
+            raise ConfigurationError(
+                f"n must be in [1, {self.max_nodes}] (the manager's max_nodes cap), got {n}"
+            )
+        engine = engine or self.default_engine
+        if session_id is None:
+            session_id = f"s{next(self._ids)}"
+        if session_id in self._sessions:
+            raise ConfigurationError(f"session id {session_id!r} already exists")
+        stepper = get_session_factory(engine)(n, k, seed=seed, config=config)
+        self._sessions[session_id] = _Session(session_id, engine, stepper)
+        self.metrics.sessions_created += 1
+        return session_id
+
+    def close(self, session_id: str) -> SessionView:
+        """Drain a session's remaining inbox, retire it, return the final view."""
+        session = self._get(session_id)
+        if session.inbox:
+            t0 = time.perf_counter()
+            rows = len(session.inbox)
+            while session.inbox:
+                session.stepper.step(session.inbox.popleft())
+            self.metrics.record_sweep(rows, time.perf_counter() - t0)
+        view = self._view(session)
+        self.metrics.record_close(view.message_count)
+        del self._sessions[session_id]
+        return view
+
+    # -------------------------------------------------------------- feeding
+
+    def feed(self, session_id: str, row) -> int:
+        """Enqueue one observation row; returns the new inbox depth.
+
+        Raises
+        ------
+        ServiceError
+            For an unknown session id.
+        BackpressureError
+            When the session's inbox is at ``inbox_limit``.
+        ConfigurationError
+            For a row of the wrong shape or a non-integer dtype.
+        """
+        session = self._get(session_id)
+        if len(session.inbox) >= self.inbox_limit:
+            self.metrics.record_backpressure()
+            raise BackpressureError(session_id, self.inbox_limit)
+        n = session.stepper.n
+        row = np.asarray(row)
+        if row.shape != (n,):
+            raise ConfigurationError(f"row must have shape ({n},), got {row.shape}")
+        if not np.issubdtype(row.dtype, np.integer):
+            raise ConfigurationError(f"row must be integer-typed, got dtype {row.dtype}")
+        session.inbox.append(row.astype(np.int64, copy=False))
+        return len(session.inbox)
+
+    def feed_many(self, session_id: str, rows) -> int:
+        """Enqueue several rows atomically; returns the new inbox depth.
+
+        All rows are validated and capacity-checked *before* any is
+        enqueued, so a refused batch leaves the inbox untouched — which is
+        what makes a client-side retry after backpressure safe.
+        """
+        session = self._get(session_id)
+        validated = []
+        n = session.stepper.n
+        for row in rows:
+            row = np.asarray(row)
+            if row.shape != (n,):
+                raise ConfigurationError(f"row must have shape ({n},), got {row.shape}")
+            if not np.issubdtype(row.dtype, np.integer):
+                raise ConfigurationError(f"row must be integer-typed, got dtype {row.dtype}")
+            validated.append(row.astype(np.int64, copy=False))
+        if len(validated) > self.inbox_limit:
+            # Not retryable by draining — fail loudly instead of letting a
+            # blocking client spin on backpressure forever.
+            raise ConfigurationError(
+                f"batch of {len(validated)} rows exceeds the inbox limit ({self.inbox_limit})"
+            )
+        if len(session.inbox) + len(validated) > self.inbox_limit:
+            self.metrics.record_backpressure()
+            raise BackpressureError(session_id, self.inbox_limit)
+        session.inbox.extend(validated)
+        return len(session.inbox)
+
+    # ------------------------------------------------------------- stepping
+
+    def step(self) -> int:
+        """One sweep: advance every session with pending rows by one row.
+
+        Returns the number of rows processed.  Sessions whose stepper is
+        batchable are grouped by ``(n, k)`` and their quietness is decided
+        in one stacked comparison per group (see the module docstring);
+        everything else steps individually.
+        """
+        t0 = time.perf_counter()
+        singles: list[_Session] = []
+        groups: dict[tuple[int, int], list[_Session]] = {}
+        for session in self._sessions.values():
+            if not session.inbox:
+                continue
+            stepper = session.stepper
+            if (
+                self.batch
+                and getattr(stepper, "supports_batch", False)
+                and stepper.initialized
+                and not stepper.trivial
+            ):
+                groups.setdefault((stepper.n, stepper.k), []).append(session)
+            else:
+                singles.append(session)
+
+        batched = quiet = 0
+        for members in groups.values():
+            if len(members) == 1:
+                singles.append(members[0])
+                continue
+            rows = np.stack([m.inbox[0] for m in members])
+            sides = np.stack([m.stepper.sides for m in members])
+            m2 = np.array([m.stepper.m2 for m in members], dtype=np.int64)
+            doubled = 2 * rows
+            noisy = (
+                (sides & (doubled < m2[:, None])) | (~sides & (doubled > m2[:, None]))
+            ).any(axis=1)
+            for member, is_noisy in zip(members, noisy):
+                row = member.inbox.popleft()
+                if is_noisy:
+                    member.stepper.step(row)
+                else:
+                    member.stepper.quiet_step()
+                    quiet += 1
+                batched += 1
+
+        for session in singles:
+            session.stepper.step(session.inbox.popleft())
+
+        processed = batched + len(singles)
+        if processed:
+            self.metrics.record_sweep(
+                processed, time.perf_counter() - t0, batched=batched, quiet=quiet
+            )
+        return processed
+
+    def drain(self) -> int:
+        """Sweep until no session has pending rows; returns rows processed."""
+        total = 0
+        while True:
+            processed = self.step()
+            if not processed:
+                return total
+            total += processed
+
+    # -------------------------------------------------------------- queries
+
+    def query(self, session_id: str) -> SessionView:
+        """Current state of one session (top-k as of the last stepped row)."""
+        return self._view(self._get(session_id))
+
+    def pending(self, session_id: str) -> int:
+        """Rows fed but not yet stepped for one session."""
+        return len(self._get(session_id).inbox)
+
+    def time(self, session_id: str) -> int:
+        """Index of a session's last stepped row (-1 before the first).
+
+        Cheaper than :meth:`query` — the wire feed path calls this per row.
+        """
+        return self._get(session_id).stepper.time
+
+    def engine(self, session_id: str) -> str:
+        """Engine name a session runs on."""
+        return self._get(session_id).engine
+
+    def total_pending(self) -> int:
+        """Rows fed but not yet stepped, over all sessions."""
+        return sum(len(s.inbox) for s in self._sessions.values())
+
+    def session_ids(self) -> list[str]:
+        """Ids of all live sessions, in creation order."""
+        return list(self._sessions)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Service counters plus live-session aggregates."""
+        return self.metrics.snapshot(
+            sessions_live=len(self._sessions),
+            live_messages=sum(s.stepper.message_count for s in self._sessions.values()),
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _get(self, session_id: str) -> _Session:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise ServiceError(f"unknown session {session_id!r}") from None
+
+    @staticmethod
+    def _view(session: _Session) -> SessionView:
+        stepper = session.stepper
+        return SessionView(
+            session_id=session.session_id,
+            engine=session.engine,
+            n=stepper.n,
+            k=stepper.k,
+            time=stepper.time,
+            topk=tuple(int(i) for i in stepper.topk),
+            message_count=stepper.message_count,
+            pending=len(session.inbox),
+        )

@@ -1,0 +1,351 @@
+"""Asyncio JSONL-over-TCP front end for the session manager.
+
+Wire format: one JSON object per line in each direction (see
+``docs/architecture.md`` for the full op table and a worked trace).  Every
+request carries an ``"op"``; replies carry ``"ok"`` plus op-specific
+fields, and echo a client-chosen ``"id"`` when one was sent.  Failures
+reply ``{"ok": false, "error": ..., "code": ...}`` — the connection stays
+usable, mirroring how a coordinator survives a misbehaving node.
+
+Concurrency model: all manager access happens on the event-loop thread.
+Feeds enqueue rows and wake the single *stepper task*, which sweeps the
+manager (`one row per session per sweep, batched across sessions
+<repro.service.manager>`) and yields to the loop between sweeps so that
+rows arriving from many connections pile into the *same* stacked sweep —
+the server's whole reason to exist.  ``query`` with ``"wait": true`` parks
+on a progress event the stepper flips after every sweep.
+
+:func:`start_server` runs the same server on a daemon thread and returns a
+handle — the in-process form behind :func:`repro.serve`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import sys
+import threading
+import traceback
+
+from repro.errors import BackpressureError, ConfigurationError, ReproError, ServiceError
+from repro.service.manager import DEFAULT_INBOX_LIMIT, DEFAULT_MAX_NODES, SessionManager
+
+__all__ = ["ServiceServer", "ServerHandle", "start_server"]
+
+#: Per-line read limit (a row of ~50k JSON-encoded int64s fits).
+_LINE_LIMIT = 1 << 20
+
+
+class ServiceServer:
+    """The JSONL session service: one listener, one manager, one stepper."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        manager: SessionManager | None = None,
+        inbox_limit: int = DEFAULT_INBOX_LIMIT,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        batch: bool = True,
+        batch_linger: float = 0.0,
+    ):
+        self.manager = manager if manager is not None else SessionManager(
+            inbox_limit=inbox_limit, max_nodes=max_nodes, batch=batch
+        )
+        #: Seconds the stepper lingers after waking from idle before its
+        #: first sweep, letting feeds from many connections pile into the
+        #: same stacked sweep — a tail-latency/batch-width trade-off.
+        self.batch_linger = batch_linger
+        self._host = host
+        self._port = port
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.Server | None = None
+        self._stepper_task: asyncio.Task | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._work: asyncio.Event | None = None
+        self._progress: asyncio.Event | None = None
+        self._stopped: asyncio.Event | None = None
+
+    # ----------------------------------------------------------- lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the listener and start the stepper; returns ``(host, port)``."""
+        self._work = asyncio.Event()
+        self._progress = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_client, self._host, self._port, limit=_LINE_LIMIT
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        self._stepper_task = asyncio.create_task(self._stepper())
+        return self.address
+
+    async def run_until_stopped(self) -> None:
+        """Serve until :meth:`request_stop`, then shut everything down."""
+        assert self._stopped is not None, "call start() first"
+        await self._stopped.wait()
+        self._stepper_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._stepper_task
+        self._server.close()
+        await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        # Unpark any query still waiting on a progress event (its client
+        # connection is gone) so the loop can wind down without orphans.
+        current = asyncio.current_task()
+        for task in asyncio.all_tasks():
+            if task is not current and not task.done():
+                task.cancel()
+
+    async def serve(self) -> None:
+        """``start`` + ``run_until_stopped`` in one call (the CLI entry)."""
+        await self.start()
+        await self.run_until_stopped()
+
+    def request_stop(self) -> None:
+        """Ask the server to shut down (safe to call from a loop callback)."""
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # ------------------------------------------------------------- stepper
+
+    async def _stepper(self) -> None:
+        try:
+            while True:
+                await self._work.wait()
+                self._work.clear()
+                if self.batch_linger > 0:
+                    await asyncio.sleep(self.batch_linger)
+                while self.manager.total_pending():
+                    self.manager.step()
+                    # Flip the progress event so parked waiters re-check, then
+                    # yield once so freshly arrived feeds join the next sweep.
+                    event, self._progress = self._progress, asyncio.Event()
+                    event.set()
+                    await asyncio.sleep(0)
+        except asyncio.CancelledError:
+            raise
+        except BaseException:
+            # A dead stepper would leave a zombie server: feeds accepted,
+            # nothing stepped, waiters parked forever.  Fail loudly instead.
+            traceback.print_exc()
+            print("service stepper crashed; shutting the server down", file=sys.stderr, flush=True)
+            self.request_stop()
+
+    # ------------------------------------------------------------- clients
+
+    async def _handle_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(_encode({"ok": False, "error": "request line too long", "code": "bad_request"}))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response, stop_after = await self._dispatch(line)
+                writer.write(_encode(response))
+                await writer.drain()
+                if stop_after:
+                    self.request_stop()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, line: bytes) -> tuple[dict, bool]:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "error": f"malformed JSON: {exc}", "code": "bad_json"}, False
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object", "code": "bad_request"}, False
+        op = request.get("op")
+        correlation = {"id": request["id"]} if "id" in request else {}
+        stop_after = False
+        try:
+            if op == "create":
+                payload = self._op_create(request)
+            elif op == "feed":
+                payload = self._op_feed(request)
+            elif op == "query":
+                payload = await self._op_query(request)
+            elif op == "close":
+                payload = self._op_close(request)
+            elif op == "metrics":
+                payload = {"metrics": self.manager.metrics_snapshot().as_dict()}
+            elif op == "ping":
+                payload = {}
+            elif op == "shutdown":
+                payload = {}
+                stop_after = True
+            else:
+                raise ServiceError(f"unknown op {op!r}")
+        except BackpressureError as exc:
+            return {
+                "ok": False, "error": str(exc), "code": "backpressure",
+                "limit": exc.limit, **correlation,
+            }, False
+        except ConfigurationError as exc:
+            return {"ok": False, "error": str(exc), "code": "bad_request", **correlation}, False
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc), "code": "error", **correlation}, False
+        except (KeyError, TypeError, ValueError, OverflowError, MemoryError) as exc:
+            # Missing/ragged/mistyped/absurdly-sized request fields must
+            # answer like any other bad request — the connection stays
+            # usable (JSON even permits Infinity, which int() overflows on).
+            detail = f"missing field {exc.args[0]!r}" if isinstance(exc, KeyError) else str(exc)
+            return {"ok": False, "error": f"bad request: {detail}", "code": "bad_request", **correlation}, False
+        return {"ok": True, **payload, **correlation}, stop_after
+
+    # ------------------------------------------------------------------ ops
+
+    def _op_create(self, request: dict) -> dict:
+        session_id = self.manager.create(
+            int(request["n"]),
+            int(request["k"]),
+            seed=request.get("seed"),
+            engine=request.get("engine"),
+            session_id=request.get("session"),
+        )
+        return {"session": session_id, "engine": self.manager.engine(session_id)}
+
+    def _op_feed(self, request: dict) -> dict:
+        session_id = _session_field(request)
+        if "row" in request:
+            pending = self.manager.feed(session_id, request["row"])
+        else:
+            rows = request.get("rows")
+            if not rows:
+                raise ServiceError("feed needs a 'row' or a non-empty 'rows' list")
+            pending = self.manager.feed_many(session_id, rows)
+        self._work.set()
+        return {"pending": pending, "time": self.manager.time(session_id)}
+
+    async def _op_query(self, request: dict) -> dict:
+        session_id = _session_field(request)
+        if request.get("wait"):
+            while self.manager.pending(session_id) > 0:
+                self._work.set()
+                event = self._progress
+                await event.wait()
+        return self.manager.query(session_id).as_dict()
+
+    def _op_close(self, request: dict) -> dict:
+        view = self.manager.close(_session_field(request))
+        return {**view.as_dict(), "closed": True}
+
+
+def _session_field(request: dict) -> str:
+    try:
+        return request["session"]
+    except KeyError:
+        raise ServiceError("request is missing the 'session' field") from None
+
+
+def _encode(payload: dict) -> bytes:
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+
+
+class ServerHandle:
+    """A service server running on a background thread.
+
+    Returned by :func:`start_server` / :func:`repro.serve`; usable as a
+    context manager.  ``close()`` requests a clean shutdown and joins the
+    thread.
+    """
+
+    def __init__(self, server: ServiceServer, loop: asyncio.AbstractEventLoop, thread: threading.Thread):
+        self._server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` the server is listening on."""
+        return self._server.address
+
+    @property
+    def manager(self) -> SessionManager:
+        """The server's session manager (inspect only from tests/benchmarks —
+        it lives on the server thread)."""
+        return self._server.manager
+
+    def close(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        if self._thread.is_alive():
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._server.request_stop)
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def start_server(host: str = "127.0.0.1", port: int = 0, **options) -> ServerHandle:
+    """Run a :class:`ServiceServer` on a daemon thread; returns its handle.
+
+    Args
+    ----
+    host / port:
+        Bind address; port 0 picks an ephemeral port (read it back from
+        ``handle.address``).
+    options:
+        Forwarded to :class:`ServiceServer` (``inbox_limit``, ``batch``,
+        ``manager``).
+
+    Raises
+    ------
+    ServiceError
+        If the server fails to bind (e.g. the port is taken).
+    """
+    started = threading.Event()
+    state: dict = {}
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        try:
+            server = ServiceServer(host, port, **options)
+            state["server"] = server
+            state["loop"] = loop
+
+            async def _main() -> None:
+                try:
+                    await server.start()
+                except OSError as exc:
+                    state["error"] = exc
+                    started.set()
+                    return
+                started.set()
+                await server.run_until_stopped()
+
+            loop.run_until_complete(_main())
+        except Exception as exc:  # startup errors outside _main (bad options)
+            state["error"] = exc
+            started.set()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-service", daemon=True)
+    thread.start()
+    started.wait(timeout=30)
+    if "error" in state:
+        thread.join(timeout=10)
+        raise ServiceError(f"service server failed to start: {state['error']}") from state["error"]
+    if "server" not in state or state["server"].address is None:
+        raise ServiceError("service server failed to start (thread did not report an address)")
+    return ServerHandle(state["server"], state["loop"], thread)

@@ -57,6 +57,13 @@ class TestExamples:
         proc = _run("failover.py", "--steps", "100", "--crash-at", "100")
         assert proc.returncode != 0
 
+    def test_live_service(self):
+        proc = _run("live_service.py", "--n", "12", "--k", "3", "--steps", "200")
+        assert proc.returncode == 0, proc.stderr
+        assert "identical to offline run: True" in proc.stdout
+        assert "final telemetry" in proc.stdout
+        assert "service stopped" in proc.stdout
+
     def test_distributed_sweep_kill_resume(self):
         proc = _run(
             "distributed_sweep.py", "--points", "4", "--reps", "3",
@@ -84,6 +91,7 @@ class TestExamples:
             "competitive_analysis.py",
             "failover.py",
             "distributed_sweep.py",
+            "live_service.py",
         ],
     )
     def test_help_flag(self, script):

@@ -14,7 +14,7 @@ class TestPublicSurface:
             assert hasattr(repro, name), name
 
     def test_lazy_submodules(self):
-        for sub in ("streams", "baselines", "analysis", "experiments", "engine", "extensions", "model", "util"):
+        for sub in ("streams", "baselines", "analysis", "experiments", "engine", "extensions", "model", "service", "util"):
             mod = getattr(repro, sub)
             assert mod is importlib.import_module(f"repro.{sub}")
 
@@ -35,6 +35,7 @@ class TestPublicSurface:
             ("repro.engine", ["run_vectorized", "differential_check"]),
             ("repro.extensions", ["OrderedTopKMonitor"]),
             ("repro.model", ["MessageLedger", "render_timeline"]),
+            ("repro.service", ["SessionManager", "ServiceClient", "start_server"]),
         ],
     )
     def test_subpackage_exports(self, package, expected):

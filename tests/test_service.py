@@ -1,0 +1,434 @@
+"""The streaming session service (repro/service) and its kernel seam.
+
+The load-bearing invariant mirrors the engine differential tests: for any
+value sequence and seed,
+
+    OnlineSession.observe row-by-row
+ == TopKMonitor.run over the full matrix
+ == IncrementalKernel stepped row-by-row
+ == SessionManager's batched stepping path (any session mix)
+
+in top-k trajectory *and* message counts, on every catalog workload.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.monitor import MonitorConfig, OnlineSession, TopKMonitor
+from repro.engine.registry import get_session_factory
+from repro.engine.vectorized import IncrementalKernel, _run_vectorized
+from repro.errors import BackpressureError, ConfigurationError, ServiceError
+from repro.service import ServiceClient, SessionManager, start_server
+from repro.streams import get_workload, list_workloads
+
+N, K, STEPS = 10, 3, 120
+
+
+def _matrix(name: str, seed: int = 5) -> np.ndarray:
+    return get_workload(name, N, STEPS, seed=seed).generate()
+
+
+class TestIncrementalKernel:
+    def test_row_by_row_equals_batch_entry_point(self):
+        values = _matrix("random_walk")
+        kernel = IncrementalKernel(N, K, seed=9)
+        history = np.stack([kernel.step(row) for row in values])
+        batch = _run_vectorized(values, K, seed=9)
+        assert np.array_equal(history, batch.topk_history)
+        assert kernel.counts == batch.by_phase
+        assert kernel.reset_times == batch.reset_times
+        assert kernel.handler_times == batch.handler_times
+        assert kernel.time == STEPS - 1
+
+    def test_streaming_sessions_stay_bounded_in_memory(self):
+        """Service-created steppers must not grow per-row state forever."""
+        values = _matrix("random_walk")
+        kernel = get_session_factory("vectorized")(N, K, seed=4)
+        online = get_session_factory("faithful")(N, K, seed=4)
+        for row in values:
+            kernel.step(row)
+            online.step(row)
+        assert kernel.resets > 0 and kernel.reset_times == []
+        assert kernel.handler_calls > 0 and kernel.handler_times == []
+        assert online.events == []  # collect_events off by default
+        # ...while counters still agree with the instrumented run.
+        offline = TopKMonitor(n=N, k=K, seed=4).run(values)
+        assert kernel.message_count == offline.total_messages
+        assert online.message_count == offline.total_messages
+
+    def test_quiet_step_is_exact(self):
+        """Externally proven-quiet steps may skip the per-step logic."""
+        values = _matrix("lazy_walk")
+        a = IncrementalKernel(N, K, seed=2)
+        b = IncrementalKernel(N, K, seed=2)
+        for row in values:
+            a.step(row)
+            doubled = 2 * row
+            quiet = b.initialized and not (
+                (b.sides & (doubled < b.m2)) | (~b.sides & (doubled > b.m2))
+            ).any()
+            if quiet:
+                b.quiet_step()
+            else:
+                b.step(row)
+        assert np.array_equal(a.topk, b.topk)
+        assert a.counts == b.counts
+        assert a.time == b.time
+
+    def test_validates_rows(self):
+        kernel = IncrementalKernel(4, 2, seed=0)
+        with pytest.raises(ConfigurationError):
+            kernel.step([1, 2, 3])
+        with pytest.raises(ConfigurationError):
+            kernel.step([1.5, 2.0, 3.0, 4.0])
+
+    def test_trivial_k_equals_n(self):
+        kernel = IncrementalKernel(3, 3, seed=0)
+        assert kernel.step([5, 1, 9]).tolist() == [0, 1, 2]
+        assert kernel.message_count == 0
+
+    def test_session_factory_seam(self):
+        stepper = get_session_factory("vectorized")(N, K, seed=1)
+        assert isinstance(stepper, IncrementalKernel)
+        stepper = get_session_factory("faithful")(N, K, seed=1)
+        assert isinstance(stepper, OnlineSession)
+        with pytest.raises(ConfigurationError, match="streaming"):
+            get_session_factory("fast")
+
+    def test_factory_rejects_unsupported_config(self):
+        with pytest.raises(ConfigurationError, match="audit"):
+            get_session_factory("vectorized")(N, K, seed=1, config=MonitorConfig(audit=True))
+
+
+class TestDifferentialCatalog:
+    """Satellite: bit-identity across the whole workload catalog."""
+
+    @pytest.mark.parametrize("name", list_workloads())
+    def test_online_session_matches_batch_run(self, name):
+        values = _matrix(name)
+        offline = TopKMonitor(n=N, k=K, seed=11).run(values)
+        session = OnlineSession(N, K, seed=11)
+        history = np.stack([session.observe(row) for row in values])
+        assert np.array_equal(history, offline.topk_history)
+        assert session.message_count == offline.total_messages
+
+    def test_batched_service_matches_both_engines(self):
+        """One manager hosting every catalog workload at once, stepped in
+        batched sweeps, equals the offline run session by session."""
+        mgr = SessionManager()
+        cases = {}
+        for i, name in enumerate(list_workloads()):
+            values = _matrix(name, seed=3 + i)
+            engine = "faithful" if i % 4 == 0 else "vectorized"  # mixed group
+            sid = mgr.create(N, K, seed=21 + i, engine=engine)
+            cases[sid] = (name, values, 21 + i)
+        histories = {sid: [] for sid in cases}
+        for t in range(STEPS):
+            for sid, (_, values, _) in cases.items():
+                mgr.feed(sid, values[t])
+            mgr.step()
+            for sid in cases:
+                histories[sid].append(mgr.query(sid).topk)
+        snap = mgr.metrics_snapshot()
+        assert snap.rows_batched > 0, "the batched path never engaged"
+        assert snap.rows_quiet > 0, "no session ever took the quiet lane"
+        for sid, (name, values, seed) in cases.items():
+            offline = TopKMonitor(n=N, k=K, seed=seed).run(values)
+            assert np.array_equal(np.array(histories[sid]), offline.topk_history), name
+            assert mgr.query(sid).message_count == offline.total_messages, name
+
+    def test_batch_flag_is_pure_transport(self):
+        """batch=True/False give identical results under bursty feeding."""
+        rng = np.random.default_rng(0)
+        workloads = [_matrix(name, seed=8) for name in ("random_walk", "iid_uniform", "bursty")]
+        finals = []
+        for batch in (True, False):
+            mgr = SessionManager(batch=batch)
+            sids = [mgr.create(N, K, seed=40 + i) for i in range(len(workloads))]
+            cursors = [0] * len(sids)
+            rng_local = np.random.default_rng(7)
+            while any(c < STEPS for c in cursors):
+                for i, sid in enumerate(sids):
+                    burst = int(rng_local.integers(0, 4))
+                    for _ in range(min(burst, STEPS - cursors[i])):
+                        mgr.feed(sid, workloads[i][cursors[i]])
+                        cursors[i] += 1
+                mgr.drain()
+            finals.append([(mgr.query(sid).topk, mgr.query(sid).message_count) for sid in sids])
+        assert finals[0] == finals[1]
+        del rng
+
+
+class TestSessionManager:
+    def test_lifecycle_and_views(self):
+        mgr = SessionManager()
+        sid = mgr.create(4, 2, seed=1)
+        assert sid in mgr and len(mgr) == 1
+        assert mgr.feed(sid, [4, 1, 3, 2]) == 1
+        assert mgr.pending(sid) == 1
+        mgr.drain()
+        view = mgr.query(sid)
+        assert view.time == 0 and view.pending == 0
+        assert view.topk == (0, 2)
+        final = mgr.close(sid)
+        assert final.topk == (0, 2)
+        assert sid not in mgr
+        assert mgr.metrics_snapshot().sessions_closed == 1
+
+    def test_close_drains_remaining_rows(self):
+        mgr = SessionManager()
+        sid = mgr.create(4, 2, seed=1)
+        for row in ([4, 1, 3, 2], [4, 1, 3, 9], [4, 1, 3, 9]):
+            mgr.feed(sid, row)
+        final = mgr.close(sid)
+        assert final.time == 2
+        assert final.topk == (0, 3)
+
+    def test_unknown_session(self):
+        mgr = SessionManager()
+        with pytest.raises(ServiceError, match="unknown session"):
+            mgr.feed("nope", [1])
+        with pytest.raises(ServiceError):
+            mgr.query("nope")
+
+    def test_duplicate_and_custom_ids(self):
+        mgr = SessionManager()
+        assert mgr.create(4, 2, session_id="mine") == "mine"
+        with pytest.raises(ConfigurationError, match="already exists"):
+            mgr.create(4, 2, session_id="mine")
+
+    def test_backpressure(self):
+        mgr = SessionManager(inbox_limit=2)
+        sid = mgr.create(4, 2, seed=0)
+        mgr.feed(sid, [1, 2, 3, 4])
+        mgr.feed(sid, [1, 2, 3, 4])
+        with pytest.raises(BackpressureError):
+            mgr.feed(sid, [1, 2, 3, 4])
+        assert mgr.metrics_snapshot().backpressure_rejections == 1
+        mgr.drain()
+        assert mgr.feed(sid, [1, 2, 3, 4]) == 1  # drained -> accepted again
+
+    def test_feed_many_is_atomic_under_backpressure(self):
+        mgr = SessionManager(inbox_limit=3)
+        sid = mgr.create(4, 2, seed=0)
+        mgr.feed(sid, [1, 2, 3, 4])
+        with pytest.raises(BackpressureError):
+            mgr.feed_many(sid, [[1, 2, 3, 4]] * 3)
+        assert mgr.pending(sid) == 1  # refused batch left nothing behind
+        with pytest.raises(ConfigurationError, match="exceeds the inbox limit"):
+            mgr.feed_many(sid, [[1, 2, 3, 4]] * 4)
+
+    def test_feed_validation(self):
+        mgr = SessionManager()
+        sid = mgr.create(4, 2, seed=0)
+        with pytest.raises(ConfigurationError, match="shape"):
+            mgr.feed(sid, [1, 2, 3])
+        with pytest.raises(ConfigurationError, match="integer"):
+            mgr.feed(sid, [1.0, 2.0, 3.0, 4.0])
+
+    def test_rejects_non_streaming_default_engine(self):
+        with pytest.raises(ConfigurationError, match="streaming"):
+            SessionManager(default_engine="fast")
+
+    def test_rejects_bad_inbox_limit(self):
+        with pytest.raises(ConfigurationError):
+            SessionManager(inbox_limit=0)
+
+
+class TestServerClient:
+    def test_round_trip_matches_offline(self):
+        values = _matrix("sensor_field", seed=2)
+        offline = TopKMonitor(n=N, k=K, seed=31).run(values)
+        with start_server() as server:
+            with ServiceClient(server.address) as client:
+                assert client.ping()
+                session = client.create_session(n=N, k=K, seed=31)
+                session.feed_rows(values[: STEPS // 2])
+                for row in values[STEPS // 2 :]:
+                    session.feed(row)
+                query = session.query(wait=True)
+                assert query["topk"] == offline.topk_history[-1].tolist()
+                assert query["messages"] == offline.total_messages
+                assert query["pending"] == 0
+                metrics = client.metrics()
+                assert metrics["rows_processed"] == STEPS
+                assert metrics["sessions_live"] == 1
+                final = session.close()
+                assert final["closed"] and final["time"] == STEPS - 1
+
+    def test_hundred_concurrent_sessions(self):
+        """The CI smoke shape: 100 live sessions, every answer correct."""
+        # The linger makes the first sweep wait out the preload loop, so
+        # many sessions are pending at once and the stacked path engages.
+        with start_server(batch_linger=0.05) as server:
+            with ServiceClient(server.address) as client:
+                cases = []
+                for i in range(100):
+                    name = list_workloads()[i % len(list_workloads())]
+                    values = get_workload(name, 8, 40, seed=i).generate()
+                    handle = client.create_session(n=8, k=2, seed=100 + i)
+                    cases.append((handle, values, 100 + i))
+                for handle, values, _ in cases:
+                    handle.feed_rows(values)
+                for handle, values, seed in cases:
+                    offline = TopKMonitor(n=8, k=2, seed=seed).run(values)
+                    query = handle.query(wait=True)
+                    assert query["topk"] == offline.topk_history[-1].tolist()
+                    assert query["messages"] == offline.total_messages
+                metrics = client.metrics()
+                assert metrics["sessions_live"] == 100
+                assert metrics["rows_processed"] == 100 * 40
+                assert metrics["rows_batched"] > 0
+
+    def test_wire_backpressure(self):
+        with start_server(inbox_limit=2) as server:
+            with ServiceClient(server.address) as client:
+                session = client.create_session(n=4, k=2, seed=0)
+                with pytest.raises((BackpressureError, ServiceError)):
+                    # Non-blocking feeds eventually outrun the stepper; an
+                    # oversized batch is refused outright.
+                    session.feed_rows([[1, 2, 3, 4]] * 5, block=False)
+                # Blocking feeds ride out backpressure and finish.
+                for _ in range(10):
+                    session.feed([4, 3, 2, 1], block=True)
+                assert session.query(wait=True)["time"] == 9
+
+    def test_error_codes(self):
+        with start_server() as server:
+            with ServiceClient(server.address) as client:
+                with pytest.raises(ServiceError, match="unknown session"):
+                    client.session("ghost").query()
+                with pytest.raises(ServiceError, match="unknown op"):
+                    client.request("frobnicate")
+                with pytest.raises(ServiceError, match="shape"):
+                    client.create_session(n=4, k=2).feed([1, 2, 3], block=False)
+                reply = client.request("ping", id="corr-7")
+                assert reply["id"] == "corr-7"
+
+    def test_malformed_requests_keep_connection_usable(self):
+        """Missing/ragged/mistyped fields answer bad_request, never kill
+        the connection (the documented wire contract)."""
+        with start_server() as server:
+            with ServiceClient(server.address) as client:
+                with pytest.raises(ServiceError, match="missing field"):
+                    client.request("create", k=2)  # no n
+                with pytest.raises(ServiceError, match="bad request"):
+                    client.request("create", n="many", k=2)
+                with pytest.raises(ServiceError, match="bad request"):
+                    client.request("create", n=float("inf"), k=2)  # JSON Infinity
+                with pytest.raises(ServiceError, match="max_nodes"):
+                    client.request("create", n=10**18, k=2)  # O(n) alloc refused
+                session = client.create_session(n=4, k=2, seed=0)
+                with pytest.raises(ServiceError):
+                    client.request("feed", session=session.id, row=[[1, 2], [3]])
+                session.feed([4, 3, 2, 1])  # same connection still works
+                assert session.topk(wait=True) == [0, 1]
+
+    def test_backpressure_reply_carries_limit(self):
+        with start_server(inbox_limit=1) as server:
+            with ServiceClient(server.address) as client:
+                session = client.create_session(n=4, k=2, seed=0)
+                caught = None
+                for _ in range(50):  # outrun the stepper
+                    try:
+                        session.feed([1, 2, 3, 4], block=False)
+                    except BackpressureError as exc:
+                        caught = exc
+                        break
+                if caught is not None:  # timing-dependent, but when it
+                    assert caught.limit == 1  # fires the limit is real
+
+    def test_sessions_survive_client_reconnect(self):
+        with start_server() as server:
+            client = ServiceClient(server.address)
+            session = client.create_session(n=4, k=2, seed=1)
+            session.feed([4, 1, 3, 2])
+            sid = session.id
+            client.close()
+            with ServiceClient(server.address) as fresh:
+                assert fresh.session(sid).topk(wait=True) == [0, 2]
+
+    def test_repro_serve_connect_api(self):
+        with repro.serve() as server:
+            with repro.connect(server.address) as client:
+                session = client.create_session(n=4, k=2, seed=3)
+                session.feed([40, 10, 30, 20])
+                assert session.topk(wait=True) == [0, 2]
+
+
+class TestServiceCli:
+    def _spawn(self, *extra: str) -> tuple[subprocess.Popen, str]:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "--serve", "127.0.0.1:0", *extra],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+        )
+        line = proc.stdout.readline().strip()
+        assert line.startswith("listening on "), line
+        return proc, line.removeprefix("listening on ")
+
+    def test_serve_shutdown_roundtrip(self):
+        proc, address = self._spawn()
+        try:
+            with ServiceClient(address) as client:
+                session = client.create_session(n=4, k=2, seed=1)
+                session.feed([9, 1, 5, 3])
+                assert session.topk(wait=True) == [0, 2]
+                client.shutdown()
+            assert proc.wait(timeout=10) == 0  # clean exit after shutdown op
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_kill_and_restart(self):
+        """A killed server loses its sessions; clients reconnect and redrive."""
+        proc, address = self._spawn()
+        try:
+            with ServiceClient(address) as client:
+                client.create_session(n=4, k=2, seed=1).feed([9, 1, 5, 3])
+            proc.kill()
+            proc.wait(timeout=10)
+            with pytest.raises(ServiceError):
+                ServiceClient(address, timeout=2).ping()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        # Fresh server: re-create and re-drive from scratch.
+        proc, address = self._spawn()
+        try:
+            with ServiceClient(address) as client:
+                session = client.create_session(n=4, k=2, seed=1)
+                session.feed([9, 1, 5, 3])
+                assert session.topk(wait=True) == [0, 2]
+                client.shutdown()
+            assert proc.wait(timeout=10) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_metrics_mode(self):
+        proc, address = self._spawn()
+        try:
+            out = subprocess.run(
+                [sys.executable, "-m", "repro.service", "--metrics", address],
+                capture_output=True, text=True, timeout=30,
+            )
+            assert out.returncode == 0
+            assert '"sessions_live": 0' in out.stdout
+            subprocess.run(
+                [sys.executable, "-m", "repro.service", "--shutdown", address],
+                capture_output=True, text=True, timeout=30, check=True,
+            )
+            assert proc.wait(timeout=10) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()

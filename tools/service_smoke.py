@@ -1,0 +1,153 @@
+"""End-to-end smoke of the streaming session service (the CI service job).
+
+Drives a real ``python -m repro.service --serve`` subprocess the way a
+deployment would:
+
+1. start the server, attach a client, open ``--sessions`` concurrent
+   sessions across the workload catalog;
+2. stream ``--rows`` observations into every session (bulk preload plus a
+   row-by-row tail), then assert every session's top-k answer *and*
+   protocol message count are bit-identical to the offline
+   ``TopKMonitor.run`` on the same values;
+3. SIGKILL the server mid-service, assert clients observe the outage,
+   restart, reconnect, and re-drive a batch on the fresh server;
+4. shut the server down via the wire ``shutdown`` op and assert a clean
+   exit code.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py [--sessions 100] [--rows 40]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.monitor import TopKMonitor  # noqa: E402
+from repro.errors import ServiceError  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+from repro.streams import get_workload, list_workloads  # noqa: E402
+
+ENV = {**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)}
+
+
+def spawn_server() -> tuple[subprocess.Popen, str]:
+    """Start a service subprocess on an ephemeral port; returns its address."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--serve", "127.0.0.1:0", "--batch-linger", "0.02"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=ENV,
+    )
+    line = proc.stdout.readline().strip()
+    if not line.startswith("listening on "):
+        proc.kill()
+        raise SystemExit(f"server did not announce an address (got {line!r})")
+    address = line.removeprefix("listening on ")
+    print(f"server pid={proc.pid} at {address}")
+    return proc, address
+
+
+def drive_sessions(address: str, sessions: int, rows: int, n: int, k: int, seed0: int) -> None:
+    """Open many sessions, stream the catalog into them, verify bit-identity."""
+    catalog = list_workloads()
+    with ServiceClient(address, timeout=120) as client:
+        cases = []
+        for i in range(sessions):
+            name = catalog[i % len(catalog)]
+            values = get_workload(name, n, rows, seed=i).generate()
+            handle = client.create_session(n=n, k=k, seed=seed0 + i)
+            cases.append((handle, name, values))
+        # Bulk preload half the stream, then the row-by-row tail.
+        for handle, _, values in cases:
+            handle.feed_rows(values[: rows // 2])
+        for t in range(rows // 2, rows):
+            for handle, _, values in cases:
+                handle.feed(values[t])
+        mismatches = 0
+        for i, (handle, name, values) in enumerate(cases):
+            offline = TopKMonitor(n=n, k=k, seed=seed0 + i).run(values)
+            state = handle.query(wait=True)
+            ok = (
+                state["topk"] == offline.topk_history[-1].tolist()
+                and state["messages"] == offline.total_messages
+            )
+            if not ok:
+                mismatches += 1
+                print(f"MISMATCH session {handle.id} ({name}): {state} vs "
+                      f"{offline.topk_history[-1].tolist()}/{offline.total_messages}")
+        metrics = client.metrics()
+        print(
+            f"verified {sessions} sessions x {rows} rows: "
+            f"{metrics['rows_processed']} rows stepped "
+            f"({metrics['rows_batched']} batched, {metrics['rows_quiet']} quiet), "
+            f"{metrics['protocol_messages']} protocol messages, "
+            f"p99 step latency {metrics['step_latency_p99_us']}us"
+        )
+        if mismatches:
+            raise SystemExit(f"{mismatches} sessions diverged from the offline run")
+        if sessions >= 2 and metrics["rows_batched"] == 0:
+            raise SystemExit("batched stepping path never engaged")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=100, help="concurrent sessions")
+    parser.add_argument("--rows", type=int, default=40, help="rows per session")
+    parser.add_argument("--n", type=int, default=8, help="nodes per session")
+    parser.add_argument("--k", type=int, default=2, help="top-k size")
+    args = parser.parse_args()
+
+    # --- phase 1+2: full service drive ----------------------------------
+    proc, address = spawn_server()
+    try:
+        drive_sessions(address, args.sessions, args.rows, args.n, args.k, seed0=500)
+
+        # --- phase 3: kill -9, observe the outage, restart ---------------
+        proc.kill()
+        proc.wait(timeout=30)
+        print("server killed (SIGKILL)")
+        try:
+            ServiceClient(address, timeout=3).ping()
+            raise SystemExit("dead server still answered a ping")
+        except ServiceError:
+            print("outage observed by client (connection refused)")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    proc, address = spawn_server()
+    try:
+        # Fresh server starts empty: sessions are in-memory, so gateways
+        # re-create and re-drive (documented recovery model).
+        drive_sessions(address, max(2, args.sessions // 4), args.rows, args.n, args.k, seed0=900)
+
+        # --- phase 4: clean shutdown over the wire -----------------------
+        with ServiceClient(address) as client:
+            client.shutdown()
+        code = proc.wait(timeout=30)
+        if code != 0:
+            raise SystemExit(f"server exited {code} after shutdown op")
+        print("clean shutdown: exit code 0")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            raise SystemExit("server had to be killed after shutdown request")
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    start = time.perf_counter()
+    code = main()
+    print(f"(elapsed: {time.perf_counter() - start:.1f}s)")
+    raise SystemExit(code)
