@@ -9,10 +9,15 @@ The headline numbers (recorded into ``BENCH_engines.json`` via
   batched stepping path buys over per-session Python loops.
 * ``step_sweep_1000_sessions`` — one stacked sweep advancing all 1000
   sessions by one row: the service's unit of step latency.
+* ``drain_deep_inbox_lookahead`` / ``..._per_row_sweeps`` — quiet deep
+  inboxes (DEEP_ROWS rows backlogged per session) drained via the
+  kernel's ``scan_quiet`` block lookahead vs the one-row-per-sweep
+  batched path; the asserts require the lookahead to win by >= 2x, the
+  PR's headline speedup on the paper's quiet-dominated regime.
 
-The batched run's outputs are asserted bit-identical to the offline
-engine on every one of the 1000 sessions — the acceptance bar for the
-serving layer, not just a timing.
+The batched and lookahead runs' outputs are asserted bit-identical to the
+offline engine on every session — the acceptance bar for the serving
+layer, not just a timing.
 """
 
 from __future__ import annotations
@@ -36,13 +41,18 @@ def _streams() -> list[np.ndarray]:
     ]
 
 
-def _loaded_manager(streams: list[np.ndarray], *, batch: bool) -> SessionManager:
-    """A manager with every session created and its full stream inboxed."""
-    mgr = SessionManager(batch=batch, inbox_limit=ROWS)
+def _loaded_manager(
+    streams: list[np.ndarray], *, batch: bool, lookahead: bool = False, seed0: int = 2000
+) -> SessionManager:
+    """A manager with every session created and its full stream inboxed.
+
+    ``lookahead`` defaults off: the 1000-session benchmarks measure the
+    PR-4 sweep paths; the deep-inbox pair below flips it explicitly.
+    """
+    mgr = SessionManager(batch=batch, lookahead=lookahead, inbox_limit=max(len(s) for s in streams))
     for i, values in enumerate(streams):
-        sid = mgr.create(N, K, seed=2000 + i)
-        for row in values:
-            mgr.feed(sid, row)
+        sid = mgr.create(values.shape[1], K, seed=seed0 + i)
+        mgr.feed_many(sid, values)
     return mgr
 
 
@@ -105,3 +115,87 @@ def test_step_sweep_1000_sessions(benchmark):
     assert processed == SESSIONS
     snap = mgr.metrics_snapshot()
     assert snap.step_latency_p99_us > snap.step_latency_p50_us >= 0.0
+
+
+# Deep-inbox drain: fewer sessions, much deeper backlogs — the regime the
+# kernel's cross-row lookahead (FilterState.scan_quiet) exists for.
+DEEP_SESSIONS = 100
+DEEP_ROWS = 512
+
+
+def _deep_streams() -> list[np.ndarray]:
+    """One (DEEP_ROWS, N) quiet walk per session.
+
+    Wide spread + small steps keep violations to a handful per session —
+    the quiet-dominated regime the paper's filters create and the
+    segment-skip lookahead exists for.
+    """
+    return [
+        random_walk(N, DEEP_ROWS, seed=3000 + i, step_size=2, spread=200).generate()
+        for i in range(DEEP_SESSIONS)
+    ]
+
+
+def test_drain_deep_inbox_lookahead(benchmark):
+    """Quiet deep inboxes drained by block scan, verified bit-identical."""
+    streams = _deep_streams()
+
+    def setup():
+        return (_loaded_manager(streams, batch=True, lookahead=True, seed0=4000),), {}
+
+    def drain(mgr):
+        mgr.drain()
+        return mgr
+
+    mgr = benchmark.pedantic(drain, setup=setup, rounds=3, iterations=1)
+    snap = mgr.metrics_snapshot()
+    assert snap.rows_processed == DEEP_SESSIONS * DEEP_ROWS
+    assert snap.rows_lookahead == DEEP_SESSIONS * DEEP_ROWS
+    assert snap.rows_quiet > 0.9 * DEEP_SESSIONS * DEEP_ROWS  # quiet regime
+    # Acceptance bar: every session's answer and message count equals the
+    # offline engine on the same values.
+    for i, (sid, values) in enumerate(zip(mgr.session_ids(), streams)):
+        view = mgr.query(sid)
+        offline = repro.run(repro.RunSpec(values, k=K, seed=4000 + i, engine="vectorized"))
+        assert view.topk == tuple(offline.topk_history[-1].tolist()), sid
+        assert view.message_count == offline.total_messages, sid
+
+
+def test_drain_deep_inbox_per_row_sweeps(benchmark):
+    """The same deep drain on the PR-4 batched path (the baseline beaten)."""
+    streams = _deep_streams()
+
+    def setup():
+        return (_loaded_manager(streams, batch=True, lookahead=False, seed0=4000),), {}
+
+    def drain(mgr):
+        mgr.drain()
+        return mgr
+
+    mgr = benchmark.pedantic(drain, setup=setup, rounds=3, iterations=1)
+    snap = mgr.metrics_snapshot()
+    assert snap.rows_processed == DEEP_SESSIONS * DEEP_ROWS
+    assert snap.rows_lookahead == 0
+    assert snap.rows_batched > 0.9 * DEEP_SESSIONS * DEEP_ROWS
+
+
+def test_deep_inbox_speedup_gate():
+    """The ISSUE-5 acceptance bar: lookahead >= 2x the batched sweep drain
+    on quiet deep inboxes (timed directly, independent of pytest-benchmark
+    bookkeeping)."""
+    import time
+
+    streams = _deep_streams()
+    timings = {}
+    for lookahead in (True, False):
+        best = float("inf")
+        for _ in range(3):
+            mgr = _loaded_manager(streams, batch=True, lookahead=lookahead, seed0=4000)
+            t0 = time.perf_counter()
+            mgr.drain()
+            best = min(best, time.perf_counter() - t0)
+        timings[lookahead] = best
+    assert timings[True] * 2 <= timings[False], (
+        f"deep-inbox lookahead drain {timings[True]:.4f}s not 2x faster than "
+        f"per-row sweeps {timings[False]:.4f}s"
+    )

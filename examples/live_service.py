@@ -9,6 +9,14 @@ stream in.  At the end, every session's answer and message count is
 verified bit-identical against the offline ``TopKMonitor.run`` on the
 same value sequence.
 
+The finale is the durability demo: a *checkpointing* server
+(``checkpoint_dir=...``, the in-process spelling of ``--checkpoint-dir``)
+is stopped dead mid-stream, a successor restores its session fleet from
+the checkpoint directory, the gateway reconnects to the *same* session id
+and streams the rest — and the final answer still matches the
+uninterrupted offline run bit for bit (same coin flips, same message
+count).
+
 Usage::
 
     python examples/live_service.py [--n 24] [--k 4] [--steps 600]
@@ -18,6 +26,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import tempfile
 import threading
 
 import numpy as np
@@ -40,6 +49,44 @@ def gateway(address, label: str, workload: str, values: np.ndarray, k: int, seed
             session.feed(row)
         # Park until every fed row is stepped, then read the final state.
         out[f"{label}.final"] = session.query(wait=True)
+
+
+def checkpoint_demo(n: int, k: int, steps: int, seed: int) -> bool:
+    """Kill a checkpointing server mid-stream; its successor resumes."""
+    values = get_workload("random_walk", n, steps, seed=seed + 5).generate()
+    cut = steps // 2
+    with tempfile.TemporaryDirectory(prefix="repro-demo-ckpt-") as ckpt_dir:
+        server = repro.serve(checkpoint_dir=ckpt_dir)
+        with repro.connect(server.address) as client:
+            session = client.create_session(n=n, k=k, seed=seed + 20)
+            sid = session.id
+            for row in values[:cut]:
+                session.feed(row)
+            session.query(wait=True)
+            client.checkpoint()  # durability barrier before the "crash"
+        server.close()  # this server is gone for good
+        print(f"\ncheckpoint demo: server died at t={cut - 1}; starting a successor...")
+
+        server = repro.serve(checkpoint_dir=ckpt_dir)  # restores the fleet
+        with repro.connect(server.address) as client:
+            assert sid in client.session_ids(), "restored fleet lost the session"
+            session = client.session(sid)
+            resumed_at = session.query()["time"]
+            for row in values[cut:]:
+                session.feed(row)
+            final = session.query(wait=True)
+        server.close()
+
+    offline = repro.TopKMonitor(n=n, k=k, seed=seed + 20).run(values)
+    match = (
+        final["topk"] == offline.topk_history[-1].tolist()
+        and final["messages"] == offline.total_messages
+    )
+    print(
+        f"checkpoint demo: resumed at t={resumed_at}, finished at t={final['time']} "
+        f"with {final['messages']} msgs | identical to uninterrupted offline run: {match}"
+    )
+    return match
 
 
 def main() -> int:
@@ -119,6 +166,9 @@ def main() -> int:
     if server is not None:
         server.close()
         print("service stopped")
+        # Durability finale (needs to own the server lifecycle, so it is
+        # skipped when attached to an external --address server).
+        ok &= checkpoint_demo(args.n, args.k, args.steps, args.seed)
     return 0 if ok else 1
 
 

@@ -1,14 +1,27 @@
-"""Checkpoint / restore for :class:`~repro.core.monitor.OnlineSession`.
+"""Checkpoint / restore for live Algorithm-1 sessions.
 
 A coordinator process monitoring real streams must survive restarts without
 re-contacting every node (which would cost n messages — exactly what the
-algorithm exists to avoid).  The session's entire algorithmic state is tiny:
-the side assignment, the doubled bound, the running extremes, the step
-counter, and the protocol RNG state.  This module serializes it to a plain
-dict (JSON-compatible except for the RNG state, which is included as nested
-plain types) and restores a session that behaves **bit-identically** to one
-that never stopped — including future coin flips, hence future message
-counts.
+algorithm exists to avoid).  A session's entire algorithmic state is tiny:
+the :class:`~repro.engine.kernel.FilterState` (side partition, doubled
+bound, running extremes — captured by its ``snapshot()``/``from_snapshot``
+pair), the step counter, and the protocol RNG state.  This module
+serializes it to a plain dict (JSON-compatible) and restores a session that
+behaves **bit-identically** to one that never stopped — including future
+coin flips, hence future message counts.
+
+Two layers build on it:
+
+* :func:`save_session` / :func:`restore_session` — the codec for the
+  faithful :class:`~repro.core.monitor.OnlineSession`, registered with the
+  engine registry as the ``faithful`` engine's session codec.
+* :func:`encode_rng_state` / :func:`decode_rng_state` — the PCG64 helpers
+  every engine codec shares (the vectorized
+  :meth:`~repro.engine.vectorized.IncrementalKernel.snapshot` uses them
+  too), so RNG persistence cannot drift between engines.
+
+The streaming service persists whole managers with these codecs:
+``SessionManager.checkpoint(dir)`` / ``SessionManager(restore=dir)``.
 
 Message ledgers and event logs are *instrumentation*, not algorithmic
 state; they restart empty by design (a restarted coordinator begins new
@@ -19,14 +32,21 @@ from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
-
 from repro.core.monitor import MonitorConfig, OnlineSession
+from repro.engine.kernel import FilterState
 from repro.errors import ConfigurationError
 
-__all__ = ["save_session", "restore_session", "SCHEMA_VERSION"]
+__all__ = [
+    "save_session",
+    "restore_session",
+    "encode_rng_state",
+    "decode_rng_state",
+    "SCHEMA_VERSION",
+]
 
-SCHEMA_VERSION = 1
+import numpy as np
+
+SCHEMA_VERSION = 2
 
 
 def save_session(session: OnlineSession) -> dict[str, Any]:
@@ -37,13 +57,10 @@ def save_session(session: OnlineSession) -> dict[str, Any]:
         "k": session.k,
         "t": session._t,
         "initialized": session._initialized,
-        "sides": session._sides.astype(int).tolist(),
-        "m2": int(session._m2),
-        "t_plus": int(session._t_plus),
-        "t_minus": int(session._t_minus),
+        "filter": session._filter.snapshot(),
         "resets": session.resets,
         "handler_calls": session.handler_calls,
-        "rng_state": _encode_rng_state(session._rng),
+        "rng_state": encode_rng_state(session._rng),
         "config": {
             "audit": session.config.audit,
             "skip_redundant_min": session.config.skip_redundant_min,
@@ -77,17 +94,14 @@ def restore_session(state: dict[str, Any], *, config: MonitorConfig | None = Non
     session = OnlineSession(state["n"], state["k"], seed=0, config=cfg)
     session._t = int(state["t"])
     session._initialized = bool(state["initialized"])
-    session._sides[:] = np.asarray(state["sides"], dtype=bool)
-    session._m2 = int(state["m2"])
-    session._t_plus = int(state["t_plus"])
-    session._t_minus = int(state["t_minus"])
+    session._filter = FilterState.from_snapshot(state["filter"])
     session.resets = int(state["resets"])
     session.handler_calls = int(state["handler_calls"])
-    session._rng = _decode_rng_state(state["rng_state"])
+    session._rng = decode_rng_state(state["rng_state"])
     return session
 
 
-def _encode_rng_state(rng: np.random.Generator) -> dict[str, Any]:
+def encode_rng_state(rng: np.random.Generator) -> dict[str, Any]:
     """Serialize a PCG64 generator's state into JSON-safe types."""
     raw = rng.bit_generator.state
     if raw.get("bit_generator") != "PCG64":
@@ -101,8 +115,8 @@ def _encode_rng_state(rng: np.random.Generator) -> dict[str, Any]:
     }
 
 
-def _decode_rng_state(data: dict[str, Any]) -> np.random.Generator:
-    """Inverse of :func:`_encode_rng_state`."""
+def decode_rng_state(data: dict[str, Any]) -> np.random.Generator:
+    """Inverse of :func:`encode_rng_state`."""
     if data.get("bit_generator") != "PCG64":
         raise ConfigurationError("checkpoint does not contain a PCG64 state")
     bg = np.random.PCG64()

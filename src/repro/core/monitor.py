@@ -25,7 +25,10 @@ Exact arithmetic: ``T+`` and ``T-`` are always *observed integer values*
 (the protocols return integers), so the only non-integer quantity is the
 midpoint ``M``, a half-integer.  We store the **doubled bound**
 ``M2 = T+ + T-`` and compare ``2·v`` against it — all arithmetic stays in
-int64 and the ``log Δ`` halving count is exact.
+int64 and the ``log Δ`` halving count is exact.  The filter state and that
+comparison are the shared :class:`~repro.engine.kernel.FilterState` — one
+implementation across this monitor, the counting engines, and the
+streaming service.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ from repro.core.events import MonitorResult, StepEvent, StepKind, valid_topk_set
 from repro.core.filters import FilterSet, filters_from_sides
 from repro.core.protocols import ProtocolConfig, maximum_protocol, minimum_protocol
 from repro.core.selection import select_top_k
+from repro.engine.kernel import FilterState
 from repro.errors import ConfigurationError, InvariantViolation
 from repro.model.ledger import MessageLedger
 from repro.model.message import Phase
@@ -102,10 +106,9 @@ class OnlineSession:
             RecordingTransport(self.ledger) if self.config.record_messages else CountingTransport(self.ledger)
         )
         self._ids = np.arange(self.n, dtype=np.int64)
-        self._sides = np.zeros(self.n, dtype=bool)  # True = TOP
-        self._m2: int = 0  # doubled filter bound (valid once initialized)
-        self._t_plus: int = 0  # running min over TOP since last reset
-        self._t_minus: int = 0  # running max over BOTTOM since last reset
+        # Partition + doubled bound + running extremes, in the shared
+        # filter-state object (valid once initialized).
+        self._filter = FilterState.blank(self.n)
         self._t = -1
         self._initialized = False
         self.events: list[StepEvent] = []
@@ -113,6 +116,39 @@ class OnlineSession:
         self.handler_calls = 0
         self.audit_failures = 0
         self._trivial = self.k == self.n
+
+    # ----------------------------------------------------- state delegation
+    # The private names predate the shared kernel; tests (notably the
+    # failure-injection suite) corrupt them directly, so they stay as
+    # read/write views onto the FilterState.
+
+    @property
+    def _sides(self) -> np.ndarray:
+        return self._filter.sides
+
+    @property
+    def _m2(self) -> int:
+        return self._filter.m2
+
+    @_m2.setter
+    def _m2(self, value: int) -> None:
+        self._filter.m2 = int(value)
+
+    @property
+    def _t_plus(self) -> int:
+        return self._filter.t_plus
+
+    @_t_plus.setter
+    def _t_plus(self, value: int) -> None:
+        self._filter.t_plus = int(value)
+
+    @property
+    def _t_minus(self) -> int:
+        return self._filter.t_minus
+
+    @_t_minus.setter
+    def _t_minus(self, value: int) -> None:
+        self._filter.t_minus = int(value)
 
     # ------------------------------------------------------------------ API
 
@@ -207,15 +243,12 @@ class OnlineSession:
 
     def _step(self, row: ValueRow) -> None:
         before = self.ledger.total
-        doubled = 2 * row
-        # Quiet steps (the common case) only evaluate the boolean masks; the
-        # id vectors are materialized from them once, on violation steps.
-        viol_top_mask = self._sides & (doubled < self._m2)
-        viol_bot_mask = ~self._sides & (doubled > self._m2)
-        if not (viol_top_mask.any() or viol_bot_mask.any()):
+        # The quietness decision and the violator ids come from the shared
+        # kernel; both read ``sides`` directly (not a cache), so injected
+        # state corruption is always observed and healed.
+        if not self._filter.violates(row):
             return  # quiet step: every value inside its filter
-        viol_top = np.flatnonzero(viol_top_mask)
-        viol_bot = np.flatnonzero(viol_bot_mask)
+        viol_top, viol_bot = self._filter.violators(row)
 
         if self.config.always_reset:
             # Ablation A1: no handler, no halving — straight to a reset.
@@ -272,16 +305,13 @@ class OnlineSession:
                 config=self.config.protocol,
             )
         assert min_out is not None and max_out is not None
-        self._t_plus = min(self._t_plus, min_out.value)
-        self._t_minus = max(self._t_minus, max_out.value)
 
         # Lines 29-34: reset if the top-k set provably changed, else halve.
-        if self._t_plus < self._t_minus:
+        if self._filter.absorb(min_out.value, max_out.value):
             self._filter_reset(row)
             self._record_event(StepKind.HANDLER_RESET, viol_top.size, viol_bot.size, before)
         else:
-            self._m2 = self._t_plus + self._t_minus
-            self.transport.broadcast(("midpoint", self._m2), Phase.MIDPOINT_BROADCAST)
+            self.transport.broadcast(("midpoint", self._filter.rebound()), Phase.MIDPOINT_BROADCAST)
             self._record_event(StepKind.HANDLER_MIDPOINT, viol_top.size, viol_bot.size, before)
 
     def _filter_reset(self, row: ValueRow) -> None:
@@ -299,12 +329,9 @@ class OnlineSession:
         )
         v_k = sel.values[self.k - 1]
         v_k1 = sel.values[self.k]
-        self._m2 = v_k + v_k1  # doubled midpoint between k-th and (k+1)-st
+        # Fresh partition + doubled midpoint between k-th and (k+1)-st.
+        self._filter.install(sel.winners[: self.k], v_k, v_k1)
         self.transport.broadcast(("reset", self._m2), Phase.RESET_BROADCAST)
-        self._sides[:] = False
-        self._sides[np.asarray(sel.winners[: self.k], dtype=np.int64)] = True
-        self._t_plus = v_k
-        self._t_minus = v_k1
 
     # ------------------------------------------------------------ records
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.kernel import violates_value
 from repro.types import Side
 
 __all__ = ["NodeAgent"]
@@ -62,11 +63,8 @@ class NodeAgent:
         """
         if not self.initialized:
             return None
-        doubled = 2 * self.value
-        if self.side is Side.TOP and doubled < self.m2:
-            return Side.TOP
-        if self.side is Side.BOTTOM and doubled > self.m2:
-            return Side.BOTTOM
+        if violates_value(self.value, self.side is Side.TOP, self.m2):
+            return self.side
         return None
 
     # ---------------------------------------------------------- protocol

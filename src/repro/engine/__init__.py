@@ -24,19 +24,57 @@ three ways through the unified run path.
 
 ``run_vectorized`` and ``run_fast`` remain as deprecated shims around the
 registry engines.
+
+The package namespace is lazy: the layer-zero kernel
+(:mod:`repro.engine.kernel`) is importable from :mod:`repro.core` without
+dragging the engines (and their ``repro.core`` imports) in circularly.
 """
 
-from repro.engine.registry import (
-    ENGINES,
-    EngineInfo,
-    get_engine,
-    list_engines,
-    register_engine,
-)
-from repro.engine.results import RunResult
-from repro.engine.vectorized import VectorizedResult, run_vectorized
-from repro.engine.fast import FastResult, run_fast
-from repro.engine.compare import DifferentialReport, differential_check
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover — static names for type checkers
+    from repro.engine.compare import DifferentialReport, differential_check
+    from repro.engine.fast import FastResult, run_fast
+    from repro.engine.registry import (
+        ENGINES,
+        EngineInfo,
+        get_engine,
+        list_engines,
+        register_engine,
+    )
+    from repro.engine.results import RunResult
+    from repro.engine.vectorized import VectorizedResult, run_vectorized
+
+_EXPORTS = {
+    "EngineInfo": "repro.engine.registry",
+    "ENGINES": "repro.engine.registry",
+    "register_engine": "repro.engine.registry",
+    "get_engine": "repro.engine.registry",
+    "list_engines": "repro.engine.registry",
+    "RunResult": "repro.engine.results",
+    "VectorizedResult": "repro.engine.vectorized",
+    "run_vectorized": "repro.engine.vectorized",
+    "FastResult": "repro.engine.fast",
+    "run_fast": "repro.engine.fast",
+    "DifferentialReport": "repro.engine.compare",
+    "differential_check": "repro.engine.compare",
+}
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value  # cache: next access skips this hook
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))
+
 
 __all__ = [
     "EngineInfo",

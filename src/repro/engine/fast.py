@@ -9,21 +9,18 @@ a full Python iteration with O(n) NumPy work on every one of those steps.
 
 This engine exploits the **segment-skip invariant**: between two
 communication events the filters are completely static, so whether step
-``t`` violates is a pure function of the input row — ``t`` violates iff
+``t`` violates is a pure function of the input row.  The quietness
+comparison itself, its folded integer thresholds, and the cached-reduction
+lookahead all live in :mod:`repro.engine.kernel`
+(:class:`~repro.engine.kernel.FilterState`,
+:class:`~repro.engine.kernel.SegmentScanner`); this module is the event
+loop on top: after every event it asks the scanner for the next violating
+step, fills ``topk_history`` for the skipped quiet segment by slice
+assignment from the cached top-k id vector, and runs per-step protocol
+logic **only** at violation times.
 
-    min over the TOP side of ``2 * values[t]``    <  ``M2``,  or
-    max over the BOTTOM side of ``2 * values[t]`` >  ``M2``.
-
-Both reductions vectorize over *time*: after every event the engine scans
-the remaining ``(T - t, n)`` block with whole-array row reductions
-(in geometrically growing chunks, so churn-heavy inputs do not pay for
-lookahead they never use), jumps straight to the next violating step, and
-fills ``topk_history`` for the skipped quiet segment by slice assignment
-from the cached top-k id vector.  Per-step protocol logic runs **only** at
-violation times.
-
-Equality guarantee: the protocol round loop is imported from
-:mod:`repro.engine.vectorized` and the randomness convention (one
+Equality guarantee: the protocol round loop is the shared one from
+:mod:`repro.engine.kernel` and the randomness convention (one
 ``rng.random(size=#active)`` draw per round over ascending ids, including
 the forced final round) is untouched, so for equal seeds this engine
 produces bit-identical top-k trajectories, reset/handler times and
@@ -36,15 +33,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.protocols import ProtocolConfig
+from repro.engine.kernel import (
+    PHASES as _PHASES,
+    FilterState,
+    SegmentScanner,
+    protocol_run as _protocol_run,
+    reset_sweeps as _reset_sweeps,
+)
 from repro.engine.registry import CAP_COUNTING, CAP_TRAJECTORY, register_engine
 from repro.engine.results import RunResult
-from repro.engine.vectorized import (
-    _PHASES,
-    VectorizedResult,
-    _protocol_run,
-    _reset_sweeps,
-    check_counting_config,
-)
+from repro.engine.vectorized import VectorizedResult, check_counting_config
 from repro.util.deprecation import warn_deprecated
 from repro.util.seeding import derive_rng
 from repro.util.validation import check_k, check_matrix
@@ -54,87 +52,6 @@ __all__ = ["FastResult", "run_fast"]
 # The fast engine emits the same counters/trajectory container as the
 # vectorized engine — differential comparison is field-by-field trivial.
 FastResult = VectorizedResult
-
-# Chunked lookahead: start small so churn-heavy inputs only ever reduce a
-# few rows past the current step, grow geometrically so long quiet segments
-# are covered in O(log(segment)) whole-array reductions.
-_SCAN_CHUNK_MIN = 16
-_SCAN_CHUNK_MAX = 8192
-
-
-class _SegmentScanner:
-    """Finds the next filter-violating step with O(n)-per-row work *once*.
-
-    The key observation: the per-row reductions ``min over TOP`` / ``max
-    over BOTTOM`` depend only on the side partition, which changes only at
-    resets — **not** on the bound ``M2``, which also changes at midpoint
-    updates.  So the scanner caches the per-row reductions for the current
-    reset segment (filled lazily in geometrically growing chunks) and
-    re-evaluates only the two 1-D threshold comparisons when ``M2`` moves.
-    """
-
-    def __init__(self, values: np.ndarray):
-        self._values = values
-        self._steps = values.shape[0]
-        T = values.shape[0]
-        self._top_min = np.empty(T, dtype=np.int64)  # per-row min over TOP
-        self._bot_max = np.empty(T, dtype=np.int64)  # per-row max over BOTTOM
-        self._filled = 0
-        self._chunk = _SCAN_CHUNK_MIN
-        self._top_sel: slice | np.ndarray = slice(0, 0)
-        self._bot_sel: slice | np.ndarray = slice(0, 0)
-
-    @staticmethod
-    def _selector(ids: np.ndarray):
-        """A column selector for ``ids``: a view-producing slice when the
-        ids are contiguous (common when node base levels order the top-k),
-        else the index array itself (fancy-indexed gather)."""
-        if int(ids[-1]) - int(ids[0]) + 1 == ids.size:
-            return slice(int(ids[0]), int(ids[-1]) + 1)
-        return ids
-
-    def reset(self, t: int, top_ids: np.ndarray, bot_ids: np.ndarray) -> None:
-        """Invalidate the cache: a reset at ``t`` changed the partition."""
-        self._top_sel = self._selector(top_ids)
-        self._bot_sel = self._selector(bot_ids)
-        self._filled = t + 1
-        self._chunk = _SCAN_CHUNK_MIN
-
-    def _extend(self) -> None:
-        t1 = min(self._steps, self._filled + self._chunk)
-        block = self._values[self._filled : t1]
-        self._top_min[self._filled : t1] = block[:, self._top_sel].min(axis=1)
-        self._bot_max[self._filled : t1] = block[:, self._bot_sel].max(axis=1)
-        self._filled = t1
-        self._chunk = min(self._chunk * 4, _SCAN_CHUNK_MAX)
-
-    def next_violation(self, start: int, m2: int) -> int:
-        """First ``t >= start`` whose row violates a filter, or ``T``.
-
-        The doubled-bound comparisons ``2·min < M2`` / ``2·max > M2`` are
-        folded into integer thresholds on the raw reductions (exact for any
-        sign): ``min < ceil(M2/2)`` and ``max > floor(M2/2)``.
-        """
-        lo = -((-m2) // 2)  # ceil(m2 / 2)
-        hi = m2 // 2  # floor(m2 / 2)
-        T = self._steps
-        pos = start
-        # Compare in geometric sub-windows from ``pos`` rather than over the
-        # whole cached region, so violation-dense stretches behind a long
-        # filled prefix cost O(span) per event instead of O(filled - pos).
-        span = _SCAN_CHUNK_MIN
-        while pos < T:
-            if self._filled <= pos:
-                self._extend()
-                continue
-            end = min(self._filled, pos + span)
-            window = (self._top_min[pos:end] < lo) | (self._bot_max[pos:end] > hi)
-            first = int(window.argmax())
-            if window[first]:
-                return pos + first
-            pos = end
-            span = min(span * 4, _SCAN_CHUNK_MAX)
-        return T
 
 
 def _run_fast(
@@ -170,69 +87,52 @@ def _run_fast(
         return result
 
     ids = np.arange(n, dtype=np.int64)
-    sides = np.zeros(n, dtype=bool)
-    top_ids = ids[:0]  # cached ascending TOP/BOTTOM id vectors,
-    bot_ids = ids[:0]  # refreshed only by filter_reset
-    m2 = 0
-    t_plus = 0
-    t_minus = 0
+    state = FilterState.blank(n)
     start_charge = 1 if protocol.charge_start_broadcast else 0
-    scanner = _SegmentScanner(values)
+    scanner = SegmentScanner(values)
 
     def protocol_run(participants: np.ndarray, row: np.ndarray, upper: int, sign: int, phase: str, initiated: bool):
         return _protocol_run(participants, row, upper, sign, phase, initiated, counts, rng, start_charge)
 
     def filter_reset(row: np.ndarray, t: int) -> None:
-        nonlocal m2, t_plus, t_minus, top_ids, bot_ids
         result.resets += 1
         result.reset_times.append(t)
         winners, winner_vals = _reset_sweeps(ids, row, n, k, protocol_run)
         counts["reset_broadcast"] += 1
-        sides[:] = False
-        sides[winners[:k]] = True
-        top_ids = np.flatnonzero(sides)
-        bot_ids = np.flatnonzero(~sides)
-        scanner.reset(t, top_ids, bot_ids)
-        t_plus = winner_vals[k - 1]
-        t_minus = winner_vals[k]
-        m2 = t_plus + t_minus
+        state.install(winners[:k], winner_vals[k - 1], winner_vals[k])
+        scanner.reset(t, state)
 
     # t = 0 initialization.
     filter_reset(values[0], 0)
-    history[0] = top_ids
+    history[0] = state.top_ids
 
     bottom_bound = max(1, n - k)
     top_bound = max(1, k)
     t = 1
     while t < T:
-        v = scanner.next_violation(t, m2)
+        v = scanner.next_violation(t, state.m2)
         if v > t:  # quiet segment: the partition is frozen, fill by slice
-            history[t:v] = top_ids
+            history[t:v] = state.top_ids
         if v == T:
             break
         row = values[v]
-        lo = -((-m2) // 2)  # 2*v < m2  <=>  v < ceil(m2/2)
-        hi = m2 // 2  # 2*v > m2  <=>  v > floor(m2/2)
-        viol_top = top_ids[row[top_ids] < lo]
-        viol_bot = bot_ids[row[bot_ids] > hi]
+        viol_top, viol_bot = state.violators(row)
         min_out = protocol_run(viol_top, row, top_bound, -1, "violation_min", False)
         max_out = protocol_run(viol_bot, row, bottom_bound, +1, "violation_max", False)
         result.handler_calls += 1
         result.handler_times.append(v)
         if max_out is None:
-            max_out = protocol_run(bot_ids, row, bottom_bound, +1, "handler_max", True)
+            max_out = protocol_run(state.bot_ids, row, bottom_bound, +1, "handler_max", True)
         elif not (skip_redundant_min and min_out is not None):
-            min_out = protocol_run(top_ids, row, top_bound, -1, "handler_min", True)
+            min_out = protocol_run(state.top_ids, row, top_bound, -1, "handler_min", True)
         assert min_out is not None and max_out is not None
-        t_plus = min(t_plus, min_out[1])
-        t_minus = max(t_minus, max_out[1])
-        if t_plus < t_minus:
+        if state.absorb(min_out[1], max_out[1]):
             filter_reset(row, v)
             result.handler_times.pop()  # reclassified as a reset step
         else:
-            m2 = t_plus + t_minus
+            state.rebound()
             counts["midpoint_broadcast"] += 1
-        history[v] = top_ids
+        history[v] = state.top_ids
         t = v + 1
     return result
 

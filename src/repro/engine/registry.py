@@ -50,11 +50,13 @@ __all__ = [
     "CAP_AUDIT",
     "CAP_ABLATIONS",
     "CAP_STREAMING",
+    "CAP_CHECKPOINT",
     "EngineInfo",
     "ENGINES",
     "register_engine",
     "get_engine",
     "get_session_factory",
+    "get_session_codec",
     "list_engines",
 ]
 
@@ -73,6 +75,9 @@ CAP_ABLATIONS = "ablations"
 #: Incremental row-at-a-time stepping (``session_factory`` registered);
 #: required to host live sessions in :mod:`repro.service`.
 CAP_STREAMING = "streaming"
+#: Session checkpoint/restore (``session_snapshot``/``session_restore``
+#: registered); required for the service's ``--checkpoint-dir`` survival.
+CAP_CHECKPOINT = "checkpoint"
 
 #: ``runner(values, k, *, seed, config) -> RunResult``
 EngineRunner = Callable[..., Any]
@@ -80,6 +85,11 @@ EngineRunner = Callable[..., Any]
 #: exposes ``step(row) -> topk``, ``time``, ``topk`` and ``message_count``
 #: (the contract :mod:`repro.service` builds on).
 SessionFactory = Callable[..., Any]
+#: ``session_snapshot(stepper) -> dict`` — JSON-safe full algorithmic
+#: state, bit-identically invertible by the paired ``session_restore``.
+SessionSnapshot = Callable[[Any], dict]
+#: ``session_restore(state) -> stepper`` — inverse of ``session_snapshot``.
+SessionRestore = Callable[[dict], Any]
 
 
 @dataclass(frozen=True)
@@ -91,6 +101,8 @@ class EngineInfo:
     capabilities: frozenset[str]
     runner: EngineRunner
     session_factory: SessionFactory | None = None
+    session_snapshot: SessionSnapshot | None = None
+    session_restore: SessionRestore | None = None
 
     def supports(self, capability: str) -> bool:
         """Whether this engine advertises ``capability``."""
@@ -126,6 +138,8 @@ def register_engine(
     capabilities=(),
     runner: EngineRunner,
     session_factory: SessionFactory | None = None,
+    session_snapshot: SessionSnapshot | None = None,
+    session_restore: SessionRestore | None = None,
 ) -> EngineInfo:
     """Register an engine under ``name``.
 
@@ -145,6 +159,13 @@ def register_engine(
         incremental row-at-a-time sessions; registering one is what makes
         the engine usable by the streaming service (advertise it with
         :data:`CAP_STREAMING`).
+    session_snapshot / session_restore:
+        Optional checkpoint codec for the engine's steppers: ``snapshot``
+        captures a stepper's full algorithmic state as a JSON-safe dict
+        and ``restore`` rebuilds a stepper that behaves bit-identically —
+        including future coin flips.  Registering the pair is what lets
+        :meth:`repro.service.SessionManager.checkpoint` persist sessions
+        hosted on this engine (advertise with :data:`CAP_CHECKPOINT`).
 
     Returns
     -------
@@ -157,12 +178,19 @@ def register_engine(
     """
     if name in ENGINES:
         raise ConfigurationError(f"engine {name!r} is already registered")
+    if (session_snapshot is None) != (session_restore is None):
+        raise ConfigurationError(
+            f"engine {name!r} must register session_snapshot and session_restore "
+            f"together (a one-sided checkpoint codec cannot round-trip)"
+        )
     info = EngineInfo(
         name=name,
         description=description,
         capabilities=frozenset(capabilities),
         runner=runner,
         session_factory=session_factory,
+        session_snapshot=session_snapshot,
+        session_restore=session_restore,
     )
     ENGINES[name] = info
     return info
@@ -231,6 +259,42 @@ def get_session_factory(name: str) -> SessionFactory:
             f"streaming engines: {', '.join(streaming)}"
         )
     return info.session_factory
+
+
+def get_session_codec(name: str) -> tuple[SessionSnapshot, SessionRestore]:
+    """The checkpoint codec of a registered engine.
+
+    Args
+    ----
+    name:
+        A registered engine name.
+
+    Returns
+    -------
+    The engine's ``(session_snapshot, session_restore)`` pair.
+
+    Raises
+    ------
+    ConfigurationError
+        If the engine registered no checkpoint codec (its sessions cannot
+        be persisted), or if no engine of that name is registered.
+
+    Example
+    -------
+    >>> snapshot, restore = get_session_codec("vectorized")
+    >>> stepper = get_session_factory("vectorized")(4, 2, seed=0)
+    >>> _ = stepper.step([30, 10, 20, 40])
+    >>> restore(snapshot(stepper)).topk.tolist()
+    [0, 3]
+    """
+    info = get_engine(name)
+    if info.session_snapshot is None or info.session_restore is None:
+        supported = sorted(e.name for e in ENGINES.values() if e.session_snapshot is not None)
+        raise ConfigurationError(
+            f"engine {name!r} does not support session checkpointing; "
+            f"checkpointable engines: {', '.join(supported)}"
+        )
+    return info.session_snapshot, info.session_restore
 
 
 def list_engines() -> list[EngineInfo]:

@@ -8,6 +8,12 @@ transports.  Differential testing between the two engines (see
 reproduction — any semantic drift in either implementation breaks exact
 equality of trajectories *and* message counts.
 
+The filter state itself — partition, doubled bound, quietness decision —
+lives one layer down in :mod:`repro.engine.kernel` (:class:`FilterState`),
+which this module shares with the faithful monitor, the fast engine, and
+the streaming service: the ``2·v`` vs ``M2`` comparison is implemented
+exactly once, there.
+
 Randomness convention (shared with the faithful engine): every protocol
 round draws ``rng.random(size=#active)`` over active participants in
 ascending node-id order, including the forced final round.
@@ -16,11 +22,19 @@ ascending node-id order, including the forced final round.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from repro.core.protocols import ProtocolConfig
+from repro.engine.kernel import PHASES as _PHASES
+from repro.engine.kernel import (
+    FilterState,
+    protocol_run as _protocol_run,
+    reset_sweeps as _reset_sweeps,
+)
 from repro.engine.registry import (
+    CAP_CHECKPOINT,
     CAP_COUNTING,
     CAP_STREAMING,
     CAP_TRAJECTORY,
@@ -29,25 +43,13 @@ from repro.engine.registry import (
 from repro.engine.results import RunResult
 from repro.errors import ConfigurationError
 from repro.util.deprecation import warn_deprecated
-from repro.util.intmath import ceil_log2
 from repro.util.seeding import derive_rng
 from repro.util.validation import check_k, check_matrix
 
 __all__ = ["VectorizedResult", "IncrementalKernel", "run_vectorized"]
 
-# Phase keys mirrored from repro.model.message.Phase (plain strings here —
-# this module deliberately avoids importing the object model).
-_PHASES = (
-    "violation_min",
-    "violation_max",
-    "handler_max",
-    "handler_min",
-    "protocol_start",
-    "protocol_round",
-    "reset_protocol",
-    "reset_broadcast",
-    "midpoint_broadcast",
-)
+#: Schema tag for :meth:`IncrementalKernel.snapshot` payloads.
+KERNEL_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -70,152 +72,6 @@ class VectorizedResult:
         return sum(self.by_phase.values())
 
 
-# Memoized per-upper-bound send-probability schedules.  Entries are computed
-# with the exact expression ``2.0**r / upper_bound`` so the coin comparisons
-# stay bit-identical to the faithful engine's per-round computation.
-_SCHEDULES: dict[int, tuple[float, ...]] = {}
-
-
-def _schedule(upper_bound: int) -> tuple[float, ...]:
-    sched = _SCHEDULES.get(upper_bound)
-    if sched is None:
-        n_rounds = ceil_log2(upper_bound) + 1 if upper_bound > 1 else 1
-        sched = tuple((2.0**r) / upper_bound for r in range(n_rounds))
-        _SCHEDULES[upper_bound] = sched
-    return sched
-
-
-def _round_loop(
-    ids: np.ndarray,
-    keyed: np.ndarray,
-    upper_bound: int,
-    rng: np.random.Generator,
-) -> tuple[int, int, int, int]:
-    """One Algorithm-2 execution over ``sign``-keyed values.
-
-    ``ids``/``keyed`` must already be in ascending-id order.  Returns
-    ``(winner_id, keyed_value, node_messages, round_broadcasts)``.
-    """
-    sched = _schedule(upper_bound)
-    rand = rng.random
-    if ids.size == 1:
-        # Scalar fast path: a single participant keeps flipping its coin
-        # (consuming one draw per round, exactly like the array path) until
-        # it sends; its first message is always an improvement broadcast.
-        wid = int(ids[0])
-        val = int(keyed[0])
-        for p in sched:
-            if rand() < p:
-                return wid, val, 1, 1
-        raise AssertionError("final round forces sends")
-    act_ids = ids
-    act_keyed = keyed
-    best: int | None = None
-    best_id = -1
-    node_msgs = 0
-    bcasts = 0
-    for p in sched:
-        m = act_ids.size
-        if m == 0:
-            break
-        # The draw happens every round over the active set in ascending id
-        # order — the shared randomness convention; never skip it.
-        draws = rand(m)
-        if p < 1.0:
-            sid = (draws < p).nonzero()[0]  # integer gathers: senders are few
-            s = sid.size
-            if s == 0:
-                continue  # nobody sent; nothing changes this round
-        else:
-            sid = None  # forced round: everyone still active sends
-            s = m
-        node_msgs += s
-        if sid is None:
-            j = int(act_keyed.argmax())  # first max = lowest id among senders
-            round_best = int(act_keyed[j])
-            round_best_id = int(act_ids[j])
-        elif s == 1:
-            i0 = int(sid[0])
-            round_best = int(act_keyed[i0])
-            round_best_id = int(act_ids[i0])
-        else:
-            sk = act_keyed[sid]
-            j = int(sk.argmax())
-            round_best = int(sk[j])
-            round_best_id = int(act_ids[sid[j]])
-        improved = best is None or round_best > best
-        if improved:
-            best = round_best
-            best_id = round_best_id
-        elif round_best == best and round_best_id < best_id:
-            best_id = round_best_id
-        if improved:
-            bcasts += 1
-            # The broadcast deactivates every node below the new maximum;
-            # senders deactivate regardless.
-            keep = act_keyed >= best
-            if sid is not None:
-                keep[sid] = False
-            act_ids = act_ids[keep]
-            act_keyed = act_keyed[keep]
-        elif sid is not None:
-            keep = np.ones(m, dtype=bool)
-            keep[sid] = False
-            act_ids = act_ids[keep]
-            act_keyed = act_keyed[keep]
-        else:
-            break  # forced round with no improvement: nobody remains
-    assert best is not None, "final round forces sends"
-    return best_id, best, node_msgs, bcasts
-
-
-def _protocol_run(
-    participants: np.ndarray,
-    row: np.ndarray,
-    upper: int,
-    sign: int,
-    phase: str,
-    initiated: bool,
-    counts: dict[str, int],
-    rng: np.random.Generator,
-    start_charge: int,
-):
-    """One accounted protocol execution, shared by the counting engines.
-
-    Returns ``(winner_id, value)`` or ``None`` when there are no
-    participants; message/broadcast counters accumulate into ``counts``.
-    """
-    if participants.size == 0:
-        return None
-    if initiated:
-        counts["protocol_start"] += start_charge
-    keyed = row[participants] if sign > 0 else -row[participants]
-    wid, best, msgs, bcasts = _round_loop(participants, keyed, upper, rng)
-    counts[phase] += msgs
-    counts["protocol_round"] += bcasts
-    return wid, sign * best
-
-
-def _reset_sweeps(ids: np.ndarray, row: np.ndarray, n: int, k: int, protocol_run):
-    """The ``k+1`` coordinator-initiated max sweeps of a ``FilterReset``.
-
-    Shared by the counting engines so the reset protocol semantics cannot
-    drift between them (invariant I4).  Returns ``(winners, winner_vals)``
-    ordered by rank.
-    """
-    remaining = np.ones(n, dtype=bool)
-    winners: list[int] = []
-    winner_vals: list[int] = []
-    for _ in range(k + 1):
-        part = ids[remaining]
-        out = protocol_run(part, row, n, +1, "reset_protocol", True)
-        assert out is not None
-        winners.append(out[0])
-        winner_vals.append(out[1])
-        remaining[out[0]] = False
-    return winners, winner_vals
-
-
 class IncrementalKernel:
     """The vectorized engine in stateful, row-at-a-time form.
 
@@ -227,17 +83,25 @@ class IncrementalKernel:
     differential tests that hold the batch entry point bit-identical to
     the faithful engine cover the incremental path by construction.
 
-    The kernel is also the unit the streaming service batches: it exposes
-    the pieces a caller needs to decide quietness for many sessions in one
-    stacked comparison (:attr:`sides`, :attr:`m2`) plus
-    :meth:`quiet_step`, which advances time without re-deriving what the
-    caller already proved.  Quiet steps consume no randomness, so a
-    batch-stepped kernel stays bit-identical to a per-row one.
+    The kernel is also the unit the streaming service batches and
+    checkpoints: it exposes its :class:`~repro.engine.kernel.FilterState`
+    as :attr:`filter` (so a caller can decide quietness for many sessions
+    in one stacked comparison and apply it via :meth:`quiet_step`), drains
+    proven-quiet *blocks* via :meth:`observe_many` (one
+    :meth:`~repro.engine.kernel.FilterState.scan_quiet` lookahead instead
+    of row-at-a-time sweeps), and round-trips its full state through
+    :meth:`snapshot` / :meth:`from_snapshot`.  Quiet steps consume no
+    randomness, so batched or lookahead stepping stays bit-identical to a
+    per-row loop.
     """
 
     #: Marker for batch schedulers: quietness of a step can be decided
-    #: externally from ``sides``/``m2`` and applied via ``quiet_step``.
+    #: externally from :attr:`filter` and applied via ``quiet_step``.
     supports_batch = True
+
+    #: Marker for deep-inbox schedulers: ``observe_many`` skips quiet
+    #: prefixes with a block scan (exactness guaranteed by the kernel).
+    supports_lookahead = True
 
     def __init__(
         self,
@@ -268,16 +132,12 @@ class IncrementalKernel:
         self.reset_times: list[int] = []
         self.handler_times: list[int] = []
         self._ids = np.arange(self.n, dtype=np.int64)
-        #: Current side partition (True = TOP); read by batch schedulers.
-        self.sides = np.zeros(self.n, dtype=bool)
-        #: Current doubled filter bound; read by batch schedulers.
-        self.m2 = 0
-        self._top_ids = self._ids if self.k == self.n else self._ids[:0]
-        self._t_plus = 0
-        self._t_minus = 0
+        self.trivial = self.k == self.n
+        #: The shared filter state (partition + doubled bound + extremes);
+        #: read by batch schedulers and the lookahead scan.
+        self.filter = FilterState.blank(self.n, all_top=self.trivial)
         self._t = -1
         self._start_charge = 1 if protocol.charge_start_broadcast else 0
-        self.trivial = self.k == self.n
 
     # ------------------------------------------------------------------ API
 
@@ -289,7 +149,17 @@ class IncrementalKernel:
     @property
     def topk(self) -> np.ndarray:
         """Current top-k node ids (ascending id order)."""
-        return self._top_ids
+        return self.filter.top_ids
+
+    @property
+    def sides(self) -> np.ndarray:
+        """Current side partition (True = TOP) — ``filter.sides``."""
+        return self.filter.sides
+
+    @property
+    def m2(self) -> int:
+        """Current doubled filter bound — ``filter.m2``."""
+        return self.filter.m2
 
     @property
     def initialized(self) -> bool:
@@ -323,25 +193,61 @@ class IncrementalKernel:
         batched stepping path's fast lane.
         """
         self._t += 1
-        return self._top_ids
+        return self.filter.top_ids
+
+    def observe_many(self, rows) -> np.ndarray:
+        """Process a block of rows with quiet-prefix lookahead; returns the
+        ``(B, k)`` top-k history over the block.
+
+        Between communication events the filters are static, so one
+        :meth:`~repro.engine.kernel.FilterState.scan_quiet` block scan
+        finds the next violating row and everything before it advances as
+        quiet steps — the deep-inbox fast lane of the streaming service.
+        Bit-identical to calling :meth:`step` per row (quiet steps consume
+        no randomness).
+        """
+        rows = np.asarray(rows)
+        if rows.ndim != 2 or rows.shape[1] != self.n:
+            raise ConfigurationError(
+                f"rows must be a 2-D (B, {self.n}) array, got shape {rows.shape}"
+            )
+        if not np.issubdtype(rows.dtype, np.integer):
+            raise ConfigurationError(f"rows must be integer-typed, got dtype {rows.dtype}")
+        rows = rows.astype(np.int64, copy=False)
+        B = rows.shape[0]
+        history = np.empty((B, self.k), dtype=np.int64)
+        if self.trivial:
+            self._t += B
+            history[:] = self.filter.top_ids
+            return history
+        t = 0
+        if not self.initialized and B:
+            history[0] = self._step(rows[0])
+            t = 1
+        while t < B:
+            v = self.filter.scan_quiet(rows, t)
+            if v > t:  # quiet prefix: the partition is frozen, fill by slice
+                history[t:v] = self.filter.top_ids
+                self._t += v - t
+            if v == B:
+                break
+            history[v] = self._step(rows[v])
+            t = v + 1
+        return history
 
     # ------------------------------------------------------- Algorithm 1
 
     def _step(self, row: np.ndarray) -> np.ndarray:
         """Unvalidated step: ``row`` must already be int64 of shape (n,)."""
         self._t += 1
+        state = self.filter
         if self.trivial:
-            return self._top_ids
+            return state.top_ids
         if self._t == 0:
             self._filter_reset(row)
-            return self._top_ids
-        doubled = 2 * row
-        sides = self.sides
-        below = doubled < self.m2
-        above = doubled > self.m2
-        viol_top = self._ids[sides & below]
-        viol_bot = self._ids[~sides & above]
-        if viol_top.size or viol_bot.size:
+            return state.top_ids
+        if state.violates(row):
+            viol_top, viol_bot = state.violators(row)
             top_bound = max(1, self.k)
             bottom_bound = max(1, self.n - self.k)
             min_out = self._protocol(viol_top, row, top_bound, -1, "violation_min", False)
@@ -350,20 +256,18 @@ class IncrementalKernel:
             if self._track_times:
                 self.handler_times.append(self._t)
             if max_out is None:
-                max_out = self._protocol(self._ids[~sides], row, bottom_bound, +1, "handler_max", True)
+                max_out = self._protocol(state.bot_ids, row, bottom_bound, +1, "handler_max", True)
             elif not (self._skip_redundant_min and min_out is not None):
-                min_out = self._protocol(self._ids[sides], row, top_bound, -1, "handler_min", True)
+                min_out = self._protocol(state.top_ids, row, top_bound, -1, "handler_min", True)
             assert min_out is not None and max_out is not None
-            self._t_plus = min(self._t_plus, min_out[1])
-            self._t_minus = max(self._t_minus, max_out[1])
-            if self._t_plus < self._t_minus:
+            if state.absorb(min_out[1], max_out[1]):
                 self._filter_reset(row)
                 if self._track_times:
                     self.handler_times.pop()  # reclassified as a reset step
             else:
-                self.m2 = self._t_plus + self._t_minus
+                state.rebound()
                 self.counts["midpoint_broadcast"] += 1
-        return self._top_ids
+        return state.top_ids
 
     def _protocol(self, participants, row, upper, sign, phase, initiated):
         return _protocol_run(
@@ -377,12 +281,64 @@ class IncrementalKernel:
             self.reset_times.append(self._t)
         winners, winner_vals = _reset_sweeps(self._ids, row, self.n, self.k, self._protocol)
         self.counts["reset_broadcast"] += 1
-        self.sides[:] = False
-        self.sides[winners[: self.k]] = True
-        self._top_ids = np.flatnonzero(self.sides)
-        self._t_plus = winner_vals[self.k - 1]
-        self._t_minus = winner_vals[self.k]
-        self.m2 = self._t_plus + self._t_minus
+        self.filter.install(winners[: self.k], winner_vals[self.k - 1], winner_vals[self.k])
+
+    # ---------------------------------------------------------- persistence
+
+    def snapshot(self) -> dict[str, Any]:
+        """Capture the kernel's full algorithmic state as a plain dict.
+
+        JSON-compatible; includes the RNG state, so a restored kernel's
+        future coin flips (hence message counts) are bit-identical to one
+        that never stopped.  Inverse of :meth:`from_snapshot`; registered
+        with the engine registry as the ``vectorized`` session codec.
+        """
+        from repro.core.checkpoint import encode_rng_state
+
+        return {
+            "schema": KERNEL_SCHEMA_VERSION,
+            "kind": "incremental_kernel",
+            "n": self.n,
+            "k": self.k,
+            "t": self._t,
+            "filter": self.filter.snapshot(),
+            "counts": dict(self.counts),
+            "resets": self.resets,
+            "handler_calls": self.handler_calls,
+            "rng_state": encode_rng_state(self._rng),
+            "config": {
+                "skip_redundant_min": self._skip_redundant_min,
+                "charge_start_broadcast": bool(self._start_charge),
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict[str, Any]) -> "IncrementalKernel":
+        """Reconstruct a kernel captured by :meth:`snapshot`."""
+        from repro.core.checkpoint import decode_rng_state
+
+        if state.get("schema") != KERNEL_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported kernel checkpoint schema {state.get('schema')!r} "
+                f"(expected {KERNEL_SCHEMA_VERSION})"
+            )
+        kernel = cls(
+            int(state["n"]),
+            int(state["k"]),
+            seed=0,
+            skip_redundant_min=bool(state["config"]["skip_redundant_min"]),
+            protocol=ProtocolConfig(
+                charge_start_broadcast=bool(state["config"]["charge_start_broadcast"])
+            ),
+            track_times=False,  # restored kernels serve streaming sessions
+        )
+        kernel._t = int(state["t"])
+        kernel.filter = FilterState.from_snapshot(state["filter"])
+        kernel.counts = {p: int(state["counts"].get(p, 0)) for p in _PHASES}
+        kernel.resets = int(state["resets"])
+        kernel.handler_calls = int(state["handler_calls"])
+        kernel._rng = decode_rng_state(state["rng_state"])
+        return kernel
 
 
 def _run_vectorized(
@@ -469,10 +425,16 @@ def _session_factory(n: int, k: int, *, seed=None, config=None) -> IncrementalKe
     )
 
 
+def _session_snapshot(stepper: IncrementalKernel) -> dict[str, Any]:
+    return stepper.snapshot()
+
+
 register_engine(
     "vectorized",
     description="flat-NumPy per-step counting engine: trajectory + per-phase counters",
-    capabilities={CAP_TRAJECTORY, CAP_COUNTING, CAP_STREAMING},
+    capabilities={CAP_TRAJECTORY, CAP_COUNTING, CAP_STREAMING, CAP_CHECKPOINT},
     runner=_engine_runner,
     session_factory=_session_factory,
+    session_snapshot=_session_snapshot,
+    session_restore=IncrementalKernel.from_snapshot,
 )

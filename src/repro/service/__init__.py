@@ -7,12 +7,17 @@ answers must be current):
 * :class:`~repro.service.manager.SessionManager` — thousands of concurrent
   :class:`~repro.core.monitor.OnlineSession`-shaped monitors, stepped in
   batched sweeps that decide quietness for whole groups of sessions with
-  one stacked comparison (bit-identical to per-session stepping).
+  one stacked kernel comparison
+  (:func:`repro.engine.kernel.violates_stacked`), draining deep inboxes
+  with the kernel's cross-row lookahead, and persisting/restoring whole
+  fleets via :meth:`~repro.service.manager.SessionManager.checkpoint` —
+  all bit-identical to per-session stepping.
 * :class:`~repro.service.server.ServiceServer` — an asyncio JSONL-over-TCP
-  front end (``python -m repro.service --serve host:port``) with bounded
-  per-session inboxes (backpressure) and a metrics endpoint.
+  front end (``python -m repro.service --serve host:port``, durable with
+  ``--checkpoint-dir``) with bounded per-session inboxes (backpressure)
+  and a metrics endpoint.
 * :class:`~repro.service.client.ServiceClient` — the blocking client:
-  push-a-row / read-top-k / read-message-count.
+  push-a-row / read-top-k / read-message-count / checkpoint.
 
 Quickstart (in one process; :func:`repro.serve` / :func:`repro.connect`
 are the api-level spellings):

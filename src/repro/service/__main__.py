@@ -4,13 +4,17 @@ Examples::
 
     python -m repro.service --serve 127.0.0.1:7787
     python -m repro.service --serve 127.0.0.1:0 --inbox-limit 256 --no-batch
+    python -m repro.service --serve 127.0.0.1:7787 --checkpoint-dir .sessions
     python -m repro.service --metrics 127.0.0.1:7787
     python -m repro.service --shutdown 127.0.0.1:7787
 
 ``--serve`` prints ``listening on HOST:PORT`` once bound (port 0 picks an
 ephemeral port) and runs until SIGINT or a client ``shutdown`` op; both
-end in a clean exit.  ``--metrics`` and ``--shutdown`` are thin client
-calls against a running server.
+end in a clean exit.  With ``--checkpoint-dir`` the server persists every
+live session there (on idle, on create/close, and on clean shutdown) and
+restores the whole fleet from it at startup — a killed server resumes its
+sessions bit-identically.  ``--metrics`` and ``--shutdown`` are thin
+client calls against a running server.
 """
 
 from __future__ import annotations
@@ -47,6 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the batched stepping path (debug/comparison only)",
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="persist live sessions to this directory and restore them at startup",
+    )
+    parser.add_argument(
         "--batch-linger",
         type=float,
         default=0.0,
@@ -64,11 +73,25 @@ def _split_address(value: str) -> tuple[str, int]:
     return host, int(port)
 
 
-async def _serve(host: str, port: int, *, inbox_limit: int, batch: bool, batch_linger: float) -> None:
-    server = ServiceServer(host, port, inbox_limit=inbox_limit, batch=batch, batch_linger=batch_linger)
+async def _serve(
+    host: str,
+    port: int,
+    *,
+    inbox_limit: int,
+    batch: bool,
+    batch_linger: float,
+    checkpoint_dir: str | None,
+) -> None:
+    server = ServiceServer(
+        host, port,
+        inbox_limit=inbox_limit, batch=batch, batch_linger=batch_linger,
+        checkpoint_dir=checkpoint_dir,
+    )
     await server.start()
     bound_host, bound_port = server.address
     print(f"listening on {bound_host}:{bound_port}", flush=True)
+    if checkpoint_dir is not None and len(server.manager):
+        print(f"restored {len(server.manager)} sessions from {checkpoint_dir}", flush=True)
     await server.run_until_stopped()
     print("service stopped", flush=True)
 
@@ -86,6 +109,7 @@ def main(argv: list[str] | None = None) -> int:
                     inbox_limit=args.inbox_limit,
                     batch=not args.no_batch,
                     batch_linger=args.batch_linger,
+                    checkpoint_dir=args.checkpoint_dir,
                 )
             )
         except KeyboardInterrupt:

@@ -116,6 +116,23 @@ class ServiceClient:
         """Handle for an existing server-side session id."""
         return SessionHandle(self, session_id)
 
+    def session_ids(self) -> list[str]:
+        """Ids of every live server-side session (e.g. the fleet a
+        restarted ``--checkpoint-dir`` server restored)."""
+        return list(self.request("sessions")["sessions"])
+
+    def checkpoint(self) -> dict:
+        """Force the server to persist all sessions *now*; returns
+        ``{"sessions": count, "dir": path}``.
+
+        The server also checkpoints on its own (idle, create/close, clean
+        shutdown) — this op is the synchronous barrier a client calls when
+        it must know state is durable before proceeding.  Fails if the
+        server runs without ``--checkpoint-dir``.
+        """
+        reply = self.request("checkpoint")
+        return {"sessions": reply["sessions"], "dir": reply["dir"]}
+
     def metrics(self) -> dict:
         """The server's metrics snapshot (see
         :class:`~repro.service.metrics.MetricsSnapshot`)."""

@@ -8,22 +8,37 @@ top-k, time, and protocol message count.
 
 The batched stepping path
 -------------------------
-``step()`` advances at most one pending row per session, but it does not
-loop sessions naively: batchable steppers (the vectorized
-:class:`~repro.engine.vectorized.IncrementalKernel`) of equal ``(n, k)``
-are grouped, their pending rows stacked into one ``(B, n)`` matrix, and
-quietness — "does this row violate any filter?" — is decided for the whole
-group with one stacked integer comparison, exactly the check the kernel
-itself would run per session:
+``step()`` does not loop sessions naively: batchable steppers (the
+vectorized :class:`~repro.engine.vectorized.IncrementalKernel`) of equal
+``(n, k)`` are grouped, their pending rows stacked into one ``(B, n)``
+matrix, and quietness — "does this row violate any filter?" — is decided
+for the whole group with one stacked comparison,
+:func:`repro.engine.kernel.violates_stacked` over the steppers' shared
+:class:`~repro.engine.kernel.FilterState` objects.  Quiet sessions (the
+regime the paper's filters create) advance via ``quiet_step()`` — no
+per-session Python protocol logic, no randomness consumed — so batched
+stepping is **bit-identical** to stepping each session alone.
 
-    noisy[b]  =  any(sides[b] & (2·row[b] < m2[b])  |
-                     ~sides[b] & (2·row[b] > m2[b]))
+The deep-inbox lookahead
+------------------------
+A session whose inbox is deep (``>= LOOKAHEAD_MIN_DEPTH`` pending rows,
+e.g. after a bulk ``feed_rows`` or while draining) skips the sweep loop
+entirely: its whole backlog is handed to the stepper's ``observe_many``,
+which uses the kernel's cross-row ``scan_quiet`` block scan to drain every
+quiet prefix in O(log B) whole-array reductions instead of B per-row
+sweeps.  Exactness is the kernel's segment-skip invariant, so this too is
+bit-identical — and it is the fast lane behind :meth:`drain` and
+:meth:`close`.
 
-Quiet sessions (the regime the paper's filters create) advance via
-``quiet_step()`` — no per-session Python protocol logic, no randomness
-consumed — so batched stepping is **bit-identical** to stepping each
-session alone, while the common case collapses to a few whole-array ops
-per sweep.  Noisy sessions fall back to their own full ``step``.
+Checkpoint / restore
+--------------------
+:meth:`checkpoint` persists every live session — engine name, full
+algorithmic state via the engine's registered session codec
+(:func:`repro.engine.registry.get_session_codec`), and the pending inbox —
+as one JSON file per session plus a manifest, written atomically.
+``SessionManager(restore=dir)`` rebuilds the whole fleet, bit-identically:
+restored sessions produce the same future trajectories, coin flips, and
+message counts as if the process had never died.
 
 The manager is deliberately single-threaded: the asyncio server
 (:mod:`repro.service.server`) confines it to the event-loop thread, and
@@ -32,19 +47,30 @@ direct users (benchmarks, tests) drive it inline.
 
 from __future__ import annotations
 
-import itertools
+import json
+import os
+import re
 import time
 from collections import deque
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-from repro.engine.registry import get_session_factory
+from repro.engine.kernel import violates_stacked
+from repro.engine.registry import get_engine, get_session_codec, get_session_factory
 from repro.errors import BackpressureError, ConfigurationError, ServiceError
 from repro.service.metrics import MetricsRecorder, MetricsSnapshot
 
-__all__ = ["SessionManager", "SessionView", "DEFAULT_ENGINE", "DEFAULT_INBOX_LIMIT"]
+__all__ = [
+    "SessionManager",
+    "SessionView",
+    "DEFAULT_ENGINE",
+    "DEFAULT_INBOX_LIMIT",
+    "DEFAULT_MAX_NODES",
+    "LOOKAHEAD_MIN_DEPTH",
+]
 
 #: Engine used when ``create`` is not told otherwise.  The vectorized
 #: kernel is the only built-in whose sessions join the batched path.
@@ -56,6 +82,35 @@ DEFAULT_INBOX_LIMIT = 1024
 #: Default cap on a session's node count: one `create` allocates O(n)
 #: arrays, so a shared server must bound what a single request can ask for.
 DEFAULT_MAX_NODES = 1_000_000
+
+#: Inbox depth at which a lookahead-capable session leaves the sweep loop
+#: and drains via one ``observe_many`` block scan instead.  Below it the
+#: stacked batch comparison is already optimal (one row per session).
+LOOKAHEAD_MIN_DEPTH = 4
+
+#: Manifest filename inside a checkpoint directory.
+_MANIFEST = "manager.json"
+
+_CHECKPOINT_SCHEMA = 1
+
+# Session ids become checkpoint *filenames* (and arrive over the wire), so
+# they are restricted to a path-safe charset and must not shadow the
+# manifest.  Enforced at create() and again at restore (untrusted dir).
+_SESSION_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+
+def _check_session_id(session_id: str) -> str:
+    if (
+        not isinstance(session_id, str)
+        or not _SESSION_ID_RE.fullmatch(session_id)
+        or session_id.startswith("manager.")
+        or session_id == "manager"
+    ):
+        raise ConfigurationError(
+            f"invalid session id {session_id!r}: ids must match "
+            f"{_SESSION_ID_RE.pattern} and not be reserved ('manager')"
+        )
+    return session_id
 
 
 @dataclass(frozen=True)
@@ -86,15 +141,26 @@ class SessionView:
 
 
 class _Session:
-    """One live session: its stepper plus the bounded inbox."""
+    """One live session: its stepper, the bounded inbox, carried counts.
 
-    __slots__ = ("session_id", "engine", "stepper", "inbox")
+    ``message_base`` is the message total carried over a checkpoint
+    boundary for steppers whose instrumentation restarts empty (the
+    faithful monitor's ledger); the counting kernel checkpoints its
+    counters, so its base stays 0.
+    """
 
-    def __init__(self, session_id: str, engine: str, stepper: Any):
+    __slots__ = ("session_id", "engine", "stepper", "inbox", "message_base")
+
+    def __init__(self, session_id: str, engine: str, stepper: Any, message_base: int = 0):
         self.session_id = session_id
         self.engine = engine
         self.stepper = stepper
         self.inbox: deque[np.ndarray] = deque()
+        self.message_base = message_base
+
+    @property
+    def message_count(self) -> int:
+        return self.message_base + self.stepper.message_count
 
 
 class SessionManager:
@@ -115,6 +181,16 @@ class SessionManager:
         Enable the grouped stepping path.  ``False`` forces one-by-one
         stepping — results are bit-identical either way (the differential
         tests enforce it); the flag exists for exactly that comparison.
+    lookahead:
+        Enable the deep-inbox block-scan drain.  ``False`` keeps every
+        session in the one-row-per-sweep loop — again bit-identical, and
+        again kept as a flag precisely so the differential tests and the
+        benchmarks can prove both claims.
+    restore:
+        Checkpoint directory to rebuild a previously persisted manager
+        from (see :meth:`checkpoint`).  Raises
+        :class:`~repro.errors.ConfigurationError` if the directory holds
+        no manifest.
     """
 
     def __init__(
@@ -124,6 +200,8 @@ class SessionManager:
         inbox_limit: int = DEFAULT_INBOX_LIMIT,
         max_nodes: int = DEFAULT_MAX_NODES,
         batch: bool = True,
+        lookahead: bool = True,
+        restore: str | os.PathLike | None = None,
     ):
         if inbox_limit < 1:
             raise ConfigurationError(f"inbox_limit must be >= 1, got {inbox_limit}")
@@ -132,9 +210,18 @@ class SessionManager:
         self.inbox_limit = inbox_limit
         self.max_nodes = max_nodes
         self.batch = batch
+        self.lookahead = lookahead
         self.metrics = MetricsRecorder()
         self._sessions: dict[str, _Session] = {}
-        self._ids = itertools.count(1)
+        self._next_id = 1
+        # Dirty tracking for incremental checkpoints: ids whose state or
+        # inbox changed since the last checkpoint() into _ckpt_dir, plus
+        # whether any session closed (its file must be pruned).
+        self._dirty: set[str] = set()
+        self._closed_since_checkpoint = False
+        self._ckpt_dir: Path | None = None
+        if restore is not None:
+            self._restore(Path(restore))
 
     # ----------------------------------------------------------- lifecycle
 
@@ -162,11 +249,15 @@ class SessionManager:
             )
         engine = engine or self.default_engine
         if session_id is None:
-            session_id = f"s{next(self._ids)}"
+            session_id = f"s{self._next_id}"
+            self._next_id += 1
+        else:
+            _check_session_id(session_id)
         if session_id in self._sessions:
             raise ConfigurationError(f"session id {session_id!r} already exists")
         stepper = get_session_factory(engine)(n, k, seed=seed, config=config)
         self._sessions[session_id] = _Session(session_id, engine, stepper)
+        self._dirty.add(session_id)
         self.metrics.sessions_created += 1
         return session_id
 
@@ -175,13 +266,16 @@ class SessionManager:
         session = self._get(session_id)
         if session.inbox:
             t0 = time.perf_counter()
-            rows = len(session.inbox)
-            while session.inbox:
-                session.stepper.step(session.inbox.popleft())
-            self.metrics.record_sweep(rows, time.perf_counter() - t0)
+            rows, used_lookahead = self._drain_session(session)
+            self.metrics.record_sweep(
+                rows, time.perf_counter() - t0,
+                lookahead=rows if used_lookahead else 0,
+            )
         view = self._view(session)
         self.metrics.record_close(view.message_count)
         del self._sessions[session_id]
+        self._dirty.discard(session_id)
+        self._closed_since_checkpoint = True
         return view
 
     # -------------------------------------------------------------- feeding
@@ -209,6 +303,7 @@ class SessionManager:
         if not np.issubdtype(row.dtype, np.integer):
             raise ConfigurationError(f"row must be integer-typed, got dtype {row.dtype}")
         session.inbox.append(row.astype(np.int64, copy=False))
+        self._dirty.add(session_id)
         return len(session.inbox)
 
     def feed_many(self, session_id: str, rows) -> int:
@@ -238,26 +333,36 @@ class SessionManager:
             self.metrics.record_backpressure()
             raise BackpressureError(session_id, self.inbox_limit)
         session.inbox.extend(validated)
+        self._dirty.add(session_id)
         return len(session.inbox)
 
     # ------------------------------------------------------------- stepping
 
     def step(self) -> int:
-        """One sweep: advance every session with pending rows by one row.
+        """One sweep: advance every session with pending rows.
 
-        Returns the number of rows processed.  Sessions whose stepper is
-        batchable are grouped by ``(n, k)`` and their quietness is decided
-        in one stacked comparison per group (see the module docstring);
-        everything else steps individually.
+        Returns the number of rows processed.  Three lanes, fastest first:
+        deep inboxes of lookahead-capable steppers drain whole via an
+        ``observe_many`` block scan; batchable steppers are grouped by
+        ``(n, k)`` and their quietness decided in one stacked comparison
+        (everyone else advances one row individually).  All three lanes
+        are bit-identical (see the module docstring).
         """
         t0 = time.perf_counter()
         singles: list[_Session] = []
+        deep: list[_Session] = []
         groups: dict[tuple[int, int], list[_Session]] = {}
         for session in self._sessions.values():
             if not session.inbox:
                 continue
             stepper = session.stepper
             if (
+                self.lookahead
+                and len(session.inbox) >= LOOKAHEAD_MIN_DEPTH
+                and getattr(stepper, "supports_lookahead", False)
+            ):
+                deep.append(session)
+            elif (
                 self.batch
                 and getattr(stepper, "supports_batch", False)
                 and stepper.initialized
@@ -267,18 +372,25 @@ class SessionManager:
             else:
                 singles.append(session)
 
-        batched = quiet = 0
+        looked = quiet = 0
+        for session in deep:
+            stepper = session.stepper
+            # Noisy rows = handler invocations during the block (+ the t=0
+            # initialization reset, which bypasses the handler).
+            handlers_before = stepper.handler_calls
+            had_init = not stepper.initialized
+            n_rows, _ = self._drain_session(session)
+            noisy = stepper.handler_calls - handlers_before + (1 if had_init else 0)
+            quiet += n_rows - noisy
+            looked += n_rows
+
+        batched = 0
         for members in groups.values():
             if len(members) == 1:
                 singles.append(members[0])
                 continue
             rows = np.stack([m.inbox[0] for m in members])
-            sides = np.stack([m.stepper.sides for m in members])
-            m2 = np.array([m.stepper.m2 for m in members], dtype=np.int64)
-            doubled = 2 * rows
-            noisy = (
-                (sides & (doubled < m2[:, None])) | (~sides & (doubled > m2[:, None]))
-            ).any(axis=1)
+            noisy = violates_stacked(rows, [m.stepper.filter for m in members])
             for member, is_noisy in zip(members, noisy):
                 row = member.inbox.popleft()
                 if is_noisy:
@@ -291,10 +403,11 @@ class SessionManager:
         for session in singles:
             session.stepper.step(session.inbox.popleft())
 
-        processed = batched + len(singles)
+        processed = looked + batched + len(singles)
         if processed:
             self.metrics.record_sweep(
-                processed, time.perf_counter() - t0, batched=batched, quiet=quiet
+                processed, time.perf_counter() - t0,
+                batched=batched, quiet=quiet, lookahead=looked,
             )
         return processed
 
@@ -306,6 +419,29 @@ class SessionManager:
             if not processed:
                 return total
             total += processed
+
+    def _drain_session(self, session: _Session) -> tuple[int, bool]:
+        """Drain one session's whole inbox; returns ``(rows, lookahead?)``.
+
+        Uses the stepper's lookahead ``observe_many`` when available (the
+        deep-inbox fast lane), else a per-row loop — the flag reports
+        which path actually ran, so metrics stay honest.
+        """
+        count = len(session.inbox)
+        if not count:
+            return 0, False
+        used_lookahead = self.lookahead and getattr(
+            session.stepper, "supports_lookahead", False
+        )
+        if used_lookahead:
+            block = np.stack(list(session.inbox))
+            session.inbox.clear()
+            session.stepper.observe_many(block)
+        else:
+            while session.inbox:
+                session.stepper.step(session.inbox.popleft())
+        self._dirty.add(session.session_id)
+        return count, used_lookahead
 
     # -------------------------------------------------------------- queries
 
@@ -346,8 +482,98 @@ class SessionManager:
         """Service counters plus live-session aggregates."""
         return self.metrics.snapshot(
             sessions_live=len(self._sessions),
-            live_messages=sum(s.stepper.message_count for s in self._sessions.values()),
+            live_messages=sum(s.message_count for s in self._sessions.values()),
         )
+
+    # ---------------------------------------------------------- persistence
+
+    def checkpoint(self, directory: str | os.PathLike) -> int:
+        """Persist every live session under ``directory``; returns the count.
+
+        One ``<session_id>.json`` per session (engine name, the engine
+        codec's state snapshot, carried message total, pending inbox rows)
+        plus a ``manager.json`` manifest.  Every file is written to a temp
+        name and atomically renamed, so a kill mid-checkpoint leaves the
+        previous checkpoint intact.  Writes are incremental: only sessions
+        that changed since the last checkpoint into the same directory are
+        rewritten; files of closed sessions are pruned.
+
+        Raises
+        ------
+        ConfigurationError
+            If a live session's engine registered no session codec
+            (checkpointing would silently lose it).
+        """
+        directory = Path(directory)
+        if directory != self._ckpt_dir:
+            # First checkpoint into this directory: everything is dirty.
+            self._ckpt_dir = directory
+            self._dirty = set(self._sessions)
+            self._closed_since_checkpoint = True  # force a full pass
+        elif not self._dirty and not self._closed_since_checkpoint:
+            # Nothing changed since the last checkpoint here — the idle
+            # stepper calls this after every drain, so the no-op must be
+            # free of directory I/O.
+            return len(self._sessions)
+        directory.mkdir(parents=True, exist_ok=True)
+        for session_id, session in self._sessions.items():
+            path = directory / f"{session_id}.json"
+            if session_id not in self._dirty and path.exists():
+                continue
+            snapshot, _ = get_session_codec(session.engine)
+            payload = {
+                "schema": _CHECKPOINT_SCHEMA,
+                "session": session_id,
+                "engine": session.engine,
+                "messages": session.message_count,
+                "state": snapshot(session.stepper),
+                "inbox": [row.tolist() for row in session.inbox],
+            }
+            _atomic_write(path, payload)
+            self._dirty.discard(session_id)
+        if self._closed_since_checkpoint:
+            for path in directory.glob("*.json"):
+                if path.name != _MANIFEST and path.stem not in self._sessions:
+                    path.unlink()  # prune closed sessions
+            self._closed_since_checkpoint = False
+        _atomic_write(
+            directory / _MANIFEST,
+            {
+                "schema": _CHECKPOINT_SCHEMA,
+                "next_id": self._next_id,
+                "sessions": sorted(self._sessions),
+            },
+        )
+        return len(self._sessions)
+
+    def _restore(self, directory: Path) -> None:
+        manifest_path = directory / _MANIFEST
+        if not manifest_path.exists():
+            raise ConfigurationError(
+                f"no manager checkpoint found at {directory} (missing {_MANIFEST})"
+            )
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("schema") != _CHECKPOINT_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported manager checkpoint schema {manifest.get('schema')!r}"
+            )
+        self._next_id = int(manifest["next_id"])
+        for session_id in manifest["sessions"]:
+            _check_session_id(session_id)  # a tampered manifest must not traverse
+            data = json.loads((directory / f"{session_id}.json").read_text())
+            engine = data["engine"]
+            get_engine(engine)  # fail with the registry's error if unknown
+            _, restore = get_session_codec(engine)
+            stepper = restore(data["state"])
+            # Steppers whose instrumentation restarts empty (the faithful
+            # ledger) carry their pre-checkpoint total as a base offset.
+            base = int(data["messages"]) - stepper.message_count
+            session = _Session(session_id, engine, stepper, message_base=base)
+            for row in data["inbox"]:
+                session.inbox.append(np.asarray(row, dtype=np.int64))
+            self._sessions[session_id] = session
+        self._ckpt_dir = directory
+        self.metrics.sessions_restored = len(self._sessions)
 
     # ------------------------------------------------------------ internals
 
@@ -367,6 +593,13 @@ class SessionManager:
             k=stepper.k,
             time=stepper.time,
             topk=tuple(int(i) for i in stepper.topk),
-            message_count=stepper.message_count,
+            message_count=session.message_count,
             pending=len(session.inbox),
         )
+
+
+def _atomic_write(path: Path, payload: dict) -> None:
+    """Write JSON via a temp file + rename (kill-safe at file granularity)."""
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, separators=(",", ":")))
+    os.replace(tmp, path)

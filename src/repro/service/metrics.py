@@ -38,9 +38,11 @@ class MetricsSnapshot:
     sessions_live: int
     sessions_created: int
     sessions_closed: int
+    sessions_restored: int
     rows_processed: int
     rows_batched: int
     rows_quiet: int
+    rows_lookahead: int
     backpressure_rejections: int
     protocol_messages: int
     rows_per_sec: float
@@ -54,9 +56,11 @@ class MetricsSnapshot:
             "sessions_live": self.sessions_live,
             "sessions_created": self.sessions_created,
             "sessions_closed": self.sessions_closed,
+            "sessions_restored": self.sessions_restored,
             "rows_processed": self.rows_processed,
             "rows_batched": self.rows_batched,
             "rows_quiet": self.rows_quiet,
+            "rows_lookahead": self.rows_lookahead,
             "backpressure_rejections": self.backpressure_rejections,
             "protocol_messages": self.protocol_messages,
             "rows_per_sec": round(self.rows_per_sec, 1),
@@ -83,9 +87,12 @@ class MetricsRecorder:
         self._start = clock()
         self.sessions_created = 0
         self.sessions_closed = 0
+        #: Sessions rebuilt from a checkpoint at manager construction.
+        self.sessions_restored = 0
         self.rows_processed = 0
         self.rows_batched = 0
         self.rows_quiet = 0
+        self.rows_lookahead = 0
         self.backpressure_rejections = 0
         #: Messages attributed to already-closed sessions.
         self.retired_messages = 0
@@ -94,13 +101,16 @@ class MetricsRecorder:
 
     # --------------------------------------------------------------- feeds
 
-    def record_sweep(self, rows: int, elapsed: float, *, batched: int = 0, quiet: int = 0) -> None:
-        """Account one stepping sweep that advanced ``rows`` sessions."""
+    def record_sweep(
+        self, rows: int, elapsed: float, *, batched: int = 0, quiet: int = 0, lookahead: int = 0
+    ) -> None:
+        """Account one stepping sweep that advanced ``rows`` rows."""
         if rows <= 0:
             return
         self.rows_processed += rows
         self.rows_batched += batched
         self.rows_quiet += quiet
+        self.rows_lookahead += lookahead
         self._sweeps.append((self._clock(), rows, elapsed / rows))
 
     def record_backpressure(self) -> None:
@@ -132,9 +142,11 @@ class MetricsRecorder:
             sessions_live=sessions_live,
             sessions_created=self.sessions_created,
             sessions_closed=self.sessions_closed,
+            sessions_restored=self.sessions_restored,
             rows_processed=self.rows_processed,
             rows_batched=self.rows_batched,
             rows_quiet=self.rows_quiet,
+            rows_lookahead=self.rows_lookahead,
             backpressure_rejections=self.backpressure_rejections,
             protocol_messages=self.retired_messages + live_messages,
             rows_per_sec=rows_per_sec,

@@ -7,6 +7,13 @@ fields, and echo a client-chosen ``"id"`` when one was sent.  Failures
 reply ``{"ok": false, "error": ..., "code": ...}`` — the connection stays
 usable, mirroring how a coordinator survives a misbehaving node.
 
+Durability: with ``checkpoint_dir`` set the server persists every live
+session — via :meth:`repro.service.manager.SessionManager.checkpoint` —
+whenever the stepper drains to idle, after ``create``/``close``, on the
+explicit ``checkpoint`` op, and on clean shutdown; on startup it restores
+the whole fleet from the directory if a checkpoint exists.  A killed
+``--serve`` process therefore resumes its sessions bit-identically.
+
 Concurrency model: all manager access happens on the event-loop thread.
 Feeds enqueue rows and wake the single *stepper task*, which sweeps the
 manager (`one row per session per sweep, batched across sessions
@@ -24,9 +31,11 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
 import sys
 import threading
 import traceback
+from pathlib import Path
 
 from repro.errors import BackpressureError, ConfigurationError, ReproError, ServiceError
 from repro.service.manager import DEFAULT_INBOX_LIMIT, DEFAULT_MAX_NODES, SessionManager
@@ -50,10 +59,20 @@ class ServiceServer:
         max_nodes: int = DEFAULT_MAX_NODES,
         batch: bool = True,
         batch_linger: float = 0.0,
+        checkpoint_dir: "str | os.PathLike | None" = None,
     ):
-        self.manager = manager if manager is not None else SessionManager(
-            inbox_limit=inbox_limit, max_nodes=max_nodes, batch=batch
-        )
+        #: Durability root: sessions are checkpointed here and restored
+        #: from here at startup (None disables persistence).
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        if manager is not None:
+            self.manager = manager
+        else:
+            restore = None
+            if self.checkpoint_dir is not None and (self.checkpoint_dir / "manager.json").exists():
+                restore = self.checkpoint_dir
+            self.manager = SessionManager(
+                inbox_limit=inbox_limit, max_nodes=max_nodes, batch=batch, restore=restore
+            )
         #: Seconds the stepper lingers after waking from idle before its
         #: first sweep, letting feeds from many connections pile into the
         #: same stacked sweep — a tail-latency/batch-width trade-off.
@@ -89,6 +108,7 @@ class ServiceServer:
         self._stepper_task.cancel()
         with contextlib.suppress(asyncio.CancelledError):
             await self._stepper_task
+        self._checkpoint()  # clean shutdown persists the final state
         self._server.close()
         await self._server.wait_closed()
         for writer in list(self._writers):
@@ -126,6 +146,9 @@ class ServiceServer:
                     event, self._progress = self._progress, asyncio.Event()
                     event.set()
                     await asyncio.sleep(0)
+                # Idle: everything fed has been stepped — the natural
+                # consistency point to persist the fleet at.
+                self._checkpoint()
         except asyncio.CancelledError:
             raise
         except BaseException:
@@ -134,6 +157,11 @@ class ServiceServer:
             traceback.print_exc()
             print("service stepper crashed; shutting the server down", file=sys.stderr, flush=True)
             self.request_stop()
+
+    def _checkpoint(self) -> None:
+        """Persist the fleet if durability is on (no-op otherwise)."""
+        if self.checkpoint_dir is not None:
+            self.manager.checkpoint(self.checkpoint_dir)
 
     # ------------------------------------------------------------- clients
 
@@ -160,7 +188,10 @@ class ServiceServer:
         finally:
             self._writers.discard(writer)
             writer.close()
-            with contextlib.suppress(Exception):
+            # CancelledError included: shutdown cancels handlers that are
+            # already in this finally, and the cancellation must not leak
+            # into the stream protocol's done-callback as a logged error.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
 
     async def _dispatch(self, line: bytes) -> tuple[dict, bool]:
@@ -184,6 +215,10 @@ class ServiceServer:
                 payload = self._op_close(request)
             elif op == "metrics":
                 payload = {"metrics": self.manager.metrics_snapshot().as_dict()}
+            elif op == "sessions":
+                payload = {"sessions": self.manager.session_ids()}
+            elif op == "checkpoint":
+                payload = self._op_checkpoint()
             elif op == "ping":
                 payload = {}
             elif op == "shutdown":
@@ -218,6 +253,7 @@ class ServiceServer:
             engine=request.get("engine"),
             session_id=request.get("session"),
         )
+        self._checkpoint()  # a created-but-unfed session must survive a kill
         return {"session": session_id, "engine": self.manager.engine(session_id)}
 
     def _op_feed(self, request: dict) -> dict:
@@ -243,7 +279,14 @@ class ServiceServer:
 
     def _op_close(self, request: dict) -> dict:
         view = self.manager.close(_session_field(request))
+        self._checkpoint()  # a closed session must not resurrect on restore
         return {**view.as_dict(), "closed": True}
+
+    def _op_checkpoint(self) -> dict:
+        if self.checkpoint_dir is None:
+            raise ServiceError("server was started without a checkpoint dir (--checkpoint-dir)")
+        count = self.manager.checkpoint(self.checkpoint_dir)
+        return {"sessions": count, "dir": str(self.checkpoint_dir)}
 
 
 def _session_field(request: dict) -> str:
@@ -305,7 +348,7 @@ def start_server(host: str = "127.0.0.1", port: int = 0, **options) -> ServerHan
         ``handle.address``).
     options:
         Forwarded to :class:`ServiceServer` (``inbox_limit``, ``batch``,
-        ``manager``).
+        ``checkpoint_dir``, ``manager``).
 
     Raises
     ------

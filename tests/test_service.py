@@ -28,6 +28,8 @@ from repro.errors import BackpressureError, ConfigurationError, ServiceError
 from repro.service import ServiceClient, SessionManager, start_server
 from repro.streams import get_workload, list_workloads
 
+STEPPING_ENGINES = ("vectorized", "faithful")
+
 N, K, STEPS = 10, 3, 120
 
 
@@ -166,6 +168,197 @@ class TestDifferentialCatalog:
         del rng
 
 
+class TestDeepInboxLookahead:
+    """The kernel's scan_quiet drains deep inboxes without changing results."""
+
+    def test_observe_many_equals_per_row_stepping(self):
+        for name in list_workloads():
+            values = _matrix(name)
+            a = IncrementalKernel(N, K, seed=13)
+            b = IncrementalKernel(N, K, seed=13)
+            history_a = np.stack([a.step(row) for row in values])
+            history_b = b.observe_many(values)
+            assert np.array_equal(history_a, history_b), name
+            assert a.counts == b.counts, name
+            assert a.time == b.time, name
+
+    def test_observe_many_in_slices(self):
+        """Lookahead across arbitrary block boundaries stays exact."""
+        values = _matrix("random_walk")
+        ref = _run_vectorized(values, K, seed=6)
+        kernel = IncrementalKernel(N, K, seed=6)
+        pieces, t = [], 0
+        rng = np.random.default_rng(0)
+        while t < STEPS:
+            size = int(rng.integers(1, 40))
+            pieces.append(kernel.observe_many(values[t : t + size]))
+            t += size
+        assert np.array_equal(np.concatenate(pieces), ref.topk_history)
+        assert kernel.counts == ref.by_phase
+
+    def test_observe_many_validates(self):
+        kernel = IncrementalKernel(4, 2, seed=0)
+        with pytest.raises(ConfigurationError):
+            kernel.observe_many([[1, 2, 3]])
+        with pytest.raises(ConfigurationError):
+            kernel.observe_many([[1.0, 2.0, 3.0, 4.0]])
+
+    def test_lookahead_drain_matches_per_row_manager(self):
+        """Deep inboxes drained by block scan == sweeps, on every workload."""
+        finals = []
+        for lookahead in (True, False):
+            mgr = SessionManager(lookahead=lookahead)
+            sids = []
+            for i, name in enumerate(list_workloads()):
+                sid = mgr.create(N, K, seed=60 + i)
+                mgr.feed_many(sid, _matrix(name, seed=9 + i))
+                sids.append(sid)
+            mgr.drain()
+            finals.append(
+                [(mgr.query(sid).topk, mgr.query(sid).message_count) for sid in sids]
+            )
+            if lookahead:
+                assert mgr.metrics_snapshot().rows_lookahead > 0
+            else:
+                assert mgr.metrics_snapshot().rows_lookahead == 0
+        assert finals[0] == finals[1]
+
+    def test_shallow_inboxes_stay_on_the_batched_path(self):
+        mgr = SessionManager()
+        sids = [mgr.create(N, K, seed=70 + i) for i in range(8)]
+        values = _matrix("random_walk")
+        for t in range(6):
+            for sid in sids:
+                mgr.feed(sid, values[t])
+            mgr.step()
+        snap = mgr.metrics_snapshot()
+        assert snap.rows_lookahead == 0  # depth 1 < LOOKAHEAD_MIN_DEPTH
+        assert snap.rows_batched > 0
+
+
+class TestManagerCheckpoint:
+    """Satellite: kill/restore a manager mid-stream, bit-identically."""
+
+    @pytest.mark.parametrize("name", list_workloads())
+    def test_restore_resumes_bit_identically(self, name, tmp_path):
+        """Checkpoint live sessions mid-stream, restore into a fresh
+        manager, and drive the rest: the top-k trajectory and message
+        counts must equal the uninterrupted run, for both engines."""
+        values = _matrix(name, seed=17)
+        cut = STEPS // 2
+        trajectories = {e: [] for e in STEPPING_ENGINES}
+        counts = {}
+
+        mgr = SessionManager()
+        for engine in STEPPING_ENGINES:
+            mgr.create(N, K, seed=33, engine=engine, session_id=engine)
+        for t in range(cut):
+            for engine in STEPPING_ENGINES:
+                mgr.feed(engine, values[t])
+            mgr.step()
+            for engine in STEPPING_ENGINES:
+                trajectories[engine].append(mgr.query(engine).topk)
+        assert mgr.checkpoint(tmp_path) == len(STEPPING_ENGINES)
+
+        restored = SessionManager(restore=tmp_path)
+        assert restored.session_ids() == sorted(STEPPING_ENGINES)
+        for t in range(cut, STEPS):
+            for engine in STEPPING_ENGINES:
+                restored.feed(engine, values[t])
+            restored.step()
+            for engine in STEPPING_ENGINES:
+                trajectories[engine].append(restored.query(engine).topk)
+        for engine in STEPPING_ENGINES:
+            counts[engine] = restored.query(engine).message_count
+
+        offline = TopKMonitor(n=N, k=K, seed=33).run(values)
+        for engine in STEPPING_ENGINES:
+            assert np.array_equal(np.array(trajectories[engine]), offline.topk_history), engine
+            assert counts[engine] == offline.total_messages, engine
+
+    def test_pending_inbox_survives_the_checkpoint(self, tmp_path):
+        values = _matrix("random_walk", seed=3)
+        mgr = SessionManager()
+        sid = mgr.create(N, K, seed=5)
+        mgr.feed_many(sid, values[:50])
+        mgr.drain()
+        mgr.feed_many(sid, values[50:80])  # left pending on purpose
+        mgr.checkpoint(tmp_path)
+
+        restored = SessionManager(restore=tmp_path)
+        assert restored.pending(sid) == 30
+        restored.feed_many(sid, values[80:])
+        restored.drain()
+        offline = TopKMonitor(n=N, k=K, seed=5).run(values)
+        view = restored.query(sid)
+        assert view.topk == tuple(offline.topk_history[-1].tolist())
+        assert view.message_count == offline.total_messages
+        assert restored.metrics_snapshot().sessions_restored == 1
+
+    def test_closed_sessions_do_not_resurrect(self, tmp_path):
+        mgr = SessionManager()
+        keep = mgr.create(4, 2, seed=1)
+        gone = mgr.create(4, 2, seed=2)
+        mgr.checkpoint(tmp_path)
+        mgr.close(gone)
+        mgr.checkpoint(tmp_path)
+        restored = SessionManager(restore=tmp_path)
+        assert keep in restored and gone not in restored
+
+    def test_session_id_counter_survives(self, tmp_path):
+        mgr = SessionManager()
+        first = mgr.create(4, 2, seed=1)
+        mgr.checkpoint(tmp_path)
+        restored = SessionManager(restore=tmp_path)
+        assert restored.create(4, 2, seed=2) != first
+
+    def test_restore_from_empty_dir_fails_loudly(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no manager checkpoint"):
+            SessionManager(restore=tmp_path)
+
+    def test_session_ids_are_path_safe(self):
+        """Ids become checkpoint filenames (and arrive over the wire), so
+        traversal and manifest-shadowing ids are refused at create()."""
+        mgr = SessionManager()
+        for bad in ("../../evil", "a/b", "/abs", "manager", "manager.json", "", ".hidden"):
+            with pytest.raises(ConfigurationError, match="invalid session id"):
+                mgr.create(4, 2, session_id=bad)
+        assert mgr.create(4, 2, session_id="gateway-7.east") == "gateway-7.east"
+
+    def test_idle_checkpoint_is_a_no_op(self, tmp_path):
+        """Re-checkpointing with nothing dirty must not rewrite files
+        (the server calls checkpoint() after every idle transition)."""
+        mgr = SessionManager()
+        mgr.create(4, 2, seed=1)
+        mgr.checkpoint(tmp_path)
+        manifest = tmp_path / "manager.json"
+        before = manifest.stat().st_mtime_ns
+        assert mgr.checkpoint(tmp_path) == 1  # clean: early return
+        assert manifest.stat().st_mtime_ns == before
+        mgr.feed("s1", [1, 2, 3, 4])  # dirty again -> rewritten
+        mgr.checkpoint(tmp_path)
+        assert manifest.stat().st_mtime_ns > before
+
+    def test_close_drain_metrics_report_the_real_path(self):
+        """close() must not count per-row drains as lookahead rows."""
+        rows = [[1, 2, 3, 4]] * 10
+        mgr = SessionManager(lookahead=False)
+        sid = mgr.create(4, 2, seed=0)
+        mgr.feed_many(sid, rows)
+        mgr.close(sid)
+        assert mgr.metrics_snapshot().rows_lookahead == 0
+        mgr = SessionManager()
+        sid = mgr.create(4, 2, seed=0, engine="faithful")  # no observe_many lane
+        mgr.feed_many(sid, rows)
+        mgr.close(sid)
+        assert mgr.metrics_snapshot().rows_lookahead == 0
+        mgr = SessionManager()
+        sid = mgr.create(4, 2, seed=0)
+        mgr.feed_many(sid, rows)
+        mgr.close(sid)
+        assert mgr.metrics_snapshot().rows_lookahead == 10
+
+
 class TestSessionManager:
     def test_lifecycle_and_views(self):
         mgr = SessionManager()
@@ -285,7 +478,9 @@ class TestServerClient:
                 metrics = client.metrics()
                 assert metrics["sessions_live"] == 100
                 assert metrics["rows_processed"] == 100 * 40
-                assert metrics["rows_batched"] > 0
+                # Bulk-preloaded inboxes are deep, so the lookahead lane
+                # (not the one-row-per-sweep batch) does the heavy lifting.
+                assert metrics["rows_lookahead"] > 0
 
     def test_wire_backpressure(self):
         with start_server(inbox_limit=2) as server:
@@ -355,6 +550,38 @@ class TestServerClient:
             with ServiceClient(server.address) as fresh:
                 assert fresh.session(sid).topk(wait=True) == [0, 2]
 
+    def test_server_checkpoint_restart_resumes_sessions(self, tmp_path):
+        """Kill a checkpointing server; a new one on the same dir serves
+        the same sessions, and finishing the stream matches offline."""
+        values = _matrix("sensor_field", seed=4)
+        cut = STEPS // 2
+        with start_server(checkpoint_dir=tmp_path) as server:
+            with ServiceClient(server.address) as client:
+                session = client.create_session(n=N, k=K, seed=41)
+                sid = session.id
+                session.feed_rows(values[:cut])
+                session.query(wait=True)
+                info = client.checkpoint()  # explicit durability barrier
+                assert info["sessions"] == 1
+        # `with` closed the server; the fleet lives on in tmp_path.
+        with start_server(checkpoint_dir=tmp_path) as server:
+            with ServiceClient(server.address) as client:
+                assert client.session_ids() == [sid]
+                session = client.session(sid)
+                assert session.query()["time"] == cut - 1
+                session.feed_rows(values[cut:])
+                state = session.query(wait=True)
+        offline = TopKMonitor(n=N, k=K, seed=41).run(values)
+        assert state["topk"] == offline.topk_history[-1].tolist()
+        assert state["messages"] == offline.total_messages
+
+    def test_checkpoint_op_requires_configured_dir(self):
+        with start_server() as server:
+            with ServiceClient(server.address) as client:
+                with pytest.raises(ServiceError, match="checkpoint"):
+                    client.checkpoint()
+                assert client.session_ids() == []
+
     def test_repro_serve_connect_api(self):
         with repro.serve() as server:
             with repro.connect(server.address) as client:
@@ -414,6 +641,42 @@ class TestServiceCli:
         finally:
             if proc.poll() is None:
                 proc.kill()
+
+    def test_kill_dash_nine_with_checkpoint_dir_resumes(self, tmp_path):
+        """SIGKILL (no shutdown hook runs) after an explicit checkpoint:
+        the restarted CLI server restores the fleet bit-identically."""
+        values = _matrix("random_walk", seed=12)
+        cut = STEPS // 2
+        proc, address = self._spawn("--checkpoint-dir", str(tmp_path))
+        try:
+            with ServiceClient(address) as client:
+                session = client.create_session(n=N, k=K, seed=77)
+                sid = session.id
+                session.feed_rows(values[:cut])
+                session.query(wait=True)
+                client.checkpoint()
+            proc.kill()
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        proc, address = self._spawn("--checkpoint-dir", str(tmp_path))
+        try:
+            restored_line = proc.stdout.readline().strip()
+            assert restored_line == f"restored 1 sessions from {tmp_path}"
+            with ServiceClient(address) as client:
+                session = client.session(sid)
+                session.feed_rows(values[cut:])
+                state = session.query(wait=True)
+                client.shutdown()
+            assert proc.wait(timeout=10) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        offline = TopKMonitor(n=N, k=K, seed=77).run(values)
+        assert state["topk"] == offline.topk_history[-1].tolist()
+        assert state["messages"] == offline.total_messages
 
     def test_metrics_mode(self):
         proc, address = self._spawn()

@@ -11,7 +11,11 @@ deployment would:
    ``TopKMonitor.run`` on the same values;
 3. SIGKILL the server mid-service, assert clients observe the outage,
    restart, reconnect, and re-drive a batch on the fresh server;
-4. shut the server down via the wire ``shutdown`` op and assert a clean
+4. durable mode: restart a ``--checkpoint-dir`` server after a SIGKILL and
+   assert clients resume the *same* sessions — every resumed session's
+   final top-k and message count bit-identical to an uninterrupted
+   offline run over the full stream;
+5. shut the server down via the wire ``shutdown`` op and assert a clean
    exit code.
 
 Usage::
@@ -25,6 +29,7 @@ import argparse
 import os
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -39,10 +44,11 @@ from repro.streams import get_workload, list_workloads  # noqa: E402
 ENV = {**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)}
 
 
-def spawn_server() -> tuple[subprocess.Popen, str]:
+def spawn_server(*extra: str) -> tuple[subprocess.Popen, str]:
     """Start a service subprocess on an ephemeral port; returns its address."""
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.service", "--serve", "127.0.0.1:0", "--batch-linger", "0.02"],
+        [sys.executable, "-m", "repro.service", "--serve", "127.0.0.1:0",
+         "--batch-linger", "0.02", *extra],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
@@ -89,14 +95,85 @@ def drive_sessions(address: str, sessions: int, rows: int, n: int, k: int, seed0
         print(
             f"verified {sessions} sessions x {rows} rows: "
             f"{metrics['rows_processed']} rows stepped "
-            f"({metrics['rows_batched']} batched, {metrics['rows_quiet']} quiet), "
+            f"({metrics['rows_batched']} batched, {metrics['rows_lookahead']} lookahead, "
+            f"{metrics['rows_quiet']} quiet), "
             f"{metrics['protocol_messages']} protocol messages, "
             f"p99 step latency {metrics['step_latency_p99_us']}us"
         )
         if mismatches:
             raise SystemExit(f"{mismatches} sessions diverged from the offline run")
-        if sessions >= 2 and metrics["rows_batched"] == 0:
-            raise SystemExit("batched stepping path never engaged")
+        if sessions >= 2 and metrics["rows_batched"] + metrics["rows_lookahead"] == 0:
+            raise SystemExit("neither the batched nor the lookahead stepping path engaged")
+
+
+def checkpoint_restore_phase(sessions: int, rows: int, n: int, k: int, seed0: int) -> None:
+    """Kill a ``--checkpoint-dir`` server mid-stream; resume on restart."""
+    catalog = list_workloads()
+    with tempfile.TemporaryDirectory(prefix="repro-ckpt-") as ckpt_dir:
+        proc, address = spawn_server("--checkpoint-dir", ckpt_dir)
+        cases = []
+        try:
+            with ServiceClient(address, timeout=120) as client:
+                for i in range(sessions):
+                    name = catalog[i % len(catalog)]
+                    values = get_workload(name, n, rows, seed=1000 + i).generate()
+                    handle = client.create_session(n=n, k=k, seed=seed0 + i)
+                    cases.append((handle.id, name, values))
+                for sid, _, values in cases:
+                    client.session(sid).feed_rows(values[: rows // 2])
+                for sid, _, _ in cases:
+                    client.session(sid).query(wait=True)
+                info = client.checkpoint()  # durability barrier before the kill
+                print(f"checkpointed {info['sessions']} sessions to {info['dir']}")
+            proc.kill()
+            proc.wait(timeout=30)
+            print("durable server killed (SIGKILL)")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        proc, address = spawn_server("--checkpoint-dir", ckpt_dir)
+        try:
+            line = proc.stdout.readline().strip()
+            if not line.startswith("restored "):
+                raise SystemExit(f"restarted server did not announce a restore (got {line!r})")
+            print(f"server: {line}")
+            mismatches = 0
+            with ServiceClient(address, timeout=120) as client:
+                resumed = set(client.session_ids())
+                if resumed != {sid for sid, _, _ in cases}:
+                    raise SystemExit(
+                        f"restored session ids diverged: {len(resumed)} vs {len(cases)}"
+                    )
+                for i, (sid, name, values) in enumerate(cases):
+                    handle = client.session(sid)
+                    state = handle.query()
+                    if state["time"] != rows // 2 - 1:
+                        raise SystemExit(
+                            f"session {sid} resumed at t={state['time']}, "
+                            f"expected {rows // 2 - 1}"
+                        )
+                    handle.feed_rows(values[rows // 2 :])
+                    state = handle.query(wait=True)
+                    offline = TopKMonitor(n=n, k=k, seed=seed0 + i).run(values)
+                    ok = (
+                        state["topk"] == offline.topk_history[-1].tolist()
+                        and state["messages"] == offline.total_messages
+                    )
+                    if not ok:
+                        mismatches += 1
+                        print(f"MISMATCH resumed session {sid} ({name}): {state} vs "
+                              f"{offline.topk_history[-1].tolist()}/{offline.total_messages}")
+                if mismatches:
+                    raise SystemExit(f"{mismatches} resumed sessions diverged from offline runs")
+                print(f"resumed {len(cases)} sessions across the kill: all bit-identical")
+                client.shutdown()
+            code = proc.wait(timeout=30)
+            if code != 0:
+                raise SystemExit(f"durable server exited {code} after shutdown op")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
 
 
 def main() -> int:
@@ -131,7 +208,12 @@ def main() -> int:
         # re-create and re-drive (documented recovery model).
         drive_sessions(address, max(2, args.sessions // 4), args.rows, args.n, args.k, seed0=900)
 
-        # --- phase 4: clean shutdown over the wire -----------------------
+        # --- phase 4: kill/restore with --checkpoint-dir ------------------
+        checkpoint_restore_phase(
+            max(2, args.sessions // 4), args.rows, args.n, args.k, seed0=1300
+        )
+
+        # --- phase 5: clean shutdown over the wire -----------------------
         with ServiceClient(address) as client:
             client.shutdown()
         code = proc.wait(timeout=30)
