@@ -76,7 +76,7 @@ from repro.errors import (
     WorkloadError,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "run",

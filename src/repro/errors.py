@@ -16,6 +16,7 @@ __all__ = [
     "InvariantViolation",
     "ExperimentError",
     "ServiceError",
+    "ServiceConnectError",
     "BackpressureError",
 ]
 
@@ -63,6 +64,27 @@ class ServiceError(ReproError, RuntimeError):
     Covers unknown session ids, protocol violations on the wire, and
     server-reported request failures surfaced by the client.
     """
+
+
+class ServiceConnectError(ServiceError):
+    """Raised when a TCP connection to the service cannot be established.
+
+    Carries the target address and how many attempts the client's
+    :class:`~repro.service.client.RetryPolicy` allowed before giving up —
+    a dead or unreachable server, distinguishable from a request that
+    failed on a healthy connection.
+    """
+
+    def __init__(self, host: str, port: int, attempts: int, last_error: Exception | None = None):
+        detail = f": {last_error}" if last_error is not None else ""
+        super().__init__(
+            f"cannot connect to service at {host}:{port} "
+            f"after {attempts} attempt{'s' if attempts != 1 else ''}{detail}"
+        )
+        self.host = host
+        self.port = port
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 class BackpressureError(ServiceError):

@@ -1,4 +1,4 @@
-"""The E1–E9 + ablation reproduction harness.
+"""The E1–E10 + ablation reproduction harness.
 
 The paper has no empirical section; its evaluation is analytical.  Each
 experiment here validates one theorem / claimed bound / baseline comparison
@@ -31,6 +31,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     e7_babcock,
     e8_dominance,
     e9_ordered,
+    e10_faults,
     ablations,
 )
 

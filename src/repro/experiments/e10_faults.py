@@ -1,0 +1,121 @@
+"""E10 — robustness: what faults cost, in messages and in correctness.
+
+The paper's model assumes a perfect network; this experiment measures how
+Algorithm 1/2 degrades when the assumption breaks.  For every workload in
+a small catalog slice and every named fault profile
+(:data:`repro.faults.plan.FAULT_PROFILES`), we run the faulty distributed
+engine and report two degradation axes against the clean run:
+
+* **message inflation** — total messages under faults / clean total
+  (retransmitted reset sweeps, duplicates, resync resets all charge the
+  ledger; cf. E3: the clean cost already sits near the Ω(log n) floor, so
+  inflation reads as avoidable overhead);
+* **top-k error rate** — fraction of steps whose reported set is not a
+  valid top-k of the true values (dropped sweep replies and in-filter
+  Byzantine lies both corrupt the reported set).
+
+Checked claims: the clean profile is bit-identical to the fault-free
+engine on every workload (the differential invariant, asserted here
+end-to-end, not just in unit tests); lossy profiles hurt correctness on
+the boundary-sensitive workloads; and the adversary search (seeded random
+over fault plans, the same space the hypothesis search in
+``tests/test_faults.py`` explores) finds a plan at least as expensive as
+the clean run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed import run_distributed
+from repro.experiments.spec import ExperimentOutput, register, scaled
+from repro.faults import FAULT_PROFILES, adversary_search, fault_profile, run_faulty
+from repro.streams import get_workload
+from repro.util.tables import Table
+
+#: The catalog slice E10 sweeps: the two fault-sensitivity families plus
+#: one calm and one churn-heavy control.
+E10_WORKLOADS = ("boundary_flutter", "flash_crowd", "random_walk", "iid_uniform")
+
+
+@register("e10", "Fault injection: message inflation and top-k error under hostile networks")
+def run(scale: str = "default") -> ExperimentOutput:
+    """Regenerate the E10 degradation table."""
+    out = ExperimentOutput(
+        exp_id="e10",
+        title="Fault injection: message inflation and top-k error under hostile networks",
+        claim=(
+            "a null fault plan is bit-identical to the clean engine; "
+            "lossy/Byzantine networks inflate messages and corrupt the reported top-k"
+        ),
+    )
+    n = scaled(scale, 8, 12, 24)
+    steps = scaled(scale, 60, 150, 400)
+    k = 3
+    seed = 1006
+    table = Table(
+        ["workload", "profile", "messages", "inflation", "topk errors", "error rate", "faults"],
+        title="E10",
+    )
+    identical_everywhere = True
+    flutter_lossy_errors = -1
+    worst_inflation = 0.0
+    for workload in E10_WORKLOADS:
+        values = get_workload(workload, n, steps, seed=seed).generate()
+        clean = run_distributed(values, k, seed=seed)
+        for profile in FAULT_PROFILES:
+            plan = fault_profile(profile, n=n, steps=steps, seed=seed)
+            result = run_faulty(values, k, seed=seed, plan=plan)
+            inflation = (
+                result.total_messages / clean.total_messages if clean.total_messages else 1.0
+            )
+            worst_inflation = max(worst_inflation, inflation)
+            if profile == "clean":
+                identical_everywhere = identical_everywhere and (
+                    result.total_messages == clean.total_messages
+                    and np.array_equal(result.topk_history, clean.topk_history)
+                    and result.topk_errors == 0
+                )
+            if profile == "lossy" and workload == "boundary_flutter":
+                flutter_lossy_errors = result.topk_errors
+            table.add_row(
+                [
+                    workload,
+                    profile,
+                    result.total_messages,
+                    round(inflation, 3),
+                    result.topk_errors,
+                    round(result.error_rate, 3),
+                    result.stats.faults_injected,
+                ]
+            )
+    out.tables.append(table)
+
+    # Adversary search on the most fault-sensitive workload.
+    adv_steps = scaled(scale, 40, 80, 150)
+    adv_values = get_workload("boundary_flutter", n, adv_steps, seed=seed).generate()
+    report = adversary_search(
+        adv_values, k, seed=seed, trials=scaled(scale, 4, 12, 32), protocol_seed=seed
+    )
+    adv_table = Table(["clean messages", "worst-plan messages", "inflation", "trials"], title="E10 adversary")
+    adv_table.add_row(
+        [report.clean_messages, report.best_messages, round(report.inflation, 3), report.trials]
+    )
+    out.tables.append(adv_table)
+
+    out.check(
+        "the clean (null) profile is bit-identical to the fault-free engine on every workload",
+        f"identical across {len(E10_WORKLOADS)} workloads: {identical_everywhere}",
+        identical_everywhere,
+    )
+    out.check(
+        "a lossy network corrupts the reported top-k on the boundary-sensitive workload",
+        f"boundary_flutter/lossy top-k errors = {flutter_lossy_errors}",
+        flutter_lossy_errors > 0,
+    )
+    out.check(
+        "the adversary search never reports a plan cheaper than the clean run",
+        f"inflation = {report.inflation:.3f}",
+        report.inflation >= 1.0,
+    )
+    return out

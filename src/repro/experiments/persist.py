@@ -167,10 +167,15 @@ class SweepJournal:
         for line in lines[1:]:
             try:
                 record = json.loads(line)
-            except json.JSONDecodeError:
+                job, sample = int(record["job"]), float(record["sample"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                # Truncated trailer from a mid-write kill.  A torn line is
+                # not always invalid JSON — `{"job": 3}` (valid, missing
+                # "sample") or a bare number both parse — so shape errors
+                # get the same drop-the-trailer treatment.
                 truncated = True
-                break  # truncated trailer from a mid-write kill; drop it
-            completed[int(record["job"])] = float(record["sample"])
+                break
+            completed[job] = sample
             good_lines.append(line)
         if truncated:
             # Rewrite to the last complete line so appended records never

@@ -1,0 +1,55 @@
+"""Fault injection: hostile networks, crashes, and Byzantine senders.
+
+This package turns the perfect carriers of the simulation into a
+configurable hostile world, described once by a seeded
+:class:`~repro.faults.plan.FaultPlan` and consumed at three layers:
+
+* model layer — :class:`~repro.faults.transport.FaultyTransport` wraps
+  any :class:`~repro.model.transport.Transport`;
+* distributed layer — :class:`~repro.faults.runtime.FaultyRuntime` /
+  :func:`~repro.faults.runtime.run_faulty` clock full monitoring runs
+  with drops, delays, duplicates, crash/recovery and in-filter liars;
+* adversary layer — :mod:`~repro.faults.byzantine` searches for the
+  plans and lying strategies that hurt the protocol most.
+
+The contract throughout: a null plan changes nothing, bit for bit.
+"""
+
+from repro.faults.byzantine import (
+    BYZANTINE_STRATEGIES,
+    AdversaryReport,
+    adversary_search,
+    lie,
+    plan_strategy,
+)
+from repro.faults.plan import (
+    FAULT_PROFILES,
+    CrashWindow,
+    FaultPlan,
+    FaultStats,
+    LinkFaults,
+    describe_profiles,
+    fault_profile,
+)
+from repro.faults.runtime import FaultyResult, FaultyRuntime, run_faulty, topk_error_count
+from repro.faults.transport import FaultyTransport
+
+__all__ = [
+    "AdversaryReport",
+    "BYZANTINE_STRATEGIES",
+    "CrashWindow",
+    "FAULT_PROFILES",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyResult",
+    "FaultyRuntime",
+    "FaultyTransport",
+    "LinkFaults",
+    "adversary_search",
+    "describe_profiles",
+    "fault_profile",
+    "lie",
+    "plan_strategy",
+    "run_faulty",
+    "topk_error_count",
+]

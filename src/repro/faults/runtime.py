@@ -1,0 +1,290 @@
+"""The distributed runtime under a hostile network.
+
+:class:`FaultyRuntime` overrides the carrier hooks of
+:class:`repro.distributed.runtime._Runtime` to clock rounds where
+messages arrive late, twice, or never, where nodes crash and rejoin, and
+where Byzantine members lie inside their filters:
+
+* **uplink replies** pass through :meth:`FaultPlan.uplink_fate` — dropped
+  copies are still charged (the sender paid), duplicates charge twice,
+  delayed copies mature in a later round of the same protocol execution
+  (and are lost — charged but undelivered — if the execution ends first);
+* **broadcasts** are decided per receiving node, so one node can miss a
+  midpoint / reset / round announcement everyone else heard — the stale
+  filter this leaves behind is a *detectable* fault: the node's next
+  observation violates its (wrong) filter and the ordinary handler/reset
+  path heals it, the same self-healing property
+  ``tests/test_failure_injection.py`` pins for state corruption;
+* **crashed nodes** (deterministic :class:`~repro.faults.plan.CrashWindow`
+  schedules) drop out of the world: no observations, no protocol
+  participation, no broadcasts.  At rejoin the node announces itself (one
+  ``RESYNC`` uplink message, charged) and the coordinator rebuilds *all*
+  state via the reset path — crash recovery literally reuses filter
+  resets;
+* **Byzantine nodes** never report spontaneous violations and, when
+  polled, claim values chosen by their strategy but clamped inside their
+  current filter (:func:`repro.faults.byzantine.lie`) — undetectable by
+  design, measured by ``e10`` as top-k error and message inflation.
+
+Degradation is bounded, never fatal: an empty side poll or reset sweep is
+retried ``plan.max_retries`` times (each retry charges fresh messages);
+if the network still swallows everything the runtime accepts a degraded
+step (``stats.aborted_handlers``) instead of crashing.  With a null plan
+every hook falls through to the perfect-carrier base class and the run is
+bit-identical to :func:`repro.distributed.run_distributed` — a property
+the differential tests assert catalog-wide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributed.coordinator import ProtocolBook
+from repro.distributed.node import NodeAgent
+from repro.distributed.runtime import DistributedResult, _Runtime
+from repro.faults.byzantine import lie
+from repro.faults.plan import FaultPlan, FaultStats
+from repro.model.ledger import MessageLedger
+from repro.model.message import MessageKind, Phase
+from repro.types import Side
+from repro.util.validation import check_k, check_matrix
+
+__all__ = ["FaultyResult", "FaultyRuntime", "run_faulty", "topk_error_count"]
+
+
+@dataclass
+class FaultyResult(DistributedResult):
+    """A distributed result plus what the hostile network did to it."""
+
+    stats: FaultStats = field(default_factory=FaultStats)
+    topk_errors: int = 0
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of steps whose reported top-k set was invalid."""
+        return self.topk_errors / self.steps if self.steps else 0.0
+
+
+def topk_error_count(topk_history: np.ndarray, values: np.ndarray, k: int) -> int:
+    """Steps whose recorded top-k set is invalid, tolerant of garbage.
+
+    Unlike :meth:`~repro.core.events.MonitorResult.check_history` this
+    counts sets containing out-of-range ids (a reset sweep that heard
+    nobody reports winner ``-1``) as failures instead of mis-indexing.
+    """
+    T, n = values.shape
+    failures = 0
+    for t in range(T):
+        members = np.asarray(topk_history[t])
+        if members.size != k or (members < 0).any() or (members >= n).any():
+            failures += 1
+            continue
+        mask = np.zeros(n, dtype=bool)
+        mask[members] = True
+        if int(mask.sum()) != k:  # duplicate ids
+            failures += 1
+            continue
+        row = values[t]
+        if k < n and row[mask].min() < row[~mask].max():
+            failures += 1
+    return failures
+
+
+class FaultyRuntime(_Runtime):
+    """A :class:`_Runtime` whose carriers obey a :class:`FaultPlan`."""
+
+    def __init__(self, n: int, k: int, seed, plan: FaultPlan):
+        super().__init__(n, k, seed)
+        self.plan = plan
+        self.stats = FaultStats()
+        self._frng = plan.rng()
+        self._liars = plan.liars()
+        self._down: frozenset[int] = frozenset()
+        self._in_flight: list[tuple[int, tuple[int, int]]] = []
+        self._t = 0
+
+    # ---------------------------------------------------------- world state
+
+    def _alive(self) -> list[NodeAgent]:
+        if not self._down:
+            return self.nodes
+        return [nd for nd in self.nodes if nd.id not in self._down]
+
+    def _observe(self, node: NodeAgent, value: int) -> None:
+        if node.id in self._down:
+            return  # a dead sensor sees nothing
+        node.observe(value)
+
+    def _violation(self, node: NodeAgent) -> Side | None:
+        if node.id in self._liars:
+            # A liar's *claimed* value always sits inside its filter, so it
+            # never reports a spontaneous violation — silently undetectable.
+            return None
+        return node.violation()
+
+    # ------------------------------------------------------------- carriers
+
+    def _claimed(self, node: NodeAgent, value: int) -> int:
+        strategy = self._liars.get(node.id)
+        if strategy is None:
+            return value
+        return lie(strategy, value, node.side is Side.TOP, node.m2, node.initialized)
+
+    def _deliver_reply(self, book: ProtocolBook, node: NodeAgent, msg: tuple[int, int],
+                       phase: Phase, round_index: int) -> bool:
+        msg = (msg[0], self._claimed(node, msg[1]))
+        copies, delay = self.plan.uplink_fate(self._frng, self._t, node.id)
+        if copies == 0:
+            self._charge_node(phase)  # sent and paid for, never arrived
+            self.stats.sent += 1
+            self.stats.dropped_uplink += 1
+            return False
+        if copies > 1:
+            self.stats.duplicated += copies - 1
+        improved = False
+        for _ in range(copies):
+            self._charge_node(phase)
+            self.stats.sent += 1
+            if delay == 0:
+                if book.receive(*msg):
+                    improved = True
+            else:
+                self.stats.delayed += 1
+                self._in_flight.append((round_index + delay, msg))
+        return improved
+
+    def _flush_delayed(self, book: ProtocolBook, phase: Phase,
+                       round_index: int) -> tuple[int, bool]:
+        if not self._in_flight:
+            return 0, False
+        due = [msg for mature, msg in self._in_flight if mature <= round_index]
+        if not due:
+            return 0, False
+        self._in_flight = [(m, msg) for m, msg in self._in_flight if m > round_index]
+        improved = False
+        for msg in due:
+            if book.receive(*msg):  # charged at send time
+                improved = True
+        return len(due), improved
+
+    def _protocol_end(self) -> None:
+        if self._in_flight:
+            self.stats.lost_in_flight += len(self._in_flight)
+            self._in_flight.clear()
+
+    def _control_broadcast(self, phase, nodes, deliver) -> None:
+        self._charge_broadcast(phase)
+        for nd in nodes:
+            if self.plan.drops_broadcast(self._frng, nd.id):
+                # This node missed the broadcast: its filter/protocol state
+                # goes stale, which the reset path later heals (detectable).
+                self.stats.dropped_downlink += 1
+                continue
+            deliver(nd)
+
+    # ------------------------------------------------------ degraded control
+
+    def _reset_sweep(self, previous_winner: int | None, sweep_index: int) -> ProtocolBook:
+        book = super()._reset_sweep(previous_winner, sweep_index)
+        retries = 0
+        while not book.heard_anything and retries < self.plan.max_retries:
+            # Nobody answered (everything dropped / everyone crashed):
+            # re-announce the sweep and run it again, paying full price.
+            retries += 1
+            self.stats.sweep_retries += 1
+            book = super()._reset_sweep(previous_winner, sweep_index)
+        return book
+
+    def _poll_side(self, side: Side, sign: int, upper_bound: int, phase: Phase) -> ProtocolBook:
+        book = self.start_side_protocol(side, sign, upper_bound, phase)
+        retries = 0
+        while not book.heard_anything and retries < self.plan.max_retries:
+            retries += 1
+            self.stats.sweep_retries += 1
+            book = self.start_side_protocol(side, sign, upper_bound, phase)
+        return book
+
+    def _handler(self, t: int, min_book: ProtocolBook | None,
+                 max_book: ProtocolBook | None, result: DistributedResult) -> None:
+        coord = self.coordinator
+        n, k = coord.n, coord.k
+        coord.handler_calls += 1
+        # The verbatim poll of the missing side first (lines 22-26) ...
+        if coord.missing_side(max_book) is Side.BOTTOM:
+            max_book = self._poll_side(Side.BOTTOM, +1, max(1, n - k), Phase.HANDLER_MAX)
+        else:
+            min_book = self._poll_side(Side.TOP, -1, max(1, k), Phase.HANDLER_MIN)
+        # ... then, under faults, either book can *still* be empty (a clean
+        # run never gets here with one): poll the gap before giving up.
+        if min_book is None or not min_book.heard_anything:
+            min_book = self._poll_side(Side.TOP, -1, max(1, k), Phase.HANDLER_MIN)
+        if max_book is None or not max_book.heard_anything:
+            max_book = self._poll_side(Side.BOTTOM, +1, max(1, n - k), Phase.HANDLER_MAX)
+        if not (min_book.heard_anything and max_book.heard_anything):
+            # The network swallowed every poll: skip this handler rather
+            # than act on extremes nobody reported.  Degraded, not dead.
+            self.stats.aborted_handlers += 1
+            return
+        coord.absorb_extremes(min_book.value, max_book.value)
+        if coord.must_reset():
+            self.filter_reset(t, result)
+        else:
+            m2 = coord.new_midpoint()
+            self._control_broadcast(
+                Phase.MIDPOINT_BROADCAST, self._alive(), lambda nd: nd.hear_midpoint(m2)
+            )
+            result.handler_times.append(t)
+
+    # ----------------------------------------------------------------- steps
+
+    def step(self, t: int, row: np.ndarray, result: DistributedResult) -> None:
+        self._t = t
+        down_now = self.plan.down_set(t)
+        rejoined = self._down - down_now
+        self.stats.crashes += len(down_now - self._down)
+        self._down = down_now
+        super().step(t, row, result)
+        if rejoined and t > 0:
+            # Rejoining nodes announce themselves (one charged uplink each),
+            # then the coordinator rebuilds *everyone's* state from live
+            # values — crash recovery rides the ordinary reset path.
+            for _ in sorted(rejoined):
+                self.ledger.charge(MessageKind.NODE_TO_COORD, Phase.RESYNC)
+            self.stats.resyncs += len(rejoined)
+            self.filter_reset(t, result)
+
+
+def run_faulty(values: np.ndarray, k: int, *, seed=None, plan: FaultPlan | None = None) -> FaultyResult:
+    """Run the distributed engine under a :class:`FaultPlan`.
+
+    With ``plan=None`` (or a null plan) the trajectory, ledger and message
+    counts are bit-identical to :func:`repro.distributed.run_distributed`
+    — the invariant the differential tests assert.  Otherwise the result
+    additionally carries fault :class:`~repro.faults.plan.FaultStats` and
+    the count of invalid reported top-k sets.
+    """
+    plan = plan if plan is not None else FaultPlan()
+    values = check_matrix(values)
+    T, n = values.shape
+    k, n = check_k(k, n)
+    if k == n:
+        history = np.tile(np.arange(n, dtype=np.int64), (T, 1))
+        return FaultyResult(n=n, k=k, steps=T, topk_history=history, ledger=MessageLedger())
+    rt = FaultyRuntime(n, k, seed, plan)
+    history = np.empty((T, k), dtype=np.int64)
+    result = FaultyResult(n=n, k=k, steps=T, topk_history=history, ledger=rt.ledger,
+                          stats=rt.stats)
+    for t in range(T):
+        rt.step(t, values[t], result)
+        topk = rt.coordinator.topk
+        # A reset that heard nobody can leave fewer than k winners; pad
+        # with -1 so the history stays rectangular (counted as errors).
+        padded = list(topk)[:k] + [-1] * max(0, k - len(topk))
+        history[t] = padded
+    rt.ledger.end_run()
+    result.resets = rt.coordinator.resets
+    result.handler_calls = rt.coordinator.handler_calls
+    result.topk_errors = topk_error_count(history, values, k)
+    return result

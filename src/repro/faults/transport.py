@@ -1,0 +1,148 @@
+"""Model-layer fault injection: a lossy wrapper around any Transport.
+
+:class:`FaultyTransport` sits between protocol code and an *inner*
+:class:`~repro.model.transport.Transport` (counting or recording — the
+existing seam), applying a :class:`~repro.faults.plan.FaultPlan` to every
+send:
+
+* the **outer** ledger charges every transmission *attempt* — originals,
+  duplicates, and copies that are later lost all cost what the sender
+  paid;
+* the **inner** transport sees only what actually *arrives*, when it
+  arrives: dropped copies never reach it, delayed copies are queued and
+  handed over as logical time advances (``set_time``), optionally
+  shuffled (reordering).
+
+The split is the point: ``outer.ledger`` is the paper's message-count
+metric under faults (cost of talking), ``inner`` is the receiver's view
+(what the coordinator actually learned, inspectable via a
+``RecordingTransport``).  With a null plan the wrapper forwards verbatim
+and draws no randomness, so it is free to leave permanently composed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.plan import FaultPlan, FaultStats
+from repro.model.ledger import MessageLedger
+from repro.model.message import Message, MessageKind, Phase
+from repro.model.transport import CountingTransport, Transport
+
+__all__ = ["FaultyTransport"]
+
+
+class FaultyTransport(Transport):
+    """A Transport that loses, duplicates, delays and reorders messages.
+
+    Args
+    ----
+    plan:
+        The seeded fault plan; all decisions flow from ``plan.rng()``.
+    inner:
+        The transport that receives surviving copies (defaults to a fresh
+        :class:`~repro.model.transport.CountingTransport`).
+    ledger:
+        Outer ledger for attempt-level costs (fresh one by default).
+    """
+
+    def __init__(self, plan: FaultPlan, inner: Transport | None = None,
+                 ledger: MessageLedger | None = None):
+        super().__init__(ledger)
+        self.plan = plan
+        self.inner = inner if inner is not None else CountingTransport()
+        self.stats = FaultStats()
+        self._rng = plan.rng()
+        self._in_flight: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0  # FIFO tiebreak for same-instant deliveries
+
+    # ------------------------------------------------------------- clocking
+
+    def set_time(self, t: int) -> None:
+        """Advance logical time on both ledgers, then deliver matured copies."""
+        super().set_time(t)
+        self.inner.set_time(t)
+        self._flush(t)
+
+    def _flush(self, t: int) -> None:
+        due = [entry for entry in self._in_flight if entry[0] <= t]
+        if not due:
+            return
+        self._in_flight = [entry for entry in self._in_flight if entry[0] > t]
+        due.sort(key=lambda entry: (entry[0], entry[1]))
+        link = self.plan.uplink
+        if len(due) > 1 and link.reorder and self._rng.random() < link.reorder:
+            self._rng.shuffle(due)
+            self.stats.reordered += len(due)
+        for _, _, deliver in due:
+            deliver()
+
+    def flush_all(self) -> int:
+        """Deliver every in-flight copy now (end-of-run settling)."""
+        pending = len(self._in_flight)
+        if pending:
+            self._flush(max(due for due, _, _ in self._in_flight))
+        return pending
+
+    def drop_in_flight(self) -> int:
+        """Discard every in-flight copy (the run ended mid-air)."""
+        lost = len(self._in_flight)
+        self._in_flight.clear()
+        self.stats.lost_in_flight += lost
+        return lost
+
+    @property
+    def in_flight(self) -> int:
+        """Copies sent but not yet delivered."""
+        return len(self._in_flight)
+
+    # ---------------------------------------------------------------- sends
+
+    def _emit(self, message: Message) -> None:  # pragma: no cover - bypassed
+        pass
+
+    def _carry(self, fate: tuple[int, int], charge: Callable[[], None],
+               deliver: Callable[[], None], *, down: bool = False) -> None:
+        copies, delay = fate
+        if copies == 0:
+            charge()  # the sender still paid
+            self.stats.sent += 1
+            if down:
+                self.stats.dropped_downlink += 1
+            else:
+                self.stats.dropped_uplink += 1
+            return
+        if copies > 1:
+            self.stats.duplicated += copies - 1
+        for _ in range(copies):
+            charge()
+            self.stats.sent += 1
+            if delay == 0:
+                deliver()
+            else:
+                self.stats.delayed += 1
+                self._seq += 1
+                self._in_flight.append((self.time + delay, self._seq, deliver))
+
+    def node_to_coord(self, src: int, payload, phase: Phase) -> None:
+        self._carry(
+            self.plan.uplink_fate(self._rng, self.time, src),
+            lambda: self.ledger.charge(MessageKind.NODE_TO_COORD, phase),
+            lambda: self.inner.node_to_coord(src, payload, phase),
+        )
+
+    def coord_to_node(self, dst: int, payload, phase: Phase) -> None:
+        self._carry(
+            self.plan.downlink.fate(self._rng),
+            lambda: self.ledger.charge(MessageKind.COORD_TO_NODE, phase),
+            lambda: self.inner.coord_to_node(dst, payload, phase),
+            down=True,
+        )
+
+    def broadcast(self, payload, phase: Phase) -> None:
+        self._carry(
+            self.plan.downlink.fate(self._rng),
+            lambda: self.ledger.charge(MessageKind.BROADCAST, phase),
+            lambda: self.inner.broadcast(payload, phase),
+            down=True,
+        )

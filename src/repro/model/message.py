@@ -54,6 +54,9 @@ class Phase(enum.Enum):
     RESET_BROADCAST = "reset_broadcast"
     #: Midpoint broadcast updating filter bounds without a reset (line 33).
     MIDPOINT_BROADCAST = "midpoint_broadcast"
+    #: A crash-recovered node announcing its return (fault layer only;
+    #: the resync itself is repaired by a RESET_* reset).
+    RESYNC = "resync"
     #: Baseline algorithms' traffic (naive, periodic, Lam, BO, ...).
     BASELINE = "baseline"
     #: Intra-top-k order maintenance (the Sect. 5 ordered-top-k extension).

@@ -9,18 +9,81 @@ push-a-row, read-top-k, read-message-count — in the same shape as a local
 The client is deliberately synchronous (plain sockets, no asyncio): it is
 what a sensor gateway, a shell script, or a test drives, and it needs no
 event loop of its own.
+
+Fault tolerance
+---------------
+Real gateways talk to the service over networks that drop and servers
+that restart, so the client carries a :class:`RetryPolicy`:
+
+* **connecting** retries with exponential backoff + jitter up to the
+  policy's attempt budget, then raises the typed
+  :class:`~repro.errors.ServiceConnectError` (each attempt bounded by
+  ``connect_timeout``, each established connection by the per-op
+  ``timeout``);
+* **idempotent ops** (query/ping/sessions/metrics/checkpoint) that lose
+  the connection mid-flight transparently reconnect and resend;
+* **feeds** are *not* blindly resent — a lost reply leaves it unknown
+  whether the server enqueued the rows.  :class:`SessionHandle` tracks
+  the server's acknowledged row count (``time + 1 + pending`` from every
+  reply), and on reconnect queries it back and resends only the suffix
+  the server never received: exactly-once feeding across connection
+  loss and ``--checkpoint-dir`` server restarts, from the client's own
+  bookkeeping (single writer per session assumed).
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time as _time
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import BackpressureError, ServiceError
+from repro.errors import BackpressureError, ServiceConnectError, ServiceError
 
-__all__ = ["ServiceClient", "SessionHandle"]
+__all__ = ["RetryPolicy", "ServiceClient", "SessionHandle"]
+
+#: Ops safe to resend verbatim after a lost connection: they read state
+#: or trigger a convergent side effect (a double checkpoint is a no-op).
+_IDEMPOTENT_OPS = frozenset({"query", "ping", "sessions", "metrics", "checkpoint"})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard a :class:`ServiceClient` tries before giving up.
+
+    ``attempts`` bounds both the initial connect and each transparent
+    reconnect; between attempts the client sleeps
+    ``min(backoff * 2**i, backoff_max)`` scaled by up to ``jitter``
+    relative noise (decorrelating a fleet of clients reconnecting to a
+    restarted server).  ``connect_timeout`` caps each TCP connect;
+    the per-op deadline lives on :class:`ServiceClient` (``timeout``).
+    """
+
+    attempts: int = 3
+    connect_timeout: float = 5.0
+    backoff: float = 0.05
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ServiceError(f"retry attempts must be >= 1, got {self.attempts}")
+        if self.connect_timeout <= 0 or self.backoff < 0 or self.backoff_max < 0:
+            raise ServiceError("retry timeouts/backoff must be positive")
+        if not 0 <= self.jitter <= 1:
+            raise ServiceError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        base = min(self.backoff * (2.0**attempt), self.backoff_max)
+        return base * (1.0 + self.jitter * rng.random())
+
+
+class _ConnectionLost(ServiceError):
+    """The established connection died mid-request (internal marker)."""
 
 
 def _parse_address(address) -> tuple[str, int]:
@@ -45,38 +108,89 @@ class ServiceClient:
         Socket timeout in seconds for each request/response round trip
         (waiting queries park server-side until the inbox drains, so keep
         this comfortably above the expected drain time).
+    retry:
+        Connect/reconnect behaviour; defaults to :class:`RetryPolicy`'s
+        defaults.  ``RetryPolicy(attempts=1)`` restores fail-fast
+        connects.
+
+    Raises
+    ------
+    ServiceConnectError
+        When no connection could be established within the retry budget.
     """
 
-    def __init__(self, address, *, timeout: float = 60.0):
-        host, port = _parse_address(address)
-        try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise ServiceError(f"cannot connect to service at {host}:{port}: {exc}") from exc
-        self._file = self._sock.makefile("rwb")
+    def __init__(self, address, *, timeout: float = 60.0, retry: RetryPolicy | None = None):
+        self._host, self._port = _parse_address(address)
+        self._timeout = timeout
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._jitter_rng = random.Random(0x5EED ^ hash((self._host, self._port)))
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._connect()
 
     # ------------------------------------------------------------ plumbing
 
-    def request(self, op: str, **fields) -> dict:
-        """One raw round trip; returns the reply payload.
+    def _connect(self) -> None:
+        """Establish the TCP connection, retrying per the policy."""
+        policy = self._retry
+        last_error: Exception | None = None
+        for attempt in range(policy.attempts):
+            if attempt:
+                _time.sleep(policy.delay(attempt - 1, self._jitter_rng))
+            try:
+                sock = socket.create_connection(
+                    (self._host, self._port), timeout=policy.connect_timeout
+                )
+            except OSError as exc:
+                last_error = exc
+                continue
+            sock.settimeout(self._timeout)  # per-op deadline from here on
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+            return
+        raise ServiceConnectError(self._host, self._port, policy.attempts, last_error)
 
-        Raises
-        ------
-        BackpressureError
-            When the server refused a feed with ``code="backpressure"``.
-        ServiceError
-            For any other failure reply, a closed connection, or
-            malformed server output.
+    def reconnect(self) -> None:
+        """Drop the current connection (if any) and establish a fresh one."""
+        self._teardown()
+        self._connect()
+
+    def drop_connection(self) -> None:
+        """Sever the TCP connection without closing the client.
+
+        Fault-injection seam (``tools/service_smoke.py --fault-profile``):
+        the next op observes a lost connection and takes the ordinary
+        retry/resume path, exactly as if the network had cut the link.
         """
+        self._teardown()
+
+    def _teardown(self) -> None:
+        try:
+            if self._file is not None:
+                self._file.close()
+        except OSError:
+            pass
+        finally:
+            self._file = None
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+
+    def _roundtrip(self, op: str, fields: dict) -> dict:
+        if self._file is None:
+            raise _ConnectionLost(f"no connection for {op!r} (link was severed)")
         payload = {"op": op, **fields}
         try:
             self._file.write((json.dumps(payload, separators=(",", ":")) + "\n").encode())
             self._file.flush()
             line = self._file.readline()
         except OSError as exc:
-            raise ServiceError(f"service connection lost during {op!r}: {exc}") from exc
+            raise _ConnectionLost(f"service connection lost during {op!r}: {exc}") from exc
         if not line:
-            raise ServiceError(f"service closed the connection during {op!r}")
+            raise _ConnectionLost(f"service closed the connection during {op!r}")
         try:
             reply = json.loads(line)
         except json.JSONDecodeError as exc:
@@ -87,12 +201,42 @@ class ServiceClient:
             raise ServiceError(reply.get("error", "service request failed"))
         return reply
 
+    def request(self, op: str, **fields) -> dict:
+        """One raw round trip; returns the reply payload.
+
+        Idempotent ops (query/ping/sessions/metrics/checkpoint) that lose
+        the connection are transparently retried over a fresh one, within
+        the retry policy's attempt budget.  Mutating ops (feed, create,
+        close, shutdown) fail on the first connection loss — resending
+        them blindly could double-apply; see :meth:`SessionHandle.feed`
+        for the resumable path.
+
+        Raises
+        ------
+        BackpressureError
+            When the server refused a feed with ``code="backpressure"``.
+        ServiceConnectError
+            When reconnecting exhausted the retry budget.
+        ServiceError
+            For any other failure reply, a lost connection on a
+            non-retryable op, or malformed server output.
+        """
+        attempts = self._retry.attempts if op in _IDEMPOTENT_OPS else 1
+        last: ServiceError | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self.reconnect()  # ServiceConnectError propagates typed
+            try:
+                return self._roundtrip(op, fields)
+            except _ConnectionLost as exc:
+                last = exc
+                if self._sock is not None:
+                    self._teardown()
+        raise last
+
     def close(self) -> None:
         """Close the connection (sessions stay alive server-side)."""
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -110,7 +254,7 @@ class ServiceClient:
         if engine is not None:
             fields["engine"] = engine
         reply = self.request("create", **fields)
-        return SessionHandle(self, reply["session"])
+        return SessionHandle(self, reply["session"], acked=0)
 
     def session(self, session_id: str) -> "SessionHandle":
         """Handle for an existing server-side session id."""
@@ -148,42 +292,96 @@ class ServiceClient:
 
 
 class SessionHandle:
-    """Client-side face of one server-side session."""
+    """Client-side face of one server-side session.
 
-    def __init__(self, client: ServiceClient, session_id: str):
+    ``acked`` seeds the handle's record of how many rows the server has
+    already received for this session (0 for a freshly created session,
+    unknown — looked up lazily — for an adopted one); it is what makes
+    :meth:`feed` resumable across connection loss and server restarts.
+    """
+
+    def __init__(self, client: ServiceClient, session_id: str, *, acked: int | None = None):
         self._client = client
         self.id = session_id
+        self._acked = acked
 
     @staticmethod
     def _rowlist(row) -> list[int]:
         return np.asarray(row).tolist()
+
+    @staticmethod
+    def _received(reply: dict) -> int:
+        """Server-side total rows received, from any feed/query reply.
+
+        ``time`` is the last *stepped* row index (-1 before the first) and
+        ``pending`` the fed-but-unstepped depth, so their sum (+1) is the
+        fed total regardless of how far the stepper has gotten.
+        """
+        return int(reply["time"]) + 1 + int(reply["pending"])
+
+    def _sync_acked(self) -> int:
+        """(Re)learn the server's received-row count for this session."""
+        self._acked = self._received(self._client.request("query", session=self.id))
+        return self._acked
+
+    def _feed_resumable(self, rows: list[list[int]], block: bool) -> dict:
+        """Send one feed batch exactly once, resuming across lost links.
+
+        On connection loss the reply is unknowable, so the handle
+        reconnects, asks the server how many rows it has, and resends
+        only what is missing.  A server restarted from an *older*
+        checkpoint can report fewer rows than were acked before this
+        batch — rows this handle no longer holds — which is unrecoverable
+        here and raised as such (feed after a ``checkpoint`` barrier, as
+        ``tools/service_smoke.py --fault-profile`` does, to avoid it).
+        """
+        if self._acked is None:
+            self._sync_acked()
+        base = self._acked
+        remaining = rows
+        while True:
+            fields = {"session": self.id, "rows": remaining}
+            if len(remaining) == 1:
+                fields = {"session": self.id, "row": remaining[0]}
+            try:
+                reply = self._client.request("feed", **fields)
+                self._acked = self._received(reply)
+                return reply
+            except BackpressureError:
+                if not block:
+                    raise
+                self._client.request("query", session=self.id, wait=True)
+            except _ConnectionLost:
+                self._client.reconnect()
+                received = self._sync_acked()
+                delivered = received - base
+                if delivered < 0:
+                    raise ServiceError(
+                        f"session {self.id!r}: server lost {-delivered} previously "
+                        "acknowledged rows (restarted from an older checkpoint); "
+                        "cannot resume this feed"
+                    ) from None
+                if delivered >= len(rows):
+                    # The whole batch landed; only the reply was lost.
+                    return self._client.request("query", session=self.id)
+                remaining = rows[delivered:]
+                base = received
 
     def feed(self, row, *, block: bool = True) -> dict:
         """Push one observation row; returns ``{"pending", "time"}``.
 
         With ``block=True`` (default) a backpressure refusal waits for the
         server to drain this session and retries; with ``block=False`` the
-        :class:`~repro.errors.BackpressureError` propagates.
+        :class:`~repro.errors.BackpressureError` propagates.  A connection
+        lost mid-feed is resumed exactly once over a fresh connection (see
+        the class docstring).
         """
-        fields = {"session": self.id, "row": self._rowlist(row)}
-        while True:
-            try:
-                return self._client.request("feed", **fields)
-            except BackpressureError:
-                if not block:
-                    raise
-                self._client.request("query", session=self.id, wait=True)
+        return self._feed_resumable([self._rowlist(row)], block)
 
     def feed_rows(self, rows, *, block: bool = True) -> dict:
-        """Push several rows in one round trip (same backpressure policy)."""
-        fields = {"session": self.id, "rows": [self._rowlist(r) for r in np.asarray(rows)]}
-        while True:
-            try:
-                return self._client.request("feed", **fields)
-            except BackpressureError:
-                if not block:
-                    raise
-                self._client.request("query", session=self.id, wait=True)
+        """Push several rows in one round trip (same backpressure and
+        resume-on-loss policy as :meth:`feed`)."""
+        return self._feed_resumable([self._rowlist(r) for r in np.asarray(rows)], block)
 
     def query(self, *, wait: bool = False) -> dict:
         """Full state: time, top-k, message count, pending depth.

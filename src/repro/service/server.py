@@ -199,6 +199,12 @@ class ServiceServer:
             request = json.loads(line)
         except json.JSONDecodeError as exc:
             return {"ok": False, "error": f"malformed JSON: {exc}", "code": "bad_json"}, False
+        except UnicodeDecodeError as exc:
+            # Non-UTF-8 garbage (a port scanner, a corrupted frame) raises
+            # UnicodeDecodeError — a ValueError that is NOT JSONDecodeError
+            # — and must answer like any other malformed frame instead of
+            # escaping into the reader task.
+            return {"ok": False, "error": f"malformed frame: {exc}", "code": "bad_json"}, False
         if not isinstance(request, dict):
             return {"ok": False, "error": "request must be a JSON object", "code": "bad_request"}, False
         op = request.get("op")
@@ -241,6 +247,15 @@ class ServiceServer:
             # usable (JSON even permits Infinity, which int() overflows on).
             detail = f"missing field {exc.args[0]!r}" if isinstance(exc, KeyError) else str(exc)
             return {"ok": False, "error": f"bad request: {detail}", "code": "bad_request", **correlation}, False
+        except Exception as exc:
+            # Last-ditch guard: a bug in an op handler must fail the one
+            # request, not the reader task (which would silently drop the
+            # connection) — and never the server.
+            traceback.print_exc()
+            return {
+                "ok": False, "error": f"internal error: {type(exc).__name__}: {exc}",
+                "code": "internal", **correlation,
+            }, False
         return {"ok": True, **payload, **correlation}, stop_after
 
     # ------------------------------------------------------------------ ops

@@ -19,6 +19,8 @@ Families
 * :func:`bursty` — regime-switching walks (calm/violent periods),
 * :func:`adversarial_rotation`, :func:`crossing_pair`,
   :func:`churn_below_boundary` — structured worst cases used by E6/E8,
+* :func:`boundary_flutter`, :func:`flash_crowd` — fault-sensitivity
+  families used by E10 (razor-thin boundary / reset storms),
 * :func:`replay` — wrap an existing matrix,
 * :func:`staircase` — deterministic separated levels (unit-test anchor).
 """
@@ -29,8 +31,10 @@ from repro.streams.walks import bursty, drifting_staircase, random_walk
 from repro.streams.sensor import sensor_field
 from repro.streams.adversarial import (
     adversarial_rotation,
+    boundary_flutter,
     churn_below_boundary,
     crossing_pair,
+    flash_crowd,
 )
 from repro.streams.replay import replay, staircase
 from repro.streams.mixtures import concat, offset, stitch
@@ -53,8 +57,10 @@ __all__ = [
     "drifting_staircase",
     "sensor_field",
     "adversarial_rotation",
+    "boundary_flutter",
     "crossing_pair",
     "churn_below_boundary",
+    "flash_crowd",
     "replay",
     "concat",
     "offset",

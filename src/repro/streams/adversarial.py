@@ -16,6 +16,19 @@ Three families used by experiments E6 and E8:
   changes, OPT pays nothing after initialization, and any full
   dominance-tracking algorithm (Lam et al.) pays per step.  Used by E8 to
   demonstrate why dominance tracking is not competitive for this problem.
+
+Two further families exist for the fault experiments (E10): workloads
+whose *correctness* is maximally sensitive to lost or lying messages:
+
+* :class:`BoundaryFlutter` — a band of nodes oscillates right at the
+  k/k+1 boundary with interleaved periods, so the rank-k identity changes
+  constantly by a tiny margin.  A single dropped reply or in-filter lie
+  flips the reported set; clean runs stay correct by construction.
+* :class:`FlashCrowd` — a quiet, well-separated field where every
+  ``period`` steps a rotating group of bottom nodes surges above the
+  entire top-k for ``dwell`` steps.  Each surge forces a filter reset;
+  faults injected *during* a reset (the protocol's most message-dense
+  window) are what this family stresses.
 """
 
 from __future__ import annotations
@@ -31,9 +44,13 @@ __all__ = [
     "AdversarialRotation",
     "CrossingPair",
     "ChurnBelowBoundary",
+    "BoundaryFlutter",
+    "FlashCrowd",
     "adversarial_rotation",
     "crossing_pair",
     "churn_below_boundary",
+    "boundary_flutter",
+    "flash_crowd",
 ]
 
 
@@ -152,6 +169,107 @@ class ChurnBelowBoundary(StreamSpec):
         return values
 
 
+@dataclass(frozen=True)
+class BoundaryFlutter(StreamSpec):
+    """A band of nodes flutters right at the k/k+1 boundary.
+
+    ``k - 1`` nodes hold fixed levels far above, ``n - k - band + ...``
+    nodes far below; a ``band`` of nodes in between oscillates around
+    ``base`` as square waves of amplitude ``amplitude`` with interleaved
+    periods (node ``j`` flips every ``2 + j`` steps), so *which* band node
+    currently holds rank ``k`` changes constantly by a margin of at most
+    ``2·amplitude``.  The reported top-k is razor-thin: one lost reply or
+    in-filter lie during a reset sweep flips it — the E10 sensitivity
+    workload.
+    """
+
+    k: int = 2
+    band: int = 3
+    amplitude: int = 8
+    base: int = 1_000_000
+    separation: int = 1_000
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 1 <= self.k < self.n:
+            raise WorkloadError(f"k must be in [1, n-1], got {self.k}")
+        if self.band < 2:
+            raise WorkloadError(f"band must be >= 2, got {self.band}")
+        if self.n < self.k - 1 + self.band + 1:
+            raise WorkloadError(
+                f"BoundaryFlutter needs n >= k-1 + band + 1, got n={self.n}, k={self.k}, band={self.band}"
+            )
+        if self.amplitude < 1:
+            raise WorkloadError(f"amplitude must be >= 1, got {self.amplitude}")
+        if self.separation <= 2 * self.amplitude:
+            raise WorkloadError("separation must exceed the full flutter band (2*amplitude)")
+
+    def _build(self) -> np.ndarray:
+        T, n = self.shape
+        k, band = self.k, self.band
+        values = np.empty((T, n), dtype=np.int64)
+        high = self.base + self.separation * (2 + np.arange(k - 1, dtype=np.int64))
+        n_low = n - (k - 1) - band
+        low = self.base - self.separation * (2 + np.arange(n_low, dtype=np.int64))
+        values[:, : k - 1] = high[None, :]
+        values[:, k - 1 + band :] = low[None, :]
+        t = np.arange(T, dtype=np.int64)
+        for j in range(band):
+            # Square wave: period 2*(2+j), offset j so the flips interleave.
+            sign = np.where(((t + j) // (2 + j)) % 2 == 0, 1, -1)
+            # Tiny per-node bias keeps values distinct (no rank ties).
+            values[:, k - 1 + j] = self.base + sign * self.amplitude + j
+        return values
+
+
+@dataclass(frozen=True)
+class FlashCrowd(StreamSpec):
+    """Quiet field punctuated by rotating surges into the top-k.
+
+    Between surges every node holds a fixed, well-separated level.  Every
+    ``period`` steps a group of ``crowd`` bottom nodes (rotating through
+    the bottom population) jumps above the entire standing top-k for
+    ``dwell`` steps, then falls back.  Each surge boundary forces a filter
+    reset — the protocol's most message-dense window — so this family
+    maximizes the traffic exposed to drops, delays and crashes (E10).
+    """
+
+    k: int = 2
+    period: int = 20
+    dwell: int = 5
+    crowd: int = 2
+    base: int = 1_000_000
+    separation: int = 1_000
+    surge: int = 100_000
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 1 <= self.k < self.n:
+            raise WorkloadError(f"k must be in [1, n-1], got {self.k}")
+        if self.period < 2 or not 1 <= self.dwell < self.period:
+            raise WorkloadError("need period >= 2 and 1 <= dwell < period")
+        if not 1 <= self.crowd <= self.n - self.k:
+            raise WorkloadError(f"crowd must be in [1, n-k], got {self.crowd}")
+        if self.surge <= self.separation * self.n:
+            raise WorkloadError("surge must clear the entire standing field")
+
+    def _build(self) -> np.ndarray:
+        T, n = self.shape
+        k = self.k
+        levels = self.base + self.separation * (n - np.arange(n, dtype=np.int64))
+        values = np.tile(levels, (T, 1))
+        n_bottom = n - k
+        for t in range(T):
+            epoch, phase = divmod(t, self.period)
+            if phase >= self.dwell:
+                continue
+            # Rotate which bottom nodes surge; distinct offsets avoid ties.
+            for j in range(self.crowd):
+                node = k + (epoch * self.crowd + j) % n_bottom
+                values[t, node] = self.base + self.surge + self.separation * j
+        return values
+
+
 def adversarial_rotation(
     n: int, steps: int, *, period: int = 1, gap: int = 100, base: int = 1_000_000, seed: int = 0
 ) -> AdversarialRotation:
@@ -189,4 +307,42 @@ def churn_below_boundary(
     """Below-boundary churn workload spec (E8's separator)."""
     return ChurnBelowBoundary(
         n=n, steps=steps, seed=seed, k=k, base=base, boundary_gap=boundary_gap, churn_gap=churn_gap
+    )
+
+
+def boundary_flutter(
+    n: int,
+    steps: int,
+    *,
+    k: int = 2,
+    band: int = 3,
+    amplitude: int = 8,
+    base: int = 1_000_000,
+    separation: int = 1_000,
+    seed: int = 0,
+) -> BoundaryFlutter:
+    """Razor-thin boundary workload spec (E10's sensitivity family)."""
+    return BoundaryFlutter(
+        n=n, steps=steps, seed=seed, k=k, band=band, amplitude=amplitude,
+        base=base, separation=separation,
+    )
+
+
+def flash_crowd(
+    n: int,
+    steps: int,
+    *,
+    k: int = 2,
+    period: int = 20,
+    dwell: int = 5,
+    crowd: int = 2,
+    base: int = 1_000_000,
+    separation: int = 1_000,
+    surge: int = 100_000,
+    seed: int = 0,
+) -> FlashCrowd:
+    """Reset-storm workload spec (E10's message-density family)."""
+    return FlashCrowd(
+        n=n, steps=steps, seed=seed, k=k, period=period, dwell=dwell, crowd=crowd,
+        base=base, separation=separation, surge=surge,
     )

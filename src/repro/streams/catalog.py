@@ -10,7 +10,13 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import WorkloadError
-from repro.streams.adversarial import adversarial_rotation, churn_below_boundary, crossing_pair
+from repro.streams.adversarial import (
+    adversarial_rotation,
+    boundary_flutter,
+    churn_below_boundary,
+    crossing_pair,
+    flash_crowd,
+)
 from repro.streams.base import StreamSpec
 from repro.streams.iid import iid_lognormal, iid_uniform, iid_zipf
 from repro.streams.replay import staircase
@@ -43,6 +49,8 @@ WORKLOAD_DESCRIPTIONS: dict[str, str] = {
     "adversarial_rotation": "rank rotation forcing top-k changes on schedule",
     "crossing_pair": "one boundary pair swaps per period (pinned OPT epochs)",
     "churn_below_boundary": "top-k frozen, bottom side permutes violently",
+    "boundary_flutter": "a band flutters at the k/k+1 boundary: one lost message flips the set",
+    "flash_crowd": "quiet field with rotating surges into the top-k: reset storms",
 }
 
 WORKLOADS: dict[str, WorkloadFactory] = {
@@ -65,6 +73,9 @@ WORKLOADS: dict[str, WorkloadFactory] = {
     "adversarial_rotation": lambda n, steps, seed=0, **kw: adversarial_rotation(n, steps, seed=seed, **kw),
     "crossing_pair": lambda n, steps, seed=0, **kw: crossing_pair(n, steps, seed=seed, **kw),
     "churn_below_boundary": lambda n, steps, seed=0, **kw: churn_below_boundary(n, steps, seed=seed, **kw),
+    # fault-sensitivity regimes (E10)
+    "boundary_flutter": lambda n, steps, seed=0, **kw: boundary_flutter(n, steps, seed=seed, **kw),
+    "flash_crowd": lambda n, steps, seed=0, **kw: flash_crowd(n, steps, seed=seed, **kw),
 }
 
 

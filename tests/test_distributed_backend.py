@@ -263,6 +263,24 @@ class TestSweepJournal:
         assert reloaded.completed == {0: 1.0, 1: 2.0}
         reloaded.close()
 
+    @pytest.mark.parametrize("trailer", ['{"job": 1}', "42", '{"job": "x", "sample": 2.0}'])
+    def test_torn_but_valid_json_trailer_dropped(self, tmp_path, trailer):
+        """A torn line is not always invalid JSON — wrong-shape records
+        (missing keys, bare values, mistyped fields) get the same
+        drop-the-trailer treatment as a syntax error."""
+        path = tmp_path / "j.jsonl"
+        with SweepJournal.create(path, self.FP) as journal:
+            journal.record(0, 1.0)
+        with open(path, "a") as fh:
+            fh.write(trailer + "\n")
+        resumed = SweepJournal.resume(path, self.FP)
+        assert resumed.completed == {0: 1.0}
+        resumed.record(1, 2.0)
+        resumed.close()
+        reloaded = SweepJournal.resume(path, self.FP)
+        assert reloaded.completed == {0: 1.0, 1: 2.0}
+        reloaded.close()
+
 
 class TestRunSweepCheckpointing:
     def test_existing_checkpoint_needs_resume(self, tmp_path):

@@ -1,0 +1,225 @@
+"""Service layer under hostile conditions: garbage frames, dead servers,
+severed connections, mid-stream restarts.
+
+Three guarantees under test:
+
+* a misbehaving *connection* (malformed, non-UTF-8, oversized, or slow
+  frames; an op handler that throws) damages only that connection — the
+  server answers a structured error and keeps serving everyone else;
+* a client facing a dead or flaky server fails *typed* and within its
+  retry budget (:class:`~repro.errors.ServiceConnectError`), while
+  idempotent ops ride transparent reconnects;
+* a feed interrupted by connection loss or a ``--checkpoint-dir`` server
+  restart resumes exactly once — the final trajectory stays bit-identical
+  to the offline monitor.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.monitor import TopKMonitor
+from repro.errors import ServiceConnectError, ServiceError
+from repro.service import ServiceClient, SessionManager, start_server
+from repro.service.client import RetryPolicy
+from repro.streams import get_workload
+
+N, K, STEPS = 6, 2, 40
+
+
+def _values(seed: int = 11) -> np.ndarray:
+    return get_workload("random_walk", N, STEPS, seed=seed).generate()
+
+
+def _raw_exchange(address, frames):
+    """Send raw wire frames on one connection; returns the parsed replies
+    (None where the server closed instead of answering)."""
+    with socket.create_connection(tuple(address), timeout=10) as sock:
+        fh = sock.makefile("rwb")
+        replies = []
+        for frame in frames:
+            data = frame if isinstance(frame, bytes) else (json.dumps(frame) + "\n").encode()
+            try:
+                fh.write(data)
+                fh.flush()
+                line = fh.readline()
+            except OSError:
+                replies.append(None)
+                break
+            replies.append(json.loads(line) if line else None)
+        return replies
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestGarbageFrames:
+    def test_malformed_frames_answer_structured_errors(self):
+        with start_server() as server:
+            non_utf8 = b"\xff\xfe\x00garbage\n"
+            broken_json = b'{"op": "ping", \n'
+            non_object = '"not an object"'
+            replies = _raw_exchange(
+                server.address, [non_utf8, broken_json, non_object, {"op": "ping"}]
+            )
+            assert replies[0]["code"] == "bad_json"
+            assert replies[1]["code"] == "bad_json"
+            assert replies[2]["code"] == "bad_request"
+            # The same connection shrugs it all off.
+            assert replies[3]["ok"] is True
+
+    def test_oversized_frame_kills_only_that_connection(self):
+        with start_server() as server:
+            huge = b'{"op": "ping", "pad": "' + b"x" * (2 << 20) + b'"}\n'
+            [reply] = _raw_exchange(server.address, [huge])
+            assert reply is None or (reply["ok"] is False and reply["code"] == "bad_request")
+            # The listener survives: a fresh client is served normally.
+            with ServiceClient(server.address) as client:
+                assert client.ping()
+
+    def test_slow_partial_frame_is_just_a_slow_frame(self):
+        with start_server() as server:
+            with socket.create_connection(tuple(server.address), timeout=10) as sock:
+                sock.sendall(b'{"op": "pi')
+                time.sleep(0.2)
+                sock.sendall(b'ng"}\n')
+                reply = json.loads(sock.makefile("rb").readline())
+            assert reply["ok"] is True
+
+    def test_handler_bug_fails_the_request_not_the_server(self, capfd):
+        """An exception escaping an op handler answers code="internal"."""
+
+        class BrokenManager(SessionManager):
+            def metrics_snapshot(self):
+                raise RuntimeError("wired to fail")
+
+        with start_server(manager=BrokenManager()) as server:
+            replies = _raw_exchange(
+                server.address,
+                [{"op": "metrics", "id": "m1"}, {"op": "ping"}],
+            )
+            assert replies[0]["ok"] is False
+            assert replies[0]["code"] == "internal"
+            assert "RuntimeError" in replies[0]["error"]
+            assert replies[0]["id"] == "m1"  # correlation id still echoed
+            assert replies[1]["ok"] is True  # same connection still lives
+            with ServiceClient(server.address) as client:
+                with pytest.raises(ServiceError, match="internal error"):
+                    client.metrics()
+                assert client.ping()
+        capfd.readouterr()  # swallow the server-side traceback print
+
+
+class TestConnectRetry:
+    def test_dead_server_raises_typed_error_within_budget(self):
+        port = _free_port()
+        policy = RetryPolicy(attempts=3, connect_timeout=0.5, backoff=0.05, jitter=0.0)
+        start = time.monotonic()
+        with pytest.raises(ServiceConnectError) as excinfo:
+            repro.connect(("127.0.0.1", port), retry=policy)
+        elapsed = time.monotonic() - start
+        err = excinfo.value
+        assert (err.host, err.port, err.attempts) == ("127.0.0.1", port, 3)
+        assert isinstance(err.last_error, OSError)
+        # Two backoff sleeps happened: 0.05 + 0.10 (refused connects are
+        # near-instant, so the floor is the sleeps alone).
+        assert elapsed >= 0.14
+        assert elapsed < 10.0
+
+    def test_single_attempt_fails_fast(self):
+        port = _free_port()
+        start = time.monotonic()
+        with pytest.raises(ServiceConnectError) as excinfo:
+            ServiceClient(("127.0.0.1", port), retry=RetryPolicy(attempts=1))
+        assert excinfo.value.attempts == 1
+        assert time.monotonic() - start < 2.0
+
+    def test_policy_validation(self):
+        with pytest.raises(ServiceError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ServiceError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ServiceError):
+            RetryPolicy(connect_timeout=0)
+
+    def test_idempotent_ops_ride_reconnects(self):
+        with start_server() as server:
+            with ServiceClient(server.address) as client:
+                assert client.ping()
+                client.drop_connection()
+                assert client.ping()  # transparently reconnected
+                client.drop_connection()
+                assert client.session_ids() == []
+
+    def test_mutating_ops_fail_on_first_loss(self):
+        """create/close must not be blindly resent (double-apply risk)."""
+        with start_server() as server:
+            with ServiceClient(server.address) as client:
+                client.drop_connection()
+                with pytest.raises(ServiceError, match="severed"):
+                    client.request("create", n=4, k=2, seed=0)
+                client.reconnect()
+                assert client.ping()
+
+
+class TestFeedResume:
+    def test_feed_resumes_across_connection_loss_bit_identically(self):
+        values = _values()
+        offline = TopKMonitor(n=N, k=K, seed=3).run(values)
+        with start_server() as server:
+            with ServiceClient(server.address) as client:
+                session = client.create_session(n=N, k=K, seed=3)
+                for t, row in enumerate(values):
+                    if t in (7, 23):  # sever mid-stream, twice
+                        client.drop_connection()
+                    session.feed(row)
+                final = session.query(wait=True)
+        assert final["topk"] == sorted(offline.topk_history[-1].tolist())
+        assert final["messages"] == offline.total_messages
+        assert final["time"] == STEPS - 1
+
+    def test_batch_feed_resumes_across_loss(self):
+        values = _values(seed=12)
+        offline = TopKMonitor(n=N, k=K, seed=5).run(values)
+        with start_server() as server:
+            with ServiceClient(server.address) as client:
+                session = client.create_session(n=N, k=K, seed=5)
+                session.feed_rows(values[: STEPS // 2])
+                client.drop_connection()
+                session.feed_rows(values[STEPS // 2 :])
+                final = session.query(wait=True)
+        assert final["topk"] == sorted(offline.topk_history[-1].tolist())
+        assert final["messages"] == offline.total_messages
+
+    def test_server_restart_with_checkpoint_dir_is_transparent(self, tmp_path):
+        """Kill the server mid-stream; a twin on the same port restored
+        from the checkpoint dir finishes the stream bit-identically."""
+        values = _values(seed=13)
+        offline = TopKMonitor(n=N, k=K, seed=7).run(values)
+        retry = RetryPolicy(attempts=10, connect_timeout=2.0, backoff=0.05)
+        server = start_server(checkpoint_dir=tmp_path)
+        try:
+            host, port = server.address
+            with ServiceClient((host, port), retry=retry) as client:
+                session = client.create_session(n=N, k=K, seed=7)
+                session.feed_rows(values[: STEPS // 2])
+                client.checkpoint()  # durability barrier before the kill
+                server.close()
+                server = start_server(host=host, port=port, checkpoint_dir=tmp_path)
+                session.feed_rows(values[STEPS // 2 :])
+                final = session.query(wait=True)
+                assert client.session_ids() == [session.id]
+        finally:
+            server.close()
+        assert final["topk"] == sorted(offline.topk_history[-1].tolist())
+        assert final["messages"] == offline.total_messages
+        assert final["time"] == STEPS - 1

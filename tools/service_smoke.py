@@ -18,15 +18,28 @@ deployment would:
 5. shut the server down via the wire ``shutdown`` op and assert a clean
    exit code.
 
+``--fault-profile NAME`` (the CI chaos-smoke job) runs a hostile variant
+instead: a durable server is garbage-framed (non-UTF-8 bytes, broken
+JSON, an oversized line), client connections are dropped mid-stream on a
+seeded schedule derived from the named
+:func:`repro.faults.fault_profile`, and the server is SIGKILLed once
+mid-stream and restarted on the same port.  The clients ride their
+retry/resume path through all of it, and the run asserts **zero session
+loss**: every session survives with its final top-k and message count
+bit-identical to an uninterrupted offline run.
+
 Usage::
 
     PYTHONPATH=src python tools/service_smoke.py [--sessions 100] [--rows 40]
+    PYTHONPATH=src python tools/service_smoke.py --fault-profile lossy
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import socket
 import subprocess
 import sys
 import tempfile
@@ -38,16 +51,18 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.monitor import TopKMonitor  # noqa: E402
 from repro.errors import ServiceError  # noqa: E402
+from repro.faults import FAULT_PROFILES, fault_profile  # noqa: E402
 from repro.service import ServiceClient  # noqa: E402
+from repro.service.client import RetryPolicy  # noqa: E402
 from repro.streams import get_workload, list_workloads  # noqa: E402
 
 ENV = {**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)}
 
 
-def spawn_server(*extra: str) -> tuple[subprocess.Popen, str]:
-    """Start a service subprocess on an ephemeral port; returns its address."""
+def spawn_server(*extra: str, bind: str = "127.0.0.1:0") -> tuple[subprocess.Popen, str]:
+    """Start a service subprocess (ephemeral port by default); returns its address."""
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.service", "--serve", "127.0.0.1:0",
+        [sys.executable, "-m", "repro.service", "--serve", bind,
          "--batch-linger", "0.02", *extra],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
@@ -176,13 +191,153 @@ def checkpoint_restore_phase(sessions: int, rows: int, n: int, k: int, seed0: in
                 proc.kill()
 
 
+def garbage_frames(address: str) -> None:
+    """Throw slow/partial/garbage/oversized frames at the server raw.
+
+    Every frame must earn a structured error reply (or, for the oversized
+    one, at worst a reply followed by *that connection* closing) — and the
+    server must answer a healthy client afterwards.
+    """
+    host, _, port = address.rpartition(":")
+    with socket.create_connection((host, int(port)), timeout=30) as raw:
+        f = raw.makefile("rwb")
+        # Non-UTF-8 garbage: must answer bad_json, not kill the reader task.
+        f.write(b"\xff\xfe\x00garbage\xff\n")
+        f.flush()
+        reply = json.loads(f.readline())
+        assert not reply["ok"] and reply["code"] == "bad_json", reply
+        # Broken JSON on the same (still healthy) connection.
+        f.write(b"{this is not json\n")
+        f.flush()
+        reply = json.loads(f.readline())
+        assert not reply["ok"] and reply["code"] == "bad_json", reply
+        # Valid JSON, wrong shape.
+        f.write(b'"not an object"\n')
+        f.flush()
+        reply = json.loads(f.readline())
+        assert not reply["ok"] and reply["code"] == "bad_request", reply
+        # A slow partial frame: a fragment, a pause, then the rest.
+        f.write(b'{"op": "pi')
+        f.flush()
+        time.sleep(0.2)
+        f.write(b'ng"}\n')
+        f.flush()
+        reply = json.loads(f.readline())
+        assert reply["ok"], reply
+        # Oversized frame (> the 1 MiB line limit): error reply, then the
+        # server may close only this connection.
+        try:
+            f.write(b"[" + b"1," * (1 << 20) + b"1]\n")
+            f.flush()
+            line = f.readline()
+            if line:
+                reply = json.loads(line)
+                assert not reply["ok"], reply
+        except OSError:
+            pass  # the server closed this connection mid-write: acceptable
+    # The server itself must have survived all of it.
+    with ServiceClient(address, timeout=30) as probe:
+        if not probe.ping():
+            raise SystemExit("server unhealthy after garbage frames")
+    print("garbage frames: structured errors, connection-local damage only")
+
+
+def fault_phase(profile: str, sessions: int, rows: int, n: int, k: int, seed0: int) -> None:
+    """The chaos smoke: drops + garbage + one mid-stream worker kill.
+
+    Connection drops follow a seeded schedule derived from the named fault
+    profile's plan, so two runs inject identical chaos.  Success = zero
+    session loss and bit-identical final answers.
+    """
+    plan = fault_profile(profile, n=n, steps=rows)
+    rng = plan.rng()
+    drop_p = max(plan.uplink.drop, 0.10)  # even 'clean' drops some links here
+    catalog = list_workloads()
+    kill_at = rows // 2
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as ckpt_dir:
+        proc, address = spawn_server("--checkpoint-dir", ckpt_dir)
+        port = address.rpartition(":")[2]
+        retry = RetryPolicy(attempts=10, connect_timeout=5.0, backoff=0.2, backoff_max=2.0)
+        client = ServiceClient(address, timeout=120, retry=retry)
+        try:
+            garbage_frames(address)
+            cases = []
+            for i in range(sessions):
+                name = catalog[i % len(catalog)]
+                values = get_workload(name, n, rows, seed=2000 + i).generate()
+                handle = client.create_session(n=n, k=k, seed=seed0 + i)
+                cases.append((handle, name, values))
+            created = {handle.id for handle, _, _ in cases}
+            drops = kills = 0
+            for t in range(rows):
+                if t == kill_at:
+                    client.checkpoint()  # durability barrier, then murder
+                    proc.kill()
+                    proc.wait(timeout=30)
+                    proc, address = spawn_server(
+                        "--checkpoint-dir", ckpt_dir, bind=f"127.0.0.1:{port}"
+                    )
+                    kills += 1
+                elif rng.random() < drop_p:
+                    client.drop_connection()  # next op rides retry/resume
+                    drops += 1
+                for handle, _, values in cases:
+                    handle.feed(values[t])
+            # Zero session loss: every created session is still live.
+            survivors = set(client.session_ids())
+            if survivors != created:
+                raise SystemExit(
+                    f"session loss: {len(created - survivors)} of {len(created)} "
+                    f"sessions gone after the chaos run"
+                )
+            mismatches = 0
+            for i, (handle, name, values) in enumerate(cases):
+                state = handle.query(wait=True)
+                offline = TopKMonitor(n=n, k=k, seed=seed0 + i).run(values)
+                ok = (
+                    state["topk"] == offline.topk_history[-1].tolist()
+                    and state["messages"] == offline.total_messages
+                )
+                if not ok:
+                    mismatches += 1
+                    print(f"MISMATCH chaos session {handle.id} ({name}): {state} vs "
+                          f"{offline.topk_history[-1].tolist()}/{offline.total_messages}")
+            if mismatches:
+                raise SystemExit(f"{mismatches} sessions diverged under profile {profile!r}")
+            print(
+                f"chaos profile {profile!r}: {sessions} sessions x {rows} rows survived "
+                f"{drops} connection drops + {kills} worker kill(s): "
+                f"zero session loss, all bit-identical"
+            )
+            client.shutdown()
+            code = proc.wait(timeout=30)
+            if code != 0:
+                raise SystemExit(f"server exited {code} after chaos shutdown")
+        finally:
+            client.close()
+            if proc.poll() is None:
+                proc.kill()
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sessions", type=int, default=100, help="concurrent sessions")
     parser.add_argument("--rows", type=int, default=40, help="rows per session")
     parser.add_argument("--n", type=int, default=8, help="nodes per session")
     parser.add_argument("--k", type=int, default=2, help="top-k size")
+    parser.add_argument(
+        "--fault-profile", choices=FAULT_PROFILES, default=None,
+        help="run the chaos smoke under this fault profile instead of the standard phases",
+    )
     args = parser.parse_args()
+
+    if args.fault_profile is not None:
+        fault_phase(
+            args.fault_profile, max(2, args.sessions // 10), args.rows,
+            args.n, args.k, seed0=1700,
+        )
+        print("service chaos smoke OK")
+        return 0
 
     # --- phase 1+2: full service drive ----------------------------------
     proc, address = spawn_server()
