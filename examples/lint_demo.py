@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""reprolint demo: what the invariant linter catches, on a seeded-bad file.
+
+Feeds `check_source` a module that commits the two cardinal sins of this
+codebase — re-implementing the kernel's doubled-value quietness comparison
+(R1) and drawing wall-clock/unseeded randomness inside the engine tree
+(R2) — and prints the findings exactly as `python -m repro.lint` would.
+Then it shows the same file written correctly, which lints clean.
+
+Usage::
+
+    python examples/lint_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.lint import check_source
+
+# A plausible-looking "optimized helper" someone might add to the engine
+# tree.  Every numbered line below is a real project-invariant violation;
+# the linter's job is that none of them survives review.
+BAD_MODULE = '''\
+import random
+import time
+
+import numpy as np
+
+
+def is_quiet(row, m2, sides):
+    doubled = 2 * row                       # R1: kernel logic, re-implemented
+    return not ((sides & (doubled < m2)) | (~sides & (doubled > m2))).any()
+
+
+def jittered_poll_interval():
+    base = time.time() % 1.0                # R2: wall clock in the engine tree
+    return base + random.random() * 0.01    # R2: module-level random draw
+
+
+def shuffled_ids(n):
+    rng = np.random.default_rng()           # R2: unseeded generator
+    return rng.permutation(n)
+'''
+
+# The same intent, written against the project's actual seams: quietness
+# goes through the kernel, randomness flows from an explicit seed.
+GOOD_MODULE = '''\
+from repro.engine.kernel import FilterState
+from repro.util.seeding import derive_rng
+
+
+def is_quiet(filter_state: FilterState, row) -> bool:
+    return not filter_state.violates(row).any()
+
+
+def shuffled_ids(n, seed):
+    return derive_rng(seed, 0).permutation(n)
+'''
+
+
+def main() -> int:
+    # `relpath` is where the module *would live*; rules scope on it.
+    relpath = "repro/engine/hot_helpers.py"
+
+    print(f"linting the bad module as {relpath}:\n")
+    findings = check_source(BAD_MODULE, relpath)
+    for f in findings:
+        print(f"  {f.render()}")
+    rules_hit = sorted({f.rule for f in findings})
+    print(f"\n{len(findings)} findings ({', '.join(rules_hit)})")
+    assert "R1" in rules_hit and "R2" in rules_hit, "demo must trip R1 and R2"
+
+    print("\nlinting the corrected module:\n")
+    clean = check_source(GOOD_MODULE, relpath)
+    assert not clean, clean
+    print("  0 findings — kernel calls and seeded RNG pass every rule")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
 
 from repro import MonitorConfig, TopKMonitor
 from repro.baselines import NaiveMonitor, naive_message_count

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
 
 from repro import MonitorConfig, OnlineSession
 from repro.baselines import BabcockOlstonMonitor, PeriodicRecomputeMonitor, naive_message_count

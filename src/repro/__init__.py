@@ -72,11 +72,12 @@ from repro.errors import (
     ExperimentError,
     InvariantViolation,
     ProtocolError,
+    RegistryError,
     ReproError,
     WorkloadError,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "run",
@@ -107,6 +108,7 @@ __all__ = [
     "restore_session",
     "ReproError",
     "ConfigurationError",
+    "RegistryError",
     "WorkloadError",
     "ProtocolError",
     "InvariantViolation",

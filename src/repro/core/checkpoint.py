@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from repro.core.monitor import MonitorConfig, OnlineSession
 from repro.engine.kernel import FilterState
 from repro.errors import ConfigurationError
@@ -43,8 +45,6 @@ __all__ = [
     "decode_rng_state",
     "SCHEMA_VERSION",
 ]
-
-import numpy as np
 
 SCHEMA_VERSION = 2
 

@@ -29,7 +29,6 @@ import numpy as np
 
 from repro.distributed.coordinator import CoordinatorAgent, ProtocolBook
 from repro.distributed.node import NodeAgent
-from repro.errors import ConfigurationError
 from repro.model.ledger import MessageLedger
 from repro.model.message import MessageKind, Phase
 from repro.types import Side

@@ -40,7 +40,7 @@ import importlib
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RegistryError
 
 __all__ = [
     "CAP_TRAJECTORY",
@@ -175,18 +175,38 @@ def register_engine(
     ------
     ConfigurationError
         If ``name`` is already registered.
+    RegistryError
+        If a declared capability is not backed by its seam: ``streaming``
+        without a ``session_factory``, or ``checkpoint`` without the full
+        ``session_snapshot``/``session_restore`` codec.  (The static
+        linter's R3 rule checks the same contract — and its converse —
+        at review time; this is the runtime backstop for engines
+        registered from outside the repo.)
     """
     if name in ENGINES:
         raise ConfigurationError(f"engine {name!r} is already registered")
+    caps = frozenset(capabilities)
     if (session_snapshot is None) != (session_restore is None):
-        raise ConfigurationError(
+        raise RegistryError(
             f"engine {name!r} must register session_snapshot and session_restore "
             f"together (a one-sided checkpoint codec cannot round-trip)"
+        )
+    if CAP_STREAMING in caps and session_factory is None:
+        raise RegistryError(
+            f"engine {name!r} declares the {CAP_STREAMING!r} capability but registers "
+            f"no session_factory; the streaming service would accept sessions it "
+            f"cannot host — register a factory or drop the capability"
+        )
+    if CAP_CHECKPOINT in caps and (session_snapshot is None or session_restore is None):
+        raise RegistryError(
+            f"engine {name!r} declares the {CAP_CHECKPOINT!r} capability but registers "
+            f"no session_snapshot/session_restore codec; checkpoints of its sessions "
+            f"could never be taken — register the codec pair or drop the capability"
         )
     info = EngineInfo(
         name=name,
         description=description,
-        capabilities=frozenset(capabilities),
+        capabilities=caps,
         runner=runner,
         session_factory=session_factory,
         session_snapshot=session_snapshot,

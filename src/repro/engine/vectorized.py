@@ -129,15 +129,20 @@ class IncrementalKernel:
         self.counts = {p: 0 for p in _PHASES}
         self.resets = 0
         self.handler_calls = 0
-        self.reset_times: list[int] = []
-        self.handler_times: list[int] = []
-        self._ids = np.arange(self.n, dtype=np.int64)
-        self.trivial = self.k == self.n
+        # Diagnostics, deliberately not in the checkpoint codec: restored
+        # kernels always run track_times=False (streaming sessions), so the
+        # violation-time lists would be empty either way.
+        self.reset_times: list[int] = []  # reprolint: disable=R5
+        self.handler_times: list[int] = []  # reprolint: disable=R5
+        # Derived from n / k — rebuilt by __init__ on restore.
+        self._ids = np.arange(self.n, dtype=np.int64)  # reprolint: disable=R5
+        self.trivial = self.k == self.n  # reprolint: disable=R5
         #: The shared filter state (partition + doubled bound + extremes);
         #: read by batch schedulers and the lookahead scan.
         self.filter = FilterState.blank(self.n, all_top=self.trivial)
         self._t = -1
-        self._start_charge = 1 if protocol.charge_start_broadcast else 0
+        # Persisted under the renamed key config.charge_start_broadcast.
+        self._start_charge = 1 if protocol.charge_start_broadcast else 0  # reprolint: disable=R5
 
     # ------------------------------------------------------------------ API
 

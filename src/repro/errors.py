@@ -11,6 +11,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "RegistryError",
     "WorkloadError",
     "ProtocolError",
     "InvariantViolation",
@@ -30,6 +31,20 @@ class ConfigurationError(ReproError, ValueError):
 
     Derives from :class:`ValueError` so generic callers that validate
     arguments with ``except ValueError`` keep working.
+    """
+
+
+class RegistryError(ConfigurationError):
+    """Raised when an engine registration breaks a capability contract.
+
+    A capability flag is a promise the service acts on: ``streaming``
+    promises a ``session_factory``, ``checkpoint`` promises a complete
+    ``session_snapshot``/``session_restore`` codec.  Registration is the
+    one moment the promise can be checked next to the code that made it,
+    so a broken contract fails here rather than deep inside the service.
+
+    Derives from :class:`ConfigurationError` (hence :class:`ValueError`)
+    so existing ``except ConfigurationError`` callers keep working.
     """
 
 

@@ -15,7 +15,6 @@ the shape, not a proof.)
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.bounds import ordered_conjecture_bound
 from repro.baselines.offline_opt import opt_result

@@ -1,0 +1,118 @@
+"""Grandfathered-findings baseline for reprolint.
+
+A baseline entry acknowledges a *genuinely intentional* violation so the
+linter can stay at zero findings without weakening a rule for everyone.
+Each entry must say why (``"why"``), matches on ``(rule, path)`` plus an
+optional ``"contains"`` substring of the message, and consumes at most
+``"count"`` findings (default 1) — so a *new* violation in an already
+baselined file still fails the build.
+
+File format (JSON, committed at the repo root as
+``.reprolint-baseline.json``)::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "R1",
+          "path": "repro/baselines/babcock_olston.py",
+          "contains": "doubled",
+          "count": 2,
+          "why": "Babcock-Olston's own border check, not the kernel's"
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.lint.findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "load_baseline", "BASELINE_NAME"]
+
+BASELINE_NAME = ".reprolint-baseline.json"
+
+
+@dataclass
+class BaselineEntry:
+    """One grandfathered finding pattern (see module docstring)."""
+
+    rule: str
+    path: str
+    why: str
+    contains: str = ""
+    count: int = 1
+    matched: int = field(default=0, compare=False)
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule == self.rule
+            and finding.path == self.path
+            and (not self.contains or self.contains in finding.message)
+        )
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline: entries plus where they came from."""
+
+    entries: list[BaselineEntry]
+    path: Path | None = None
+
+    def filter(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Split ``findings`` into ``(kept, grandfathered)``.
+
+        Each entry absorbs at most ``entry.count`` matching findings; the
+        rest stay live.  Call :meth:`stale_entries` afterwards to see
+        entries that matched nothing (the violation was fixed — the entry
+        should be deleted).
+        """
+        kept: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            entry = next(
+                (e for e in self.entries if e.matched < e.count and e.matches(finding)), None
+            )
+            if entry is not None:
+                entry.matched += 1
+                grandfathered.append(finding)
+            else:
+                kept.append(finding)
+        return kept, grandfathered
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries that absorbed no finding in the last :meth:`filter`."""
+        return [e for e in self.entries if e.matched == 0]
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Parse a baseline file; every entry must carry a ``why``."""
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"baseline {path} is not valid JSON: {exc}") from None
+    entries: list[BaselineEntry] = []
+    for i, raw in enumerate(data.get("entries", [])):
+        missing = {"rule", "path", "why"} - set(raw)
+        if missing:
+            raise ConfigurationError(
+                f"baseline {path} entry #{i} is missing {sorted(missing)} "
+                "(every grandfathered finding must say why)"
+            )
+        if not str(raw["why"]).strip():
+            raise ConfigurationError(f"baseline {path} entry #{i} has an empty 'why'")
+        entries.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                why=str(raw["why"]),
+                contains=str(raw.get("contains", "")),
+                count=int(raw.get("count", 1)),
+            )
+        )
+    return Baseline(entries=entries, path=path)

@@ -1,0 +1,89 @@
+"""``python -m repro.lint`` — the project-invariant static-analysis pass.
+
+Exit codes: 0 clean, 1 findings (or stale baseline entries), 2 bad usage.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.lint                  # lint the package
+    PYTHONPATH=src python -m repro.lint --format json    # CI form
+    PYTHONPATH=src python -m repro.lint --select R1,R4 src/repro/service
+    PYTHONPATH=src python -m repro.lint --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.lint.baseline import load_baseline
+from repro.lint.engine import default_paths, find_baseline, run_lint
+from repro.lint.registry import list_rules
+from repro.lint.report import render_json, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text; json for CI)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids or slugs to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, metavar="FILE",
+        help="baseline file of grandfathered findings "
+        "(default: .reprolint-baseline.json found above the scanned path)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report grandfathered findings too)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for info in list_rules():
+            print(f"{info.id}  {info.slug}: {info.summary}")
+            print(f"    why: {info.rationale}")
+        return 0
+    paths = args.paths or default_paths()
+    baseline = None
+    if not args.no_baseline:
+        baseline_path = args.baseline or find_baseline(paths[0])
+        if args.baseline and not args.baseline.exists():
+            print(f"error: baseline {args.baseline} does not exist", file=sys.stderr)
+            return 2
+        if baseline_path is not None:
+            baseline = load_baseline(baseline_path)
+    try:
+        report = run_lint(paths, select=args.select.split(",") if args.select else None,
+                          baseline=baseline)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = render_json(report) if args.format == "json" else render_text(report)
+    print(out)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.lint.__main__
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Built-in reprolint rules.
+
+Each module registers exactly one rule via
+:func:`repro.lint.registry.register_rule` at import; the registry imports
+them lazily.  Importing this package loads all of them eagerly (handy in
+tests).
+"""
+
+from __future__ import annotations
+
+from repro.lint.registry import load_builtin_rules
+
+load_builtin_rules()

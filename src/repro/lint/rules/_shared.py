@@ -1,0 +1,35 @@
+"""AST helpers shared by the built-in rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = ["scope_nodes", "function_defs", "in_dirs"]
+
+
+def scope_nodes(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Yield every node in ``body`` without descending into nested
+    function scopes (class bodies *are* descended into — methods are
+    yielded as defs but their bodies are not entered)."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def function_defs(body: list[ast.stmt]) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Function definitions that open nested scopes under ``body``."""
+    return [
+        node
+        for node in scope_nodes(body)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def in_dirs(relpath: str, dirs: tuple[str, ...]) -> bool:
+    """Whether a package-relative path lives under one of ``dirs``."""
+    return relpath.startswith(dirs)

@@ -1,0 +1,47 @@
+"""R6 — deprecation-hygiene: internal code never calls the legacy shims.
+
+``run_fast`` / ``run_vectorized`` survive for external 1.x callers as
+once-warning shims around :func:`repro.run`; internal modules calling them
+would re-entrench the very entry points the unified API retired (and leak
+DeprecationWarnings into library code users cannot silence).  Re-exporting
+the names (``repro/__init__``) is fine — *calling* them is not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import ModuleContext
+from repro.lint.registry import register_rule
+
+RULE_ID = "R6"
+SLUG = "deprecation-hygiene"
+
+_SHIMS = {
+    "run_fast": 'repro.run(RunSpec(..., engine="fast"))',
+    "run_vectorized": 'repro.run(RunSpec(..., engine="vectorized"))',
+}
+
+
+def _check(ctx: ModuleContext) -> None:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        name = fn.attr if isinstance(fn, ast.Attribute) else getattr(fn, "id", None)
+        if name in _SHIMS:
+            ctx.report(
+                node, RULE_ID, SLUG,
+                f"internal call to the deprecated shim {name}(); "
+                f"use {_SHIMS[name]} instead",
+            )
+
+
+register_rule(
+    RULE_ID,
+    slug=SLUG,
+    summary="internal modules never call the run_fast/run_vectorized shims",
+    rationale="the shims exist only for external 1.x callers; internal use re-entrenches "
+    "retired entry points and emits warnings users cannot silence",
+    checker=_check,
+)

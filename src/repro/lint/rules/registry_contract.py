@@ -1,0 +1,145 @@
+"""R3 — registry-contract: declared capabilities match provided seams.
+
+``register_engine`` takes *advisory* capability flags and *load-bearing*
+seams (``session_factory``, ``session_snapshot``/``session_restore``).
+The streaming service trusts the flags: an engine that claims
+``streaming`` without registering a factory fails at first session
+creation, far from the registration that caused it.  This rule pins the
+contract at every ``register_engine(...)`` call site, in both directions:
+
+* ``streaming``  declared  ⇒ ``session_factory`` provided;
+* ``checkpoint`` declared  ⇒ both ``session_snapshot`` and
+  ``session_restore`` provided;
+* any seam provided ⇒ the matching capability declared (flags are what
+  callers and the README table see — an undeclared seam is invisible).
+
+Capability spellings are cross-checked against the ``CAP_*`` constants in
+``repro/engine/registry.py`` (parsed from source, falling back to the
+imported module), so the rule cannot drift from the registry it guards.
+Call sites whose ``capabilities`` argument is not a literal container are
+skipped — the runtime check in ``register_engine`` still covers them.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.findings import ModuleContext
+from repro.lint.registry import register_rule
+
+RULE_ID = "R3"
+SLUG = "registry-contract"
+
+# CAP_* constant name -> capability string, resolved once per process.
+_cap_constants: dict[str, str] | None = None
+
+
+def _load_cap_constants(package_root: Path | None) -> dict[str, str]:
+    global _cap_constants
+    if _cap_constants is not None:
+        return _cap_constants
+    constants: dict[str, str] = {}
+    registry_py = package_root / "engine" / "registry.py" if package_root else None
+    if registry_py is not None and registry_py.exists():
+        tree = ast.parse(registry_py.read_text())
+        for node in tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id.startswith("CAP_")
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                constants[node.targets[0].id] = node.value.value
+    if not constants:  # loose fixture files: fall back to the live module
+        from repro.engine import registry as live
+
+        constants = {
+            name: getattr(live, name)
+            for name in dir(live)
+            if name.startswith("CAP_") and isinstance(getattr(live, name), str)
+        }
+    _cap_constants = constants
+    return constants
+
+
+def _capability_literals(node: ast.expr | None, caps: dict[str, str]) -> set[str] | None:
+    """Capability strings in a literal container; ``None`` = unanalyzable."""
+    if node is None:
+        return set()
+    if not isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        return None
+    out: set[str] = set()
+    for el in node.elts:
+        if isinstance(el, ast.Constant) and isinstance(el.value, str):
+            out.add(el.value)
+        elif isinstance(el, ast.Name) and el.id in caps:
+            out.add(caps[el.id])
+        elif isinstance(el, ast.Attribute) and el.attr in caps:
+            out.add(caps[el.attr])
+        else:
+            return None
+    return out
+
+
+def _is_provided(node: ast.expr | None) -> bool:
+    """A seam keyword counts as provided unless it is literally ``None``."""
+    return node is not None and not (isinstance(node, ast.Constant) and node.value is None)
+
+
+def _check(ctx: ModuleContext) -> None:
+    if ctx.relpath.endswith("repro/engine/registry.py"):
+        return  # the definition site, not a call site
+    caps_map: dict[str, str] | None = None
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qn = ctx.qualname(node.func)
+        if qn is None or qn.split(".")[-1] != "register_engine":
+            continue
+        if caps_map is None:
+            caps_map = _load_cap_constants(ctx.package_root)
+        kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg is not None}
+        declared = _capability_literals(kwargs.get("capabilities"), caps_map)
+        if declared is None:
+            continue  # dynamic capabilities: leave it to the runtime check
+        factory = _is_provided(kwargs.get("session_factory"))
+        snapshot = _is_provided(kwargs.get("session_snapshot"))
+        restore = _is_provided(kwargs.get("session_restore"))
+        streaming = caps_map.get("CAP_STREAMING", "streaming")
+        checkpoint = caps_map.get("CAP_CHECKPOINT", "checkpoint")
+        if streaming in declared and not factory:
+            ctx.report(
+                node, RULE_ID, SLUG,
+                f"engine declares {streaming!r} but registers no session_factory; "
+                "the streaming service would fail at first session creation",
+            )
+        if factory and streaming not in declared:
+            ctx.report(
+                node, RULE_ID, SLUG,
+                f"engine registers a session_factory but does not declare {streaming!r}; "
+                "undeclared seams are invisible to callers and the README table",
+            )
+        if checkpoint in declared and not (snapshot and restore):
+            ctx.report(
+                node, RULE_ID, SLUG,
+                f"engine declares {checkpoint!r} but registers an incomplete "
+                "session_snapshot/session_restore codec",
+            )
+        if (snapshot or restore) and checkpoint not in declared:
+            ctx.report(
+                node, RULE_ID, SLUG,
+                f"engine registers a checkpoint codec but does not declare {checkpoint!r}",
+            )
+
+
+register_rule(
+    RULE_ID,
+    slug=SLUG,
+    summary="register_engine call sites declare capabilities consistent with their seams",
+    rationale="the service trusts capability flags; a streaming/checkpoint claim without "
+    "its seam fails far from the registration that caused it",
+    checker=_check,
+)

@@ -107,7 +107,8 @@ class CrossingPair(StreamSpec):
             raise WorkloadError(f"k must be in [1, n-1], got {self.k}")
         if self.period < 1 or self.delta < 1:
             raise WorkloadError("period and delta must be >= 1")
-        if 2 * self.separation <= self.delta:
+        # Geometry validation of workload parameters, not a quietness check.
+        if 2 * self.separation <= self.delta:  # reprolint: disable=R1
             raise WorkloadError("separation must exceed delta/2 to keep static nodes clear of the pair")
 
     def _build(self) -> np.ndarray:
@@ -201,7 +202,8 @@ class BoundaryFlutter(StreamSpec):
             )
         if self.amplitude < 1:
             raise WorkloadError(f"amplitude must be >= 1, got {self.amplitude}")
-        if self.separation <= 2 * self.amplitude:
+        # Geometry validation of workload parameters, not a quietness check.
+        if self.separation <= 2 * self.amplitude:  # reprolint: disable=R1
             raise WorkloadError("separation must exceed the full flutter band (2*amplitude)")
 
     def _build(self) -> np.ndarray:

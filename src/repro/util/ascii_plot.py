@@ -61,7 +61,7 @@ def bar_chart(
     else:
         scaled = vals
     peak = max(scaled) if scaled else 0.0
-    label_w = max((len(str(l)) for l in labels), default=0)
+    label_w = max((len(str(label)) for label in labels), default=0)
     lines = []
     if title:
         lines.append(title)
@@ -113,7 +113,12 @@ def line_plot(
     y_hi_s, y_lo_s = _fmt(y_hi), _fmt(y_lo)
     margin = max(len(y_hi_s), len(y_lo_s))
     for r, row_chars in enumerate(grid):
-        prefix = y_hi_s.rjust(margin) if r == 0 else (y_lo_s.rjust(margin) if r == height - 1 else " " * margin)
+        if r == 0:
+            prefix = y_hi_s.rjust(margin)
+        elif r == height - 1:
+            prefix = y_lo_s.rjust(margin)
+        else:
+            prefix = " " * margin
         lines.append(f"{prefix} |{''.join(row_chars)}")
     lines.append(" " * margin + " +" + "-" * width)
     lines.append(" " * margin + f"  {_fmt(x_lo)} .. {_fmt(x_hi)}  ({x_label})")

@@ -33,7 +33,9 @@ def normalize_seed(seed: int | None | np.random.SeedSequence) -> np.random.SeedS
     if seed is None:
         return np.random.SeedSequence()
     if not isinstance(seed, (int, np.integer)):
-        raise ConfigurationError(f"seed must be an int, None or SeedSequence, got {type(seed).__name__}")
+        raise ConfigurationError(
+            f"seed must be an int, None or SeedSequence, got {type(seed).__name__}"
+        )
     if seed < 0:
         raise ConfigurationError(f"seed must be non-negative, got {seed}")
     return np.random.SeedSequence(int(seed))

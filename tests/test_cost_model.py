@@ -1,6 +1,5 @@
 """Tests for the predictive cost model (theory-to-practice bridge)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.cost_model import (
@@ -83,7 +82,9 @@ class TestPredictMessages:
 class TestCapacityPlanningScenario:
     def test_prediction_transfers_across_seeds(self):
         """Fit events on one seed, predict message totals for other seeds."""
-        spec_factory = lambda s: random_walk(32, 1000, seed=s, step_size=4, spread=60).generate()
+        def spec_factory(s):
+            return random_walk(32, 1000, seed=s, step_size=4, spread=60).generate()
+
         res0 = TopKMonitor(n=32, k=4, seed=0).run(spec_factory(0))
         pred = predict_from_result(res0)
         for seed in (1, 2, 3):

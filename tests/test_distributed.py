@@ -169,7 +169,6 @@ class TestLocality:
         # Run and confirm every node's local m2 equals the coordinator's.
         from repro.distributed.runtime import _Runtime
         from repro.distributed.runtime import DistributedResult
-        from repro.model.ledger import MessageLedger
 
         rt = _Runtime(8, 3, seed=5)
         history = np.empty((100, 3), dtype=np.int64)

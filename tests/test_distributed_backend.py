@@ -4,13 +4,11 @@ import json
 import os
 import subprocess
 import sys
-from pathlib import Path
 
 import pytest
 
 from repro.analysis.backends import get_backend
 from repro.analysis.distributed_backend import (
-    QueueOptions,
     _chunk,
     _measure_path,
     _parse_address,

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.events import MonitorResult
+from repro.engine.compare import _compare_counting_results
 from repro.core.protocols import ProtocolConfig
 from repro.engine import differential_check, run_fast, run_vectorized
 from repro.streams import (
@@ -103,9 +104,6 @@ class TestDifferential:
             values = np.cumsum(gen.integers(-4, 5, (T, n)), axis=0).astype(np.int64) + 200
         report = differential_check(values, k, seed=seed % 97)
         assert report.equal, f"seed={seed}: {report.detail}"
-
-
-from repro.engine.compare import _compare_counting_results
 
 
 def _counting_results_equal(a, b) -> bool:

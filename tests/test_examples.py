@@ -37,6 +37,13 @@ class TestExamples:
         assert "hot set at end of trace" in proc.stdout
         assert "algorithm 1 vs naive" in proc.stdout
 
+    def test_lint_demo(self):
+        proc = _run("lint_demo.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "R1[kernel-singleton]" in proc.stdout
+        assert "R2[determinism]" in proc.stdout
+        assert "0 findings" in proc.stdout
+
     def test_protocol_demo(self):
         proc = _run("protocol_demo.py", "--n", "32", "--reps", "200")
         assert proc.returncode == 0, proc.stderr

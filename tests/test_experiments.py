@@ -1,6 +1,5 @@
 """Tests for the experiment harness (registry, outputs, CLI plumbing)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ExperimentError
@@ -159,7 +158,7 @@ class TestCli:
         resume_out = capsys.readouterr().out
 
         def tables(text):
-            return [l for l in text.splitlines() if l.startswith("|") or "E5" in l]
+            return [ln for ln in text.splitlines() if ln.startswith("|") or "E5" in ln]
 
         assert tables(serial_out) == tables(queue_out) == tables(resume_out)
         # the context-managed defaults must not leak past main()

@@ -15,7 +15,6 @@ from repro.core.events import valid_topk_set
 from repro.core.monitor import MonitorConfig, OnlineSession
 from repro.errors import InvariantViolation
 from repro.streams import random_walk, staircase
-from repro.types import Side
 
 
 def _drive(session, values, start, end):

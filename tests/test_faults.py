@@ -303,7 +303,7 @@ class TestAdversarySearch:
     def test_property_search_never_crashes_the_runtime(self):
         """Hypothesis-driven adversary: any valid plan must run to completion
         with a rectangular history and coherent accounting."""
-        hypothesis = pytest.importorskip("hypothesis")
+        pytest.importorskip("hypothesis")
         from hypothesis import HealthCheck, given, settings, target
 
         values = _matrix("random_walk", n=5, steps=12)

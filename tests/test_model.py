@@ -1,6 +1,5 @@
 """Tests for the communication-model substrate (messages, ledger, transports)."""
 
-import numpy as np
 import pytest
 
 from repro.model.ledger import MessageLedger

@@ -7,7 +7,6 @@ and end-to-end determinism guarantees.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 
 import importlib
 
-import numpy as np
 import pytest
 
 import repro

@@ -5,12 +5,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.events import StepKind, valid_topk_set
+from repro.core.events import StepKind
 from repro.core.monitor import MonitorConfig, OnlineSession, TopKMonitor
 from repro.core.selection import select_top_k
 from repro.errors import ConfigurationError
-from repro.model.message import Phase
-from repro.streams import crossing_pair, random_walk, staircase
+from repro.streams import crossing_pair, random_walk
 from repro.util.seeding import derive_rng
 
 from tests.conftest import is_valid_topk, true_topk
@@ -138,7 +137,6 @@ class TestMonitorSemantics:
         events = res.events
         run = 0
         max_run = 0
-        initial_gap = None
         for e in events:
             if e.kind in (StepKind.HANDLER_RESET, StepKind.INIT_RESET):
                 run = 0

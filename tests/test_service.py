@@ -148,7 +148,6 @@ class TestDifferentialCatalog:
 
     def test_batch_flag_is_pure_transport(self):
         """batch=True/False give identical results under bursty feeding."""
-        rng = np.random.default_rng(0)
         workloads = [_matrix(name, seed=8) for name in ("random_walk", "iid_uniform", "bursty")]
         finals = []
         for batch in (True, False):
@@ -165,7 +164,6 @@ class TestDifferentialCatalog:
                 mgr.drain()
             finals.append([(mgr.query(sid).topk, mgr.query(sid).message_count) for sid in sids])
         assert finals[0] == finals[1]
-        del rng
 
 
 class TestDeepInboxLookahead:

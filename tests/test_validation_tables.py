@@ -100,7 +100,7 @@ class TestTable:
         lines = out.splitlines()
         assert lines[0] == "T"
         assert "long_column" in lines[1]
-        assert len({len(l) for l in lines[2:]}) == 1  # aligned rows
+        assert len({len(ln) for ln in lines[2:]}) == 1  # aligned rows
 
     def test_row_length_mismatch(self):
         t = Table(["a"])

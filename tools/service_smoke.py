@@ -58,23 +58,44 @@ from repro.streams import get_workload, list_workloads  # noqa: E402
 
 ENV = {**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)}
 
+#: Set from ``--server-log-dir``: every spawned server's stderr (crash
+#: tracebacks, asyncio errors) is written to ``server-NN.log`` in here so a
+#: failing CI run can upload them as artifacts.  ``None`` keeps the old
+#: behaviour (stderr on an unread pipe).
+LOG_DIR: Path | None = None
+_SERVER_SEQ = 0
+
 
 def spawn_server(*extra: str, bind: str = "127.0.0.1:0") -> tuple[subprocess.Popen, str]:
     """Start a service subprocess (ephemeral port by default); returns its address."""
+    global _SERVER_SEQ
+    argv = [sys.executable, "-m", "repro.service", "--serve", bind,
+            "--batch-linger", "0.02", *extra]
+    stderr_target = subprocess.PIPE
+    log_path = None
+    if LOG_DIR is not None:
+        LOG_DIR.mkdir(parents=True, exist_ok=True)
+        _SERVER_SEQ += 1
+        log_path = LOG_DIR / f"server-{_SERVER_SEQ:02d}.log"
+        stderr_target = log_path.open("w")
+        stderr_target.write(f"# argv: {' '.join(argv)}\n")
+        stderr_target.flush()
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.service", "--serve", bind,
-         "--batch-linger", "0.02", *extra],
+        argv,
         stdout=subprocess.PIPE,
-        stderr=subprocess.PIPE,
+        stderr=stderr_target,
         text=True,
         env=ENV,
     )
+    if log_path is not None:
+        stderr_target.close()  # the child owns the fd now
     line = proc.stdout.readline().strip()
     if not line.startswith("listening on "):
         proc.kill()
         raise SystemExit(f"server did not announce an address (got {line!r})")
     address = line.removeprefix("listening on ")
-    print(f"server pid={proc.pid} at {address}")
+    suffix = f" (stderr -> {log_path})" if log_path is not None else ""
+    print(f"server pid={proc.pid} at {address}{suffix}")
     return proc, address
 
 
@@ -329,7 +350,15 @@ def main() -> int:
         "--fault-profile", choices=FAULT_PROFILES, default=None,
         help="run the chaos smoke under this fault profile instead of the standard phases",
     )
+    parser.add_argument(
+        "--server-log-dir", type=Path, default=None, metavar="DIR",
+        help="write each spawned server's stderr to DIR/server-NN.log "
+        "(CI uploads these as artifacts when the job fails)",
+    )
     args = parser.parse_args()
+
+    global LOG_DIR
+    LOG_DIR = args.server_log_dir
 
     if args.fault_profile is not None:
         fault_phase(

@@ -67,10 +67,18 @@ def render_experiments() -> str:
     return _md_table(["id", "claim under test"], rows)
 
 
+def render_lint_rules() -> str:
+    from repro.lint.registry import list_rules
+
+    rows = [[f"`{r.id}`", f"`{r.slug}`", r.summary] for r in list_rules()]
+    return _md_table(["rule", "name", "checks that"], rows)
+
+
 RENDERERS = {
     "engines": render_engines,
     "backends": render_backends,
     "experiments": render_experiments,
+    "lint-rules": render_lint_rules,
 }
 
 
