@@ -22,10 +22,14 @@ layer, not just a timing.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
+import pytest
 
 import repro
-from repro.service import SessionManager
+from repro.service import ServiceClient, SessionManager, start_fleet
 from repro.streams import random_walk
 
 SESSIONS = 1000
@@ -183,8 +187,6 @@ def test_deep_inbox_speedup_gate():
     """The ISSUE-5 acceptance bar: lookahead >= 2x the batched sweep drain
     on quiet deep inboxes (timed directly, independent of pytest-benchmark
     bookkeeping)."""
-    import time
-
     streams = _deep_streams()
     timings = {}
     for lookahead in (True, False):
@@ -198,4 +200,83 @@ def test_deep_inbox_speedup_gate():
     assert timings[True] * 2 <= timings[False], (
         f"deep-inbox lookahead drain {timings[True]:.4f}s not 2x faster than "
         f"per-row sweeps {timings[False]:.4f}s"
+    )
+
+
+# Fleet: the multi-process shard (PR 8).  Wire round trips dominate at
+# small scale, so the drive is bulk: the client enqueues whole streams,
+# the workers step them concurrently, and query(wait=True) is the drain
+# barrier — which is where >1 process actually buys wall time.
+FLEET_SESSIONS = 64
+FLEET_ROWS = 64
+
+
+def _fleet_streams() -> list[np.ndarray]:
+    return [
+        random_walk(N, FLEET_ROWS, seed=5000 + i, step_size=4, spread=60).generate()
+        for i in range(FLEET_SESSIONS)
+    ]
+
+
+def _drive_fleet(address, streams: list[np.ndarray], seed0: int) -> list[dict]:
+    """Feed every stream in bulk, barrier on full drain; returns finals."""
+    with ServiceClient(address, timeout=120) as client:
+        handles = [
+            client.create_session(n=N, k=K, seed=seed0 + i)
+            for i in range(len(streams))
+        ]
+        for handle, values in zip(handles, streams):
+            handle.feed_rows(values)
+        finals = [handle.query(wait=True) for handle in handles]
+        for handle in handles:
+            handle.close()
+    return finals
+
+
+def _bench_fleet(benchmark, workers: int, seed0: int) -> None:
+    streams = _fleet_streams()
+    with start_fleet(workers=workers, inbox_limit=FLEET_ROWS) as fleet:
+        finals = benchmark.pedantic(
+            _drive_fleet, args=(fleet.address, streams, seed0), rounds=3, iterations=1
+        )
+    # Acceptance bar: sharding changes nothing observable — every final
+    # answer and message count equals the offline engine.
+    for i, (final, values) in enumerate(zip(finals, streams)):
+        offline = repro.run(repro.RunSpec(values, k=K, seed=seed0 + i, engine="vectorized"))
+        assert final["topk"] == offline.topk_history[-1].tolist()
+        assert final["messages"] == offline.total_messages
+
+
+def test_fleet_stream_1_worker(benchmark):
+    """Baseline: the full wire path through a 1-worker fleet router."""
+    _bench_fleet(benchmark, workers=1, seed0=6000)
+
+
+def test_fleet_stream_4_workers(benchmark):
+    """The 4-way shard on the identical stream set (same wire path)."""
+    _bench_fleet(benchmark, workers=4, seed0=6000)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="fleet scaling gate needs >= 4 cores to mean anything",
+)
+def test_fleet_scaling_gate():
+    """The ISSUE-8 acceptance bar: a 4-worker fleet sustains >= 3x the
+    rows/sec of the same router with 1 worker (timed directly, best of 3;
+    skipped on boxes without 4 real cores, where the processes would just
+    time-slice one CPU)."""
+    streams = _fleet_streams()
+    rates = {}
+    for workers in (1, 4):
+        best = float("inf")
+        with start_fleet(workers=workers, inbox_limit=FLEET_ROWS) as fleet:
+            for round_no in range(3):
+                t0 = time.perf_counter()
+                _drive_fleet(fleet.address, streams, seed0=6000 + 100 * round_no)
+                best = min(best, time.perf_counter() - t0)
+        rates[workers] = FLEET_SESSIONS * FLEET_ROWS / best
+    assert rates[4] >= 3 * rates[1], (
+        f"4-worker fleet at {rates[4]:.0f} rows/s is not 3x the "
+        f"1-worker baseline {rates[1]:.0f} rows/s"
     )

@@ -169,8 +169,8 @@ def run(spec: RunSpec, *, engine: str | None = None) -> RunResult:
     return result
 
 
-def serve(host: str = "127.0.0.1", port: int = 0, **options):
-    """Start an in-process streaming session service on a background thread.
+def serve(host: str = "127.0.0.1", port: int = 0, *, workers: int = 1, **options):
+    """Start a streaming session service on a background thread.
 
     The deployment-shaped counterpart of :func:`run`: instead of replaying
     a full ``(T, n)`` matrix, the service keeps live
@@ -183,13 +183,21 @@ def serve(host: str = "127.0.0.1", port: int = 0, **options):
     host / port:
         Bind address; the default ephemeral port is read back from the
         returned handle's ``address``.
+    workers:
+        ``1`` (default) runs one in-process server.  ``N >= 2`` shards
+        sessions across N worker *processes* behind a consistent-hashing
+        :class:`~repro.service.fleet.FleetRouter` with a hot standby:
+        same wire protocol, bit-identical results, parallel stepping, and
+        automatic failover when a worker dies.
     options:
-        Forwarded to :class:`~repro.service.server.ServiceServer`
-        (``inbox_limit``, ``batch``, ``manager``).
+        Forwarded to :class:`~repro.service.server.ServiceServer` or
+        :class:`~repro.service.fleet.FleetRouter` (``inbox_limit``,
+        ``batch``, ``checkpoint_dir``, ``checkpoint_interval``, ...).
 
     Returns
     -------
-    A :class:`~repro.service.server.ServerHandle` (context manager;
+    A :class:`~repro.service.server.ServerHandle` or
+    :class:`~repro.service.fleet.FleetHandle` (both context managers;
     ``close()`` shuts the service down).
 
     Example
@@ -202,6 +210,14 @@ def serve(host: str = "127.0.0.1", port: int = 0, **options):
     ...         session.topk(wait=True)
     [0, 2]
     """
+    if workers < 1:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(f"serve() needs workers >= 1, got {workers}")
+    if workers > 1:
+        from repro.service.fleet import start_fleet
+
+        return start_fleet(host, port, workers=workers, **options)
     from repro.service import start_server
 
     return start_server(host, port, **options)

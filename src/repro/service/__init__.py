@@ -18,6 +18,10 @@ answers must be current):
   and a metrics endpoint.
 * :class:`~repro.service.client.ServiceClient` — the blocking client:
   push-a-row / read-top-k / read-message-count / checkpoint.
+* :class:`~repro.service.fleet.FleetRouter` — the multi-process form
+  (``repro.serve(workers=N)``): N worker processes behind one
+  consistent-hashing router with a hot standby, journal-backed failover,
+  and live migration — same wire protocol, bit-identical results.
 
 Quickstart (in one process; :func:`repro.serve` / :func:`repro.connect`
 are the api-level spellings):
@@ -39,6 +43,13 @@ instrumentation, and third-party engines plug in by registering a factory.
 """
 
 from repro.service.client import ServiceClient, SessionHandle
+from repro.service.fleet import (
+    FleetHandle,
+    FleetRouter,
+    HashRing,
+    batch_group,
+    start_fleet,
+)
 from repro.service.manager import (
     DEFAULT_ENGINE,
     DEFAULT_INBOX_LIMIT,
@@ -46,7 +57,7 @@ from repro.service.manager import (
     SessionManager,
     SessionView,
 )
-from repro.service.metrics import MetricsRecorder, MetricsSnapshot
+from repro.service.metrics import MetricsRecorder, MetricsSnapshot, aggregate_snapshots
 from repro.service.server import ServerHandle, ServiceServer, start_server
 
 __all__ = [
@@ -54,9 +65,15 @@ __all__ = [
     "SessionView",
     "MetricsRecorder",
     "MetricsSnapshot",
+    "aggregate_snapshots",
     "ServiceServer",
     "ServerHandle",
     "start_server",
+    "FleetRouter",
+    "FleetHandle",
+    "start_fleet",
+    "HashRing",
+    "batch_group",
     "ServiceClient",
     "SessionHandle",
     "DEFAULT_ENGINE",

@@ -5,6 +5,7 @@ Examples::
     python -m repro.service --serve 127.0.0.1:7787
     python -m repro.service --serve 127.0.0.1:0 --inbox-limit 256 --no-batch
     python -m repro.service --serve 127.0.0.1:7787 --checkpoint-dir .sessions
+    python -m repro.service --serve 127.0.0.1:7787 --workers 4 --checkpoint-dir .sessions
     python -m repro.service --metrics 127.0.0.1:7787
     python -m repro.service --shutdown 127.0.0.1:7787
 
@@ -13,8 +14,12 @@ ephemeral port) and runs until SIGINT or a client ``shutdown`` op; both
 end in a clean exit.  With ``--checkpoint-dir`` the server persists every
 live session there (on idle, on create/close, and on clean shutdown) and
 restores the whole fleet from it at startup — a killed server resumes its
-sessions bit-identically.  ``--metrics`` and ``--shutdown`` are thin
-client calls against a running server.
+sessions bit-identically; ``--checkpoint-interval`` adds timer checkpoints
+on top of the on-idle/on-op ones.  ``--workers N`` (N >= 2) serves a
+:class:`~repro.service.fleet.FleetRouter` instead: N worker processes
+behind one consistent-hashing router with a hot standby — same wire
+protocol, automatic failover.  ``--metrics`` and ``--shutdown`` are thin
+client calls against a running server (or router).
 """
 
 from __future__ import annotations
@@ -51,9 +56,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the batched stepping path (debug/comparison only)",
     )
     parser.add_argument(
+        "--no-lookahead",
+        action="store_true",
+        help="disable the deep-inbox block-scan drain (debug/comparison only)",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         metavar="DIR",
         help="persist live sessions to this directory and restore them at startup",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also checkpoint on a timer, bounding what a SIGKILL can lose "
+        "under sustained load (needs --checkpoint-dir; default: off)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard sessions across N worker processes behind a failover "
+        "router (default 1: a single in-process server)",
     )
     parser.add_argument(
         "--batch-linger",
@@ -79,13 +105,16 @@ async def _serve(
     *,
     inbox_limit: int,
     batch: bool,
+    lookahead: bool,
     batch_linger: float,
     checkpoint_dir: str | None,
+    checkpoint_interval: float | None,
 ) -> None:
     server = ServiceServer(
         host, port,
-        inbox_limit=inbox_limit, batch=batch, batch_linger=batch_linger,
-        checkpoint_dir=checkpoint_dir,
+        inbox_limit=inbox_limit, batch=batch, lookahead=lookahead,
+        batch_linger=batch_linger, checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
     )
     await server.start()
     bound_host, bound_port = server.address
@@ -96,25 +125,69 @@ async def _serve(
     print("service stopped", flush=True)
 
 
+async def _serve_fleet(
+    host: str,
+    port: int,
+    *,
+    workers: int,
+    inbox_limit: int,
+    batch: bool,
+    lookahead: bool,
+    batch_linger: float,
+    checkpoint_dir: str | None,
+    checkpoint_interval: float | None,
+) -> None:
+    from repro.service.fleet import DEFAULT_CHECKPOINT_INTERVAL, FleetRouter
+
+    router = FleetRouter(
+        host, port,
+        workers=workers, inbox_limit=inbox_limit, batch=batch,
+        lookahead=lookahead, batch_linger=batch_linger,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=(
+            checkpoint_interval if checkpoint_interval is not None
+            else DEFAULT_CHECKPOINT_INTERVAL
+        ),
+    )
+    try:
+        await router.start()
+        bound_host, bound_port = router.address
+        print(f"listening on {bound_host}:{bound_port}", flush=True)
+        print(f"fleet: {workers} workers + standby", flush=True)
+        if len(router._sessions):
+            print(f"restored {len(router._sessions)} sessions from {checkpoint_dir}",
+                  flush=True)
+        await router.run_until_stopped()
+        print("service stopped", flush=True)
+    finally:
+        # SIGINT/cancellation must never orphan the worker children.
+        router.emergency_kill()
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.serve:
         host, port = _split_address(args.serve)
+        if args.workers < 1:
+            print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+            return 2
+        options = dict(
+            inbox_limit=args.inbox_limit,
+            batch=not args.no_batch,
+            lookahead=not args.no_lookahead,
+            batch_linger=args.batch_linger,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_interval=args.checkpoint_interval,
+        )
         try:
-            asyncio.run(
-                _serve(
-                    host,
-                    port,
-                    inbox_limit=args.inbox_limit,
-                    batch=not args.no_batch,
-                    batch_linger=args.batch_linger,
-                    checkpoint_dir=args.checkpoint_dir,
-                )
-            )
+            if args.workers > 1:
+                asyncio.run(_serve_fleet(host, port, workers=args.workers, **options))
+            else:
+                asyncio.run(_serve(host, port, **options))
         except KeyboardInterrupt:
             print("service stopped", flush=True)
-        except OSError as exc:
+        except (OSError, ServiceError) as exc:
             print(f"error: cannot serve on {args.serve}: {exc}", file=sys.stderr)
             return 2
         return 0

@@ -47,7 +47,7 @@ __all__ = ["RetryPolicy", "ServiceClient", "SessionHandle"]
 
 #: Ops safe to resend verbatim after a lost connection: they read state
 #: or trigger a convergent side effect (a double checkpoint is a no-op).
-_IDEMPOTENT_OPS = frozenset({"query", "ping", "sessions", "metrics", "checkpoint"})
+_IDEMPOTENT_OPS = frozenset({"query", "ping", "sessions", "metrics", "checkpoint", "fleet"})
 
 
 @dataclass(frozen=True)
@@ -281,6 +281,16 @@ class ServiceClient:
         """The server's metrics snapshot (see
         :class:`~repro.service.metrics.MetricsSnapshot`)."""
         return self.request("metrics")["metrics"]
+
+    def fleet(self) -> dict:
+        """Topology of a fleet router: workers, standby, failover counts.
+
+        Only answered by ``repro.serve(workers=N)`` /
+        ``python -m repro.service --serve --workers N`` (a single-process
+        server rejects the op — which is also how a client can tell the
+        two apart).
+        """
+        return self.request("fleet")["fleet"]
 
     def ping(self) -> bool:
         """Liveness round trip."""

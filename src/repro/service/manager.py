@@ -485,7 +485,87 @@ class SessionManager:
             live_messages=sum(s.message_count for s in self._sessions.values()),
         )
 
+    # ----------------------------------------------------------- migration
+
+    def export_session(self, session_id: str) -> dict:
+        """Detach one live session as a portable checkpoint payload.
+
+        The payload has the same schema as a checkpoint file (engine name,
+        codec state snapshot, carried message total, pending inbox) and is
+        bit-identically re-hostable anywhere via :meth:`import_session` —
+        the primitive behind live session migration in the fleet router
+        (:mod:`repro.service.fleet`).  The session is removed from this
+        manager *without draining*: its pending rows travel in the payload.
+
+        Raises
+        ------
+        ServiceError
+            For an unknown session id.
+        ConfigurationError
+            If the session's engine registered no checkpoint codec.
+        """
+        session = self._get(session_id)
+        payload = self._session_payload(session)
+        del self._sessions[session_id]
+        self._dirty.discard(session_id)
+        self._closed_since_checkpoint = True  # prune its checkpoint file
+        return payload
+
+    def import_session(self, payload: dict) -> str:
+        """Adopt a session exported by :meth:`export_session`; returns its id.
+
+        The inverse of :meth:`export_session`: the rebuilt session produces
+        the same future trajectories, coin flips, and message counts as if
+        it had never moved.  Counts toward ``sessions_restored`` in the
+        metrics (a migration *is* a restore of one session).
+
+        Raises
+        ------
+        ConfigurationError
+            For an unsupported schema, an invalid or duplicate session id,
+            or an engine this process does not have registered.
+        """
+        if not isinstance(payload, dict) or payload.get("schema") != _CHECKPOINT_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported session payload schema "
+                f"{payload.get('schema') if isinstance(payload, dict) else payload!r}"
+            )
+        session_id = _check_session_id(payload["session"])
+        if session_id in self._sessions:
+            raise ConfigurationError(f"session id {session_id!r} already exists")
+        self._sessions[session_id] = self._session_from_payload(session_id, payload)
+        self._dirty.add(session_id)
+        self.metrics.sessions_restored += 1
+        return session_id
+
     # ---------------------------------------------------------- persistence
+
+    def _session_payload(self, session: _Session) -> dict:
+        """The JSON-safe checkpoint/migration form of one live session."""
+        snapshot, _ = get_session_codec(session.engine)
+        return {
+            "schema": _CHECKPOINT_SCHEMA,
+            "session": session.session_id,
+            "engine": session.engine,
+            "messages": session.message_count,
+            "state": snapshot(session.stepper),
+            "inbox": [row.tolist() for row in session.inbox],
+        }
+
+    @staticmethod
+    def _session_from_payload(session_id: str, data: dict) -> _Session:
+        """Rebuild a live session from its checkpoint/migration payload."""
+        engine = data["engine"]
+        get_engine(engine)  # fail with the registry's error if unknown
+        _, restore = get_session_codec(engine)
+        stepper = restore(data["state"])
+        # Steppers whose instrumentation restarts empty (the faithful
+        # ledger) carry their pre-checkpoint total as a base offset.
+        base = int(data["messages"]) - stepper.message_count
+        session = _Session(session_id, engine, stepper, message_base=base)
+        for row in data["inbox"]:
+            session.inbox.append(np.asarray(row, dtype=np.int64))
+        return session
 
     def checkpoint(self, directory: str | os.PathLike) -> int:
         """Persist every live session under ``directory``; returns the count.
@@ -520,16 +600,7 @@ class SessionManager:
             path = directory / f"{session_id}.json"
             if session_id not in self._dirty and path.exists():
                 continue
-            snapshot, _ = get_session_codec(session.engine)
-            payload = {
-                "schema": _CHECKPOINT_SCHEMA,
-                "session": session_id,
-                "engine": session.engine,
-                "messages": session.message_count,
-                "state": snapshot(session.stepper),
-                "inbox": [row.tolist() for row in session.inbox],
-            }
-            _atomic_write(path, payload)
+            _atomic_write(path, self._session_payload(session))
             self._dirty.discard(session_id)
         if self._closed_since_checkpoint:
             for path in directory.glob("*.json"):
@@ -546,7 +617,31 @@ class SessionManager:
         )
         return len(self._sessions)
 
-    def _restore(self, directory: Path) -> None:
+    def restore_from(self, directory: str | os.PathLike) -> int:
+        """Load a whole checkpoint directory into this (empty) manager.
+
+        The runtime form of ``SessionManager(restore=dir)``: a hot-standby
+        process starts empty, and on takeover *replays the dead worker's
+        checkpoint dir* through this hook (the fleet router's ``restore``
+        wire op).  Future :meth:`checkpoint` calls into the same directory
+        continue incrementally from the restored state.  Returns the number
+        of sessions restored.
+
+        Raises
+        ------
+        ConfigurationError
+            If this manager already hosts sessions (a merge would risk id
+            collisions between two live fleets — use
+            :meth:`import_session` to move individual sessions), or if the
+            directory holds no valid manifest.
+        """
+        if self._sessions:
+            raise ConfigurationError(
+                f"restore_from requires an empty manager; this one hosts "
+                f"{len(self._sessions)} sessions (migrate individual sessions "
+                f"with import_session instead)"
+            )
+        directory = Path(directory)
         manifest_path = directory / _MANIFEST
         if not manifest_path.exists():
             raise ConfigurationError(
@@ -561,19 +656,15 @@ class SessionManager:
         for session_id in manifest["sessions"]:
             _check_session_id(session_id)  # a tampered manifest must not traverse
             data = json.loads((directory / f"{session_id}.json").read_text())
-            engine = data["engine"]
-            get_engine(engine)  # fail with the registry's error if unknown
-            _, restore = get_session_codec(engine)
-            stepper = restore(data["state"])
-            # Steppers whose instrumentation restarts empty (the faithful
-            # ledger) carry their pre-checkpoint total as a base offset.
-            base = int(data["messages"]) - stepper.message_count
-            session = _Session(session_id, engine, stepper, message_base=base)
-            for row in data["inbox"]:
-                session.inbox.append(np.asarray(row, dtype=np.int64))
-            self._sessions[session_id] = session
+            self._sessions[session_id] = self._session_from_payload(session_id, data)
         self._ckpt_dir = directory
-        self.metrics.sessions_restored = len(self._sessions)
+        self._dirty.clear()
+        self._closed_since_checkpoint = False
+        self.metrics.sessions_restored += len(self._sessions)
+        return len(self._sessions)
+
+    def _restore(self, directory: Path) -> None:
+        self.restore_from(directory)
 
     # ------------------------------------------------------------ internals
 

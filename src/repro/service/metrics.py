@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["MetricsRecorder", "MetricsSnapshot"]
+__all__ = ["MetricsRecorder", "MetricsSnapshot", "aggregate_snapshots"]
 
 #: Sweeps kept for the latency/throughput windows.
 _RESERVOIR = 4096
@@ -68,6 +68,47 @@ class MetricsSnapshot:
             "step_latency_p99_us": round(self.step_latency_p99_us, 2),
             "uptime_sec": round(self.uptime_sec, 3),
         }
+
+
+#: Counters that add across fleet workers.  ``rows_per_sec`` sums too:
+#: the workers step in parallel, so fleet throughput is the sum of their
+#: windows — the figure the bench scaling gate measures.
+_ADDITIVE_KEYS = (
+    "sessions_live",
+    "sessions_created",
+    "sessions_closed",
+    "sessions_restored",
+    "rows_processed",
+    "rows_batched",
+    "rows_quiet",
+    "rows_lookahead",
+    "backpressure_rejections",
+    "protocol_messages",
+    "rows_per_sec",
+)
+
+#: Figures where a sum would be meaningless: report the worst/oldest worker.
+_MAX_KEYS = ("step_latency_p50_us", "step_latency_p99_us", "uptime_sec")
+
+
+def aggregate_snapshots(snapshots) -> dict:
+    """Fleet-level rollup of per-worker ``MetricsSnapshot.as_dict()`` dicts.
+
+    Additive counters (and rows/sec — the workers run in parallel) sum;
+    latency percentiles and uptime take the max, i.e. the slowest/oldest
+    worker.  The shape matches a single server's ``metrics`` reply, so
+    fleet-unaware dashboards keep working; the router attaches its own
+    per-worker/failover detail under a separate ``"fleet"`` key.
+    """
+    aggregate: dict = {key: 0 for key in _ADDITIVE_KEYS}
+    aggregate.update({key: 0.0 for key in _MAX_KEYS})
+    for snapshot in snapshots:
+        for key in _ADDITIVE_KEYS:
+            aggregate[key] += snapshot.get(key, 0)
+        for key in _MAX_KEYS:
+            aggregate[key] = max(aggregate[key], snapshot.get(key, 0.0))
+    aggregate["rows_per_sec"] = round(float(aggregate["rows_per_sec"]), 1)
+    return aggregate
 
 
 def _weighted_percentile(latencies: np.ndarray, weights: np.ndarray, q: float) -> float:

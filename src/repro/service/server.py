@@ -60,10 +60,22 @@ class ServiceServer:
         batch: bool = True,
         batch_linger: float = 0.0,
         checkpoint_dir: "str | os.PathLike | None" = None,
+        checkpoint_interval: float | None = None,
+        lookahead: bool = True,
     ):
         #: Durability root: sessions are checkpointed here and restored
         #: from here at startup (None disables persistence).
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        #: Seconds between timer checkpoints (None disables the timer).
+        #: On-idle and on-op checkpoints bound staleness only when the
+        #: stepper *reaches* idle; under sustained load the timer is what
+        #: bounds how much a SIGKILL can lose — the fleet's failover
+        #: journal replay is sized by it.
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ConfigurationError(
+                f"checkpoint_interval must be > 0 seconds, got {checkpoint_interval}"
+            )
+        self.checkpoint_interval = checkpoint_interval
         if manager is not None:
             self.manager = manager
         else:
@@ -71,7 +83,8 @@ class ServiceServer:
             if self.checkpoint_dir is not None and (self.checkpoint_dir / "manager.json").exists():
                 restore = self.checkpoint_dir
             self.manager = SessionManager(
-                inbox_limit=inbox_limit, max_nodes=max_nodes, batch=batch, restore=restore
+                inbox_limit=inbox_limit, max_nodes=max_nodes, batch=batch,
+                lookahead=lookahead, restore=restore,
             )
         #: Seconds the stepper lingers after waking from idle before its
         #: first sweep, letting feeds from many connections pile into the
@@ -82,6 +95,7 @@ class ServiceServer:
         self.address: tuple[str, int] | None = None
         self._server: asyncio.Server | None = None
         self._stepper_task: asyncio.Task | None = None
+        self._timer_task: asyncio.Task | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._work: asyncio.Event | None = None
         self._progress: asyncio.Event | None = None
@@ -99,6 +113,8 @@ class ServiceServer:
         )
         self.address = self._server.sockets[0].getsockname()[:2]
         self._stepper_task = asyncio.create_task(self._stepper())
+        if self.checkpoint_interval is not None and self.checkpoint_dir is not None:
+            self._timer_task = asyncio.create_task(self._checkpoint_timer())
         return self.address
 
     async def run_until_stopped(self) -> None:
@@ -108,6 +124,10 @@ class ServiceServer:
         self._stepper_task.cancel()
         with contextlib.suppress(asyncio.CancelledError):
             await self._stepper_task
+        if self._timer_task is not None:
+            self._timer_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._timer_task
         self._checkpoint()  # clean shutdown persists the final state
         self._server.close()
         await self._server.wait_closed()
@@ -162,6 +182,28 @@ class ServiceServer:
         """Persist the fleet if durability is on (no-op otherwise)."""
         if self.checkpoint_dir is not None:
             self.manager.checkpoint(self.checkpoint_dir)
+
+    async def _checkpoint_timer(self) -> None:
+        """Timer checkpoints: bound SIGKILL loss under sustained load.
+
+        The on-idle checkpoint never fires while feeds outpace the stepper,
+        so without this task a busy server could lose an unbounded window.
+        ``checkpoint()`` only rewrites dirty sessions, so an idle tick is
+        a cheap manifest no-op.
+        """
+        try:
+            while True:
+                await asyncio.sleep(self.checkpoint_interval)
+                self._checkpoint()
+        except asyncio.CancelledError:
+            raise
+        except BaseException:
+            # A dead timer silently voids the durability contract; surface
+            # it the same way a stepper crash is surfaced.
+            traceback.print_exc()
+            print("service checkpoint timer crashed; shutting the server down",
+                  file=sys.stderr, flush=True)
+            self.request_stop()
 
     # ------------------------------------------------------------- clients
 
@@ -225,6 +267,12 @@ class ServiceServer:
                 payload = {"sessions": self.manager.session_ids()}
             elif op == "checkpoint":
                 payload = self._op_checkpoint()
+            elif op == "restore":
+                payload = self._op_restore(request)
+            elif op == "export":
+                payload = self._op_export(request)
+            elif op == "import":
+                payload = self._op_import(request)
             elif op == "ping":
                 payload = {}
             elif op == "shutdown":
@@ -302,6 +350,37 @@ class ServiceServer:
             raise ServiceError("server was started without a checkpoint dir (--checkpoint-dir)")
         count = self.manager.checkpoint(self.checkpoint_dir)
         return {"sessions": count, "dir": str(self.checkpoint_dir)}
+
+    def _op_restore(self, request: dict) -> dict:
+        # Fleet failover: a hot standby (spawned empty, no checkpoint dir
+        # of its own yet) adopts a dead worker's checkpoint directory and
+        # replays it.  The manager enforces emptiness, so a live worker
+        # cannot be hijacked into doubling sessions.
+        directory = request.get("dir")
+        if not directory:
+            raise ServiceError("restore needs a 'dir' field")
+        count = self.manager.restore_from(directory)
+        self.checkpoint_dir = Path(directory)
+        self._work.set()  # restored inboxes may hold pending rows
+        return {"sessions": count, "dir": str(self.checkpoint_dir)}
+
+    def _op_export(self, request: dict) -> dict:
+        # Fleet migration, donor side: detach the session and hand its full
+        # checkpoint payload to the router.  Checkpoint afterwards so the
+        # donor's directory stops claiming a session it no longer owns.
+        payload = self.manager.export_session(_session_field(request))
+        self._checkpoint()
+        return {"payload": payload}
+
+    def _op_import(self, request: dict) -> dict:
+        # Fleet migration, recipient side of `export`.
+        payload = request.get("payload")
+        if not isinstance(payload, dict):
+            raise ServiceError("import needs a 'payload' object (from an export reply)")
+        session_id = self.manager.import_session(payload)
+        self._checkpoint()
+        self._work.set()  # the imported inbox may hold pending rows
+        return {"session": session_id, "engine": self.manager.engine(session_id)}
 
 
 def _session_field(request: dict) -> str:

@@ -1,0 +1,326 @@
+"""The multi-process failover fleet (repro/service/fleet).
+
+Two load-bearing claims, tested end-to-end:
+
+1. **Bit-identity**: a 4-worker fleet answers exactly like one
+   single-process :class:`~repro.service.manager.SessionManager` — same
+   top-k rows, same quietness decisions (visible as message counts), same
+   times — on every catalog workload, because routing by batch group
+   keeps each stacked-sweep group dense on one worker.
+2. **Kill-anything durability**: SIGKILLing a worker mid-stream loses
+   zero sessions and zero rows; the standby restores its checkpoint
+   directory, the router replays the journaled suffix exactly once, and
+   the stream resumes bit-identically.
+
+Plus hypothesis property tests for the consistent-hash ring the routing
+rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.monitor import TopKMonitor
+from repro.errors import ConfigurationError, ServiceError
+from repro.service import ServiceClient, SessionManager, start_fleet
+from repro.service.fleet import GROUP_SHARDS, HashRing, batch_group, stable_hash
+from repro.streams import get_workload, list_workloads
+
+N, K, STEPS = 8, 3, 80
+
+
+def _matrix(name: str, seed: int) -> np.ndarray:
+    return get_workload(name, N, STEPS, seed=seed).generate()
+
+
+# ----------------------------------------------------------------- ring
+
+
+def _ids(draw_min=1, draw_max=40):
+    return st.lists(
+        st.text(alphabet="abcdefghij0123456789", min_size=1, max_size=12),
+        min_size=draw_min, max_size=draw_max, unique=True,
+    )
+
+
+class TestHashRing:
+    def test_stable_hash_is_process_independent(self):
+        """The ring must not depend on Python's salted hash()."""
+        # md5("abc")[:8] as big-endian — a constant forever.
+        assert stable_hash("abc") == 0x900150983CD24FB0
+        assert 0 <= stable_hash("w0#0") < 2**64
+
+    def test_lookup_is_deterministic_and_total(self):
+        ring = HashRing([f"w{i}" for i in range(4)])
+        for key in ("a", "b", "12x3/0", "group"):
+            assert ring.lookup(key) == ring.lookup(key)
+            assert ring.lookup(key) in ring.slots
+
+    def test_slot_management_errors(self):
+        ring = HashRing(["w0"])
+        with pytest.raises(ConfigurationError):
+            ring.add("w0")
+        with pytest.raises(ConfigurationError):
+            ring.remove("w9")
+        with pytest.raises(ConfigurationError):
+            ring.remove("w0")  # never empty the ring
+        with pytest.raises(ConfigurationError):
+            HashRing(replicas=0)
+        with pytest.raises(ConfigurationError):
+            HashRing([""])
+        with pytest.raises(ConfigurationError):
+            HashRing().lookup("anything")
+
+    def test_batch_group_shape(self):
+        group = batch_group(12, 3, "s7")
+        prefix, _, shard = group.rpartition("/")
+        assert prefix == "12x3"
+        assert 0 <= int(shard) < GROUP_SHARDS
+        # Same shape, same shard -> same group (the affinity unit).
+        assert batch_group(12, 3, "s7") == group
+
+    @given(ids=_ids(), workers=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_every_session_maps_to_exactly_one_live_worker(self, ids, workers):
+        """Property (a): lookup is total and single-valued over live slots."""
+        ring = HashRing([f"w{i}" for i in range(workers)])
+        for session_id in ids:
+            owner = ring.lookup(batch_group(N, K, session_id))
+            assert owner in ring.slots
+            assert owner == ring.lookup(batch_group(N, K, session_id))
+
+    @given(
+        ids=_ids(),
+        workers=st.integers(min_value=2, max_value=8),
+        victim=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_removing_one_worker_relocates_only_its_sessions(self, ids, workers, victim):
+        """Property (b): consistent hashing — survivors keep their keys."""
+        slots = [f"w{i}" for i in range(workers)]
+        gone = slots[victim % workers]
+        ring = HashRing(slots)
+        before = {sid: ring.lookup(batch_group(N, K, sid)) for sid in ids}
+        ring.remove(gone)
+        for sid, owner in before.items():
+            after = ring.lookup(batch_group(N, K, sid))
+            if owner == gone:
+                assert after != gone  # relocated to a live worker
+            else:
+                assert after == owner  # untouched
+
+    @given(
+        ids=_ids(draw_min=2),
+        ops=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_group_affinity_survives_any_rebalance(self, ids, ops):
+        """Property (c): same group => same worker, after any add/remove mix."""
+        ring = HashRing(["w0", "w1", "w2"])
+        next_slot = 3
+
+        def _cohorts_are_dense():
+            owners: dict[str, str] = {}
+            for sid in ids:
+                group = batch_group(N, K, sid)
+                owner = ring.lookup(group)
+                assert owners.setdefault(group, owner) == owner
+
+        _cohorts_are_dense()
+        for op in ops:
+            if op % 2 == 0 or len(ring) == 1:
+                ring.add(f"w{next_slot}")
+                next_slot += 1
+            else:
+                ring.remove(sorted(ring.slots)[op % len(ring)])
+            _cohorts_are_dense()
+
+
+# ----------------------------------------------------- fleet differential
+
+
+@pytest.fixture(scope="class")
+def fleet4():
+    handle = start_fleet(workers=4)
+    try:
+        yield handle
+    finally:
+        handle.close()
+
+
+class TestFleetDifferential:
+    """Satellite: catalog-wide bit-identity of the 4-worker fleet."""
+
+    def test_catalog_matches_single_process_manager(self, fleet4):
+        """Every catalog workload, one session each, fed row-by-row into a
+        4-worker fleet and into one local SessionManager: identical top-k,
+        times, and message counts at every comparison point — and both
+        equal the offline monitor."""
+        client = ServiceClient(fleet4.address)
+        local = SessionManager()
+        cases = {}
+        for i, name in enumerate(list_workloads()):
+            values = _matrix(name, seed=3 + i)
+            engine = "faithful" if i % 4 == 0 else "vectorized"
+            handle = client.create_session(n=N, k=K, seed=21 + i, engine=engine)
+            local.create(N, K, seed=21 + i, engine=engine, session_id=handle.id)
+            cases[handle.id] = (name, values, handle, 21 + i)
+
+        for t in range(STEPS):
+            for sid, (_, values, handle, _) in cases.items():
+                handle.feed(values[t])
+                local.feed(sid, values[t])
+            if t % 16 == 15 or t == STEPS - 1:
+                local.drain()
+                for sid, (name, _, handle, _) in cases.items():
+                    remote = handle.query(wait=True)
+                    view = local.query(sid)
+                    assert remote["time"] == view.time == t, (name, t)
+                    assert remote["topk"] == list(view.topk), (name, t)
+                    assert remote["messages"] == view.message_count, (name, t)
+
+        for sid, (name, values, handle, seed) in cases.items():
+            offline = TopKMonitor(n=N, k=K, seed=seed).run(values)
+            final = handle.query(wait=True)
+            assert final["topk"] == sorted(int(i) for i in offline.topk_history[-1]), name
+            assert final["messages"] == offline.total_messages, name
+
+        metrics = client.metrics()
+        assert metrics["rows_processed"] == STEPS * len(cases)
+        assert metrics["fleet"]["failovers"] == 0
+        assert len(metrics["fleet"]["workers"]) == 4
+        for sid, (_, _, handle, _) in cases.items():
+            handle.close()
+        client.close()
+
+    def test_bulk_feeds_take_the_same_path(self, fleet4):
+        """feed_rows (the deep-inbox lookahead lane worker-side) changes
+        nothing observable."""
+        client = ServiceClient(fleet4.address)
+        local = SessionManager()
+        values = _matrix("random_walk", seed=77)
+        handle = client.create_session(n=N, k=K, seed=99)
+        local.create(N, K, seed=99, session_id=handle.id)
+        for start in range(0, STEPS, 20):
+            chunk = values[start:start + 20]
+            handle.feed_rows(chunk)
+            local.feed_many(handle.id, chunk)
+        local.drain()
+        remote = handle.query(wait=True)
+        view = local.query(handle.id)
+        assert remote["topk"] == list(view.topk)
+        assert remote["messages"] == view.message_count
+        handle.close()
+        client.close()
+
+    def test_fleet_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            repro.serve(workers=0)
+        with pytest.raises(ServiceError):
+            start_fleet(workers=-1)
+        with pytest.raises(ServiceError):
+            start_fleet(workers=2, checkpoint_interval=0.0)
+
+
+# --------------------------------------------------------------- failover
+
+
+class TestFleetFailover:
+    """Satellite: SIGKILL a worker — zero loss, exact resume via standby."""
+
+    def test_sigkill_worker_loses_nothing(self):
+        rng = np.random.default_rng(13)
+        with start_fleet(workers=3, checkpoint_interval=0.2) as fleet:
+            client = ServiceClient(fleet.address)
+            local = SessionManager()
+            handles = {}
+            for i in range(12):
+                handle = client.create_session(n=N, k=K, seed=300 + i)
+                local.create(N, K, seed=300 + i, session_id=handle.id)
+                handles[handle.id] = handle
+
+            for _ in range(25):
+                for sid, handle in handles.items():
+                    row = rng.integers(0, 100, size=N)
+                    handle.feed(row)
+                    local.feed(sid, row)
+
+            # Kill the worker hosting the most sessions — the worst case.
+            topology = client.fleet()
+            victim = max(topology["workers"], key=lambda w: w["sessions"])
+            assert victim["sessions"] > 0
+            fleet.kill_worker(victim["slot"])
+
+            # Feeding continues right through the failover window.
+            for _ in range(25):
+                for sid, handle in handles.items():
+                    row = rng.integers(0, 100, size=N)
+                    handle.feed(row)
+                    local.feed(sid, row)
+            local.drain()
+
+            # Zero session loss...
+            assert sorted(client.session_ids()) == sorted(handles)
+            # ...and bit-identical resume for every session.
+            for sid, handle in handles.items():
+                remote = handle.query(wait=True)
+                view = local.query(sid)
+                assert remote["time"] == view.time, sid
+                assert remote["topk"] == list(view.topk), sid
+                assert remote["messages"] == view.message_count, sid
+
+            metrics = client.metrics()
+            assert metrics["fleet"]["failovers"] == 1
+            assert metrics["fleet"]["failover_latency_ms"]["count"] == 1
+            # The fleet is whole again: the standby was promoted in place.
+            after = client.fleet()
+            assert len(after["workers"]) == 3
+            assert {w["slot"] for w in after["workers"]} == {
+                w["slot"] for w in topology["workers"]
+            }
+            client.close()
+
+    def test_live_rebalance_is_bit_identical(self):
+        """add_worker / remove_worker migrate sessions via the checkpoint
+        codec without disturbing their trajectories."""
+        rng = np.random.default_rng(29)
+        with start_fleet(workers=2) as fleet:
+            client = ServiceClient(fleet.address)
+            local = SessionManager()
+            handles = {}
+            for i in range(8):
+                handle = client.create_session(n=N, k=K, seed=500 + i)
+                local.create(N, K, seed=500 + i, session_id=handle.id)
+                handles[handle.id] = handle
+            for _ in range(15):
+                for sid, handle in handles.items():
+                    row = rng.integers(0, 100, size=N)
+                    handle.feed(row)
+                    local.feed(sid, row)
+            new_slot = fleet.add_worker()
+            assert new_slot == "w2"
+            for _ in range(15):
+                for sid, handle in handles.items():
+                    row = rng.integers(0, 100, size=N)
+                    handle.feed(row)
+                    local.feed(sid, row)
+            moved = fleet.remove_worker("w0")
+            assert moved >= 0
+            assert {w["slot"] for w in fleet.workers()["workers"]} == {"w1", "w2"}
+            for _ in range(10):
+                for sid, handle in handles.items():
+                    row = rng.integers(0, 100, size=N)
+                    handle.feed(row)
+                    local.feed(sid, row)
+            local.drain()
+            for sid, handle in handles.items():
+                remote = handle.query(wait=True)
+                view = local.query(sid)
+                assert remote["time"] == view.time, sid
+                assert remote["topk"] == list(view.topk), sid
+                assert remote["messages"] == view.message_count, sid
+            client.close()

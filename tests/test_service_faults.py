@@ -200,6 +200,56 @@ class TestFeedResume:
         assert final["topk"] == sorted(offline.topk_history[-1].tolist())
         assert final["messages"] == offline.total_messages
 
+    def test_fleet_crash_window_resumes_exactly_once(self):
+        """Satellite: FaultPlan composition with the worker fleet.
+
+        A ``CrashWindow`` SIGKILLs one worker on a wall-clock schedule
+        while clients keep feeding through a RetryPolicy.  The standby
+        promotion plus the router's journal replay must make the crash
+        invisible: zero session loss, every trajectory bit-identical to a
+        local SessionManager — i.e. each row applied exactly once.
+        """
+        from repro.faults import CrashWindow, FaultPlan
+        from repro.service import start_fleet
+
+        plan = FaultPlan(seed=4, crashes=(CrashWindow(node=0, down_at=1, up_at=2),))
+        rng = np.random.default_rng(41)
+        retry = RetryPolicy(attempts=5, connect_timeout=2.0, backoff=0.05)
+        with start_fleet(workers=3, checkpoint_interval=0.2, fault_plan=plan) as fleet:
+            with ServiceClient(fleet.address, retry=retry) as client:
+                local = SessionManager()
+                handles = {}
+                for i in range(6):
+                    handle = client.create_session(n=N, k=K, seed=600 + i)
+                    local.create(N, K, seed=600 + i, session_id=handle.id)
+                    handles[handle.id] = handle
+
+                def _feed_rounds(count):
+                    for _ in range(count):
+                        for sid, handle in handles.items():
+                            row = rng.integers(0, 100, size=N)
+                            handle.feed(row)
+                            local.feed(sid, row)
+
+                _feed_rounds(15)
+                # Park until the scheduled kill has fired and failover ran,
+                # so the second half of the stream provably crosses it.
+                deadline = time.monotonic() + 30
+                while client.metrics()["fleet"]["failovers"] < 1:
+                    assert time.monotonic() < deadline, "fault plan never fired"
+                    time.sleep(0.05)
+                _feed_rounds(15)
+                local.drain()
+
+                assert sorted(client.session_ids()) == sorted(handles)
+                for sid, handle in handles.items():
+                    remote = handle.query(wait=True)
+                    view = local.query(sid)
+                    assert remote["time"] == view.time == 29, sid
+                    assert remote["topk"] == list(view.topk), sid
+                    assert remote["messages"] == view.message_count, sid
+                assert client.metrics()["fleet"]["failovers"] == 1
+
     def test_server_restart_with_checkpoint_dir_is_transparent(self, tmp_path):
         """Kill the server mid-stream; a twin on the same port restored
         from the checkpoint dir finishes the stream bit-identically."""

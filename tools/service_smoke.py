@@ -28,10 +28,19 @@ retry/resume path through all of it, and the run asserts **zero session
 loss**: every session survives with its final top-k and message count
 bit-identical to an uninterrupted offline run.
 
+``--workers N`` (the CI fleet-smoke job) runs the multi-process fleet
+variant instead: a ``--serve --workers N`` router subprocess shards the
+sessions across N workers, and with ``--kill-worker`` the busiest worker
+is SIGKILLed (by pid, from outside) mid-stream — the hot standby must
+promote, the router must replay its journal, and the run asserts zero
+session loss plus bit-identical final answers and exactly one recorded
+failover.
+
 Usage::
 
     PYTHONPATH=src python tools/service_smoke.py [--sessions 100] [--rows 40]
     PYTHONPATH=src python tools/service_smoke.py --fault-profile lossy
+    PYTHONPATH=src python tools/service_smoke.py --workers 3 --kill-worker
 """
 
 from __future__ import annotations
@@ -340,6 +349,98 @@ def fault_phase(profile: str, sessions: int, rows: int, n: int, k: int, seed0: i
                 proc.kill()
 
 
+def fleet_phase(
+    workers: int, sessions: int, rows: int, n: int, k: int,
+    seed0: int, kill_worker: bool,
+) -> None:
+    """The fleet smoke: a ``--workers N`` router subprocess, optionally
+    with one worker SIGKILLed (by pid, from outside) mid-stream.
+
+    Success = the same bar as every other phase: zero session loss and
+    final answers bit-identical to the offline monitor — plus, after a
+    kill, exactly one recorded failover and a whole fleet again.
+    """
+    catalog = list_workloads()
+    proc, address = spawn_server("--workers", str(workers))
+    try:
+        line = proc.stdout.readline().strip()
+        if not line.startswith("fleet: "):
+            raise SystemExit(f"router did not announce its fleet (got {line!r})")
+        print(f"server: {line}")
+        retry = RetryPolicy(attempts=10, connect_timeout=5.0, backoff=0.2, backoff_max=2.0)
+        with ServiceClient(address, timeout=120, retry=retry) as client:
+            cases = []
+            for i in range(sessions):
+                name = catalog[i % len(catalog)]
+                values = get_workload(name, n, rows, seed=3000 + i).generate()
+                handle = client.create_session(n=n, k=k, seed=seed0 + i)
+                cases.append((handle, name, values))
+            created = {handle.id for handle, _, _ in cases}
+            topology = client.fleet()
+            busy = sum(1 for w in topology["workers"] if w["sessions"])
+            print(f"fleet topology: {len(topology['workers'])} workers, "
+                  f"{busy} hosting sessions, standby {'up' if topology['standby'] else 'DOWN'}")
+            if busy < min(workers, 2):
+                raise SystemExit("sharding failed: sessions did not spread across workers")
+            kill_at = rows // 2 if kill_worker else None
+            kills = 0
+            for t in range(rows):
+                if t == kill_at:
+                    victim = max(topology["workers"], key=lambda w: w["sessions"])
+                    os.kill(victim["pid"], 9)
+                    kills += 1
+                    print(f"worker {victim['slot']} (pid {victim['pid']}, "
+                          f"{victim['sessions']} sessions) killed (SIGKILL)")
+                for handle, _, values in cases:
+                    handle.feed(values[t])
+            survivors = set(client.session_ids())
+            if survivors != created:
+                raise SystemExit(
+                    f"session loss: {len(created - survivors)} of {len(created)} "
+                    f"sessions gone after the fleet run"
+                )
+            mismatches = 0
+            for i, (handle, name, values) in enumerate(cases):
+                state = handle.query(wait=True)
+                offline = TopKMonitor(n=n, k=k, seed=seed0 + i).run(values)
+                ok = (
+                    state["topk"] == offline.topk_history[-1].tolist()
+                    and state["messages"] == offline.total_messages
+                )
+                if not ok:
+                    mismatches += 1
+                    print(f"MISMATCH fleet session {handle.id} ({name}): {state} vs "
+                          f"{offline.topk_history[-1].tolist()}/{offline.total_messages}")
+            if mismatches:
+                raise SystemExit(f"{mismatches} fleet sessions diverged from offline runs")
+            metrics = client.metrics()
+            fleet = metrics["fleet"]
+            if kill_worker:
+                if fleet["failovers"] != 1:
+                    raise SystemExit(f"expected exactly 1 failover, saw {fleet['failovers']}")
+                latency = fleet["failover_latency_ms"]
+                print(f"failover: {latency['count']} promotion(s), "
+                      f"mean {latency['mean']}ms, {fleet['rows_replayed']} rows replayed")
+            after = client.fleet()
+            if len(after["workers"]) != workers:
+                raise SystemExit(
+                    f"fleet not whole: {len(after['workers'])} of {workers} workers up"
+                )
+            print(
+                f"fleet {workers}w: {sessions} sessions x {rows} rows, "
+                f"{metrics['rows_processed']} rows stepped across the fleet, "
+                f"{kills} worker kill(s): zero session loss, all bit-identical"
+            )
+            client.shutdown()
+        code = proc.wait(timeout=60)
+        if code != 0:
+            raise SystemExit(f"router exited {code} after shutdown op")
+        print("clean fleet shutdown: exit code 0")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sessions", type=int, default=100, help="concurrent sessions")
@@ -349,6 +450,16 @@ def main() -> int:
     parser.add_argument(
         "--fault-profile", choices=FAULT_PROFILES, default=None,
         help="run the chaos smoke under this fault profile instead of the standard phases",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run the fleet smoke against a --workers N router instead of "
+        "the standard phases (default 1: standard single-server smoke)",
+    )
+    parser.add_argument(
+        "--kill-worker", action="store_true",
+        help="with --workers: SIGKILL the busiest worker mid-stream and "
+        "require a clean failover (zero loss, bit-identical answers)",
     )
     parser.add_argument(
         "--server-log-dir", type=Path, default=None, metavar="DIR",
@@ -366,6 +477,14 @@ def main() -> int:
             args.n, args.k, seed0=1700,
         )
         print("service chaos smoke OK")
+        return 0
+
+    if args.workers > 1:
+        fleet_phase(
+            args.workers, max(2, args.sessions // 5), args.rows,
+            args.n, args.k, seed0=3500, kill_worker=args.kill_worker,
+        )
+        print("service fleet smoke OK")
         return 0
 
     # --- phase 1+2: full service drive ----------------------------------
