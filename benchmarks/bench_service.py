@@ -280,3 +280,79 @@ def test_fleet_scaling_gate():
         f"4-worker fleet at {rates[4]:.0f} rows/s is not 3x the "
         f"1-worker baseline {rates[1]:.0f} rows/s"
     )
+
+
+# Observability (PR 9): the zero-overhead-when-off guarantee.  Every obs
+# touch point on the stepping hot path is guarded by the plain ``OBS.on``
+# boolean; the headline drains above run with it off (the default), so
+# they *are* the no-op-parity baseline, and the pair below prices the
+# enabled side.
+
+
+def test_drain_1000_sessions_obs_enabled(benchmark):
+    """The batched drain with full instrumentation on — the enabled twin
+    of ``drain_1000_sessions_batched``; the delta is the obs price."""
+    from repro.obs import OBS, RECORDER, get_family, reset_metrics
+
+    streams = _streams()
+
+    def setup():
+        return (_loaded_manager(streams, batch=True),), {}
+
+    def drain(mgr):
+        OBS.on = True
+        try:
+            mgr.drain()
+        finally:
+            OBS.on = False
+        return mgr
+
+    try:
+        mgr = benchmark.pedantic(drain, setup=setup, rounds=3, iterations=1)
+        snap = mgr.metrics_snapshot()
+        assert snap.rows_processed == SESSIONS * ROWS
+        # The instrumentation genuinely ran: the engine families moved.
+        assert get_family("repro_engine_protocol_runs_total") is not None
+        assert sum(
+            s.value for _, s in get_family("repro_engine_protocol_runs_total").series()
+        ) > 0
+    finally:
+        OBS.on = False
+        RECORDER.clear()
+        reset_metrics()
+
+
+def test_obs_overhead_gate():
+    """The ISSUE-9 acceptance bar: instrumentation enabled costs <= 3% on
+    the batched 1000-session drain.
+
+    Measured to survive a noisy single-core box: CPU time (frequency
+    drift and scheduler steal hit wall clocks mode-asymmetrically),
+    drains interleaved with the leading mode alternated each round (so
+    throttling over the run cannot systematically tax one mode), best-of
+    per mode.  The per-event branch itself microbenchmarks at ~0.3us
+    against ~4k protocol runs per drain, so the true cost is ~1%; the
+    3%% bar leaves room for residual jitter without masking a real
+    regression (an un-memoized ``labels()`` call per run reads ~7%%)."""
+    from repro.obs import OBS, RECORDER, reset_metrics
+
+    streams = _streams()
+    timings = {False: float("inf"), True: float("inf")}
+    try:
+        for round_no in range(6):
+            order = (False, True) if round_no % 2 else (True, False)
+            for enabled in order:
+                mgr = _loaded_manager(streams, batch=True)
+                OBS.on = enabled
+                t0 = time.process_time()
+                mgr.drain()
+                OBS.on = False
+                timings[enabled] = min(timings[enabled], time.process_time() - t0)
+    finally:
+        OBS.on = False
+        RECORDER.clear()
+        reset_metrics()
+    assert timings[True] <= 1.03 * timings[False], (
+        f"obs-enabled drain {timings[True]:.4f}s CPU exceeds 3% over the "
+        f"disabled baseline {timings[False]:.4f}s"
+    )

@@ -77,7 +77,7 @@ from repro.errors import (
     WorkloadError,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "run",
@@ -125,6 +125,7 @@ _LAZY_SUBMODULES = (
     "experiments",
     "extensions",
     "model",
+    "obs",
     "service",
     "streams",
     "util",

@@ -60,6 +60,13 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.analysis.backends import register_backend
 from repro.errors import ConfigurationError, ExperimentError
+from repro.obs.registry import (
+    OBS,
+    clock as _obs_clock,
+    counter as _obs_counter,
+    gauge as _obs_gauge,
+    histogram as _obs_histogram,
+)
 from repro.util.optionstate import OptionState
 
 __all__ = [
@@ -255,9 +262,25 @@ def _client_manager(host: str, port: int, authkey: bytes) -> _ClientManager:
     return manager
 
 
+# Registry families (repro/obs): chunk progress and straggler lag — the
+# gap between successive chunk completions, whose tail is exactly the
+# time the coordinator sat waiting on its slowest worker.
+_OBS_CHUNKS = _obs_counter(
+    "repro_sweep_chunks_total", "sweep chunks collected by the queue backend"
+)
+_OBS_OUTSTANDING = _obs_gauge(
+    "repro_sweep_chunks_outstanding", "sweep chunks dispatched but not yet collected"
+)
+_OBS_STRAGGLER = _obs_histogram(
+    "repro_sweep_chunk_gap_seconds",
+    "gap between successive chunk completions (straggler lag)",
+)
+
+
 def _collect(result_q, n_chunks: int, procs: list) -> Iterator[tuple[int, float]]:
     """Drain ``n_chunks`` results, watching for dead workers and errors."""
     outstanding = n_chunks
+    last_done = _obs_clock() if OBS.on else 0.0
     while outstanding:
         try:
             kind, cid, payload = result_q.get(timeout=1.0)
@@ -271,6 +294,12 @@ def _collect(result_q, n_chunks: int, procs: list) -> Iterator[tuple[int, float]
         if kind == "error":
             raise ExperimentError(f"queue backend: worker failed on chunk {cid}:\n{payload}")
         outstanding -= 1
+        if OBS.on:
+            now = _obs_clock()
+            _OBS_STRAGGLER.observe(now - last_done)
+            last_done = now
+            _OBS_CHUNKS.inc()
+            _OBS_OUTSTANDING.set(outstanding)
         yield from payload
 
 

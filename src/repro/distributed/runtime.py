@@ -31,12 +31,32 @@ from repro.distributed.coordinator import CoordinatorAgent, ProtocolBook
 from repro.distributed.node import NodeAgent
 from repro.model.ledger import MessageLedger
 from repro.model.message import MessageKind, Phase
+from repro.obs.registry import OBS, counter as _obs_counter
+from repro.obs.trace import span as _obs_span
 from repro.types import Side
 from repro.util.intmath import ceil_log2
 from repro.util.seeding import derive_rng
 from repro.util.validation import check_k, check_matrix
 
 __all__ = ["DistributedResult", "run_distributed"]
+
+# Registry families (repro/obs).  Per-node uplink counts are published at
+# the reply seam (`_deliver_reply`, also overridden by the faulty
+# runtime), per-phase totals once per run from the ledger — both behind
+# ``OBS.on``, so a default-off run carries one boolean load per reply.
+_OBS_NODE_MSGS = _obs_counter(
+    "repro_distributed_node_messages_total",
+    "uplink replies delivered to the coordinator, by node id",
+    ("node",),
+)
+_OBS_PHASE_MSGS = _obs_counter(
+    "repro_distributed_messages_total",
+    "messages charged by distributed runs, by protocol phase",
+    ("phase",),
+)
+_OBS_RUNS = _obs_counter(
+    "repro_distributed_runs_total", "completed distributed runtime executions"
+)
 
 
 @dataclass
@@ -101,6 +121,8 @@ class _Runtime:
         carrier still charges for copies it loses in flight.
         """
         self._charge_node(phase)
+        if OBS.on:
+            _OBS_NODE_MSGS.labels(node=node.id).inc()
         return book.receive(*msg)
 
     def _flush_delayed(self, book: ProtocolBook, phase: Phase,
@@ -264,10 +286,15 @@ def run_distributed(values: np.ndarray, k: int, *, seed=None) -> DistributedResu
     rt = _Runtime(n, k, seed)
     history = np.empty((T, k), dtype=np.int64)
     result = DistributedResult(n=n, k=k, steps=T, topk_history=history, ledger=rt.ledger)
-    for t in range(T):
-        rt.step(t, values[t], result)
-        history[t] = rt.coordinator.topk
+    with _obs_span("distributed.run", n=n, k=k, steps=T):
+        for t in range(T):
+            rt.step(t, values[t], result)
+            history[t] = rt.coordinator.topk
     rt.ledger.end_run()
     result.resets = rt.coordinator.resets
     result.handler_calls = rt.coordinator.handler_calls
+    if OBS.on:
+        _OBS_RUNS.inc()
+        for phase, count in rt.ledger.by_phase.items():
+            _OBS_PHASE_MSGS.labels(phase=phase.name.lower()).inc(count)
     return result

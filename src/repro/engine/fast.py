@@ -43,6 +43,7 @@ from repro.engine.kernel import (
 from repro.engine.registry import CAP_COUNTING, CAP_TRAJECTORY, register_engine
 from repro.engine.results import RunResult
 from repro.engine.vectorized import VectorizedResult, check_counting_config
+from repro.obs.registry import OBS, counter as _obs_counter
 from repro.util.deprecation import warn_deprecated
 from repro.util.seeding import derive_rng
 from repro.util.validation import check_k, check_matrix
@@ -52,6 +53,18 @@ __all__ = ["FastResult", "run_fast"]
 # The fast engine emits the same counters/trajectory container as the
 # vectorized engine — differential comparison is field-by-field trivial.
 FastResult = VectorizedResult
+
+# Registry families (repro/obs): the segment-skip hit rate is
+# skipped/(skipped+violation) over these two series; published once per
+# run, so the event loop itself carries no instrumentation cost.
+_OBS_SEG_ROWS = _obs_counter(
+    "repro_engine_segment_rows_total",
+    "rows classified by the fast engine's segment scanner",
+    ("outcome",),
+)
+_OBS_VIOLATIONS = _obs_counter(
+    "repro_engine_violations_total", "violation events handled by the fast engine"
+)
 
 
 def _run_fast(
@@ -134,6 +147,12 @@ def _run_fast(
             counts["midpoint_broadcast"] += 1
         history[v] = state.top_ids
         t = v + 1
+    if OBS.on:
+        # Row 0 is the initialization reset; every other non-event row was
+        # skipped as part of a quiet segment.
+        _OBS_SEG_ROWS.labels(outcome="violation").inc(result.handler_calls + 1)
+        _OBS_SEG_ROWS.labels(outcome="skipped").inc(T - 1 - result.handler_calls)
+        _OBS_VIOLATIONS.inc(result.handler_calls)
     return result
 
 

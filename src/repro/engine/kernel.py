@@ -32,7 +32,11 @@ checkpoint layer (:mod:`repro.core.checkpoint`) builds session
 checkpoint/restore on.
 
 This module deliberately imports nothing from :mod:`repro.core` or
-:mod:`repro.service` — it is the layer below all of them.
+:mod:`repro.service` — it is the layer below all of them.  The one
+upward-looking exception is :mod:`repro.obs` (itself a leaf): when
+``OBS.on`` the round loop publishes per-phase run/message/timer series
+into the unified metrics registry, and when it is off (the default) the
+only cost is one boolean attribute load per protocol execution.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.registry import OBS, clock as _obs_clock, counter as _obs_counter
 from repro.util.intmath import ceil_log2
 
 __all__ = [
@@ -449,6 +454,43 @@ def _round_loop(
     return best_id, best, node_msgs, bcasts
 
 
+# Unified-registry families the round loop publishes into when ``OBS.on``
+# (see repro/obs): executions, node messages and improvement broadcasts
+# per phase, plus a per-phase wall-time account.  Declared here, at import,
+# like every other self-registering family.
+_OBS_RUNS = _obs_counter(
+    "repro_engine_protocol_runs_total", "Algorithm-2 protocol executions", ("phase",)
+)
+_OBS_MSGS = _obs_counter(
+    "repro_engine_protocol_messages_total", "node messages sent in protocol rounds", ("phase",)
+)
+_OBS_ROUNDS = _obs_counter(
+    "repro_engine_round_broadcasts_total", "improvement round broadcasts", ("phase",)
+)
+_OBS_SECONDS = _obs_counter(
+    "repro_engine_phase_seconds_total", "wall seconds spent in protocol runs", ("phase",)
+)
+
+# Per-phase series memo: ``labels()`` validates and key-builds on every
+# call, which is too slow for the per-violation path (the <3% overhead
+# gate in benchmarks/bench_service.py).  Phases are a tiny fixed set, so
+# resolve each once and keep the concrete series.  ``reset_metrics``
+# zeroes series in place, so cached objects stay live across resets.
+_OBS_PHASE_SERIES: dict[str, tuple] = {}
+
+
+def _obs_phase_series(phase: str) -> tuple:
+    series = _OBS_PHASE_SERIES.get(phase)
+    if series is None:
+        series = _OBS_PHASE_SERIES[phase] = (
+            _OBS_SECONDS.labels(phase=phase),
+            _OBS_RUNS.labels(phase=phase),
+            _OBS_MSGS.labels(phase=phase),
+            _OBS_ROUNDS.labels(phase=phase),
+        )
+    return series
+
+
 def protocol_run(
     participants: np.ndarray,
     row: np.ndarray,
@@ -470,7 +512,16 @@ def protocol_run(
     if initiated:
         counts["protocol_start"] += start_charge
     keyed = row[participants] if sign > 0 else -row[participants]
-    wid, best, msgs, bcasts = _round_loop(participants, keyed, upper, rng)
+    if OBS.on:
+        t0 = _obs_clock()
+        wid, best, msgs, bcasts = _round_loop(participants, keyed, upper, rng)
+        secs, runs, pmsgs, prounds = _obs_phase_series(phase)
+        secs.value += _obs_clock() - t0
+        runs.value += 1.0
+        pmsgs.value += msgs
+        prounds.value += bcasts
+    else:
+        wid, best, msgs, bcasts = _round_loop(participants, keyed, upper, rng)
     counts[phase] += msgs
     counts["protocol_round"] += bcasts
     return wid, sign * best

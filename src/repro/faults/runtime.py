@@ -48,10 +48,27 @@ from repro.faults.byzantine import lie
 from repro.faults.plan import FaultPlan, FaultStats
 from repro.model.ledger import MessageLedger
 from repro.model.message import MessageKind, Phase
+from repro.obs.registry import OBS, counter as _obs_counter
+from repro.obs.trace import RECORDER as _obs_recorder
 from repro.types import Side
 from repro.util.validation import check_k, check_matrix
 
 __all__ = ["FaultyResult", "FaultyRuntime", "run_faulty", "topk_error_count"]
+
+# Registry families (repro/obs): what the hostile network actually did.
+# Crash and rejoin events additionally record spans, so a trace export of
+# a faulty run shows *when* the world broke, not just how often.
+_OBS_CRASHES = _obs_counter(
+    "repro_faults_crashes_total", "node crash events injected by the fault plan"
+)
+_OBS_RESYNCS = _obs_counter(
+    "repro_faults_resyncs_total", "RESYNC announcements from nodes rejoining after a crash"
+)
+_OBS_NODE_MSGS = _obs_counter(
+    "repro_distributed_node_messages_total",
+    "uplink replies delivered to the coordinator, by node id",
+    ("node",),
+)
 
 
 @dataclass
@@ -148,6 +165,8 @@ class FaultyRuntime(_Runtime):
             self._charge_node(phase)
             self.stats.sent += 1
             if delay == 0:
+                if OBS.on:
+                    _OBS_NODE_MSGS.labels(node=node.id).inc()
                 if book.receive(*msg):
                     improved = True
             else:
@@ -243,7 +262,11 @@ class FaultyRuntime(_Runtime):
         self._t = t
         down_now = self.plan.down_set(t)
         rejoined = self._down - down_now
-        self.stats.crashes += len(down_now - self._down)
+        crashed = down_now - self._down
+        self.stats.crashes += len(crashed)
+        if OBS.on and crashed:
+            _OBS_CRASHES.inc(len(crashed))
+            _obs_recorder.record("faults.crash", step=t, nodes=sorted(crashed))
         self._down = down_now
         super().step(t, row, result)
         if rejoined and t > 0:
@@ -253,6 +276,9 @@ class FaultyRuntime(_Runtime):
             for _ in sorted(rejoined):
                 self.ledger.charge(MessageKind.NODE_TO_COORD, Phase.RESYNC)
             self.stats.resyncs += len(rejoined)
+            if OBS.on:
+                _OBS_RESYNCS.inc(len(rejoined))
+                _obs_recorder.record("faults.resync", step=t, nodes=sorted(rejoined))
             self.filter_reset(t, result)
 
 

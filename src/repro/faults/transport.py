@@ -28,8 +28,18 @@ from repro.faults.plan import FaultPlan, FaultStats
 from repro.model.ledger import MessageLedger
 from repro.model.message import Message, MessageKind, Phase
 from repro.model.transport import CountingTransport, Transport
+from repro.obs.registry import OBS, counter as _obs_counter
+from repro.obs.trace import RECORDER as _obs_recorder
 
 __all__ = ["FaultyTransport"]
+
+# Registry family (repro/obs): injected transport faults by kind, so a
+# live dashboard can see the network being hostile while it happens.
+_OBS_INJECTED = _obs_counter(
+    "repro_faults_injected_total",
+    "transport-level fault injections applied",
+    ("kind",),
+)
 
 
 class FaultyTransport(Transport):
@@ -89,6 +99,9 @@ class FaultyTransport(Transport):
         lost = len(self._in_flight)
         self._in_flight.clear()
         self.stats.lost_in_flight += lost
+        if OBS.on and lost:
+            _OBS_INJECTED.labels(kind="lost_in_flight").inc(lost)
+            _obs_recorder.record("faults.lost_in_flight", copies=lost)
         return lost
 
     @property
@@ -111,9 +124,13 @@ class FaultyTransport(Transport):
                 self.stats.dropped_downlink += 1
             else:
                 self.stats.dropped_uplink += 1
+            if OBS.on:
+                _OBS_INJECTED.labels(kind="drop_downlink" if down else "drop_uplink").inc()
             return
         if copies > 1:
             self.stats.duplicated += copies - 1
+            if OBS.on:
+                _OBS_INJECTED.labels(kind="duplicate").inc(copies - 1)
         for _ in range(copies):
             charge()
             self.stats.sent += 1
@@ -123,6 +140,8 @@ class FaultyTransport(Transport):
                 self.stats.delayed += 1
                 self._seq += 1
                 self._in_flight.append((self.time + delay, self._seq, deliver))
+                if OBS.on:
+                    _OBS_INJECTED.labels(kind="delay").inc()
 
     def node_to_coord(self, src: int, payload, phase: Phase) -> None:
         self._carry(

@@ -6,8 +6,8 @@ hostile network to be replayable from its plan seed.  Both collapse the
 moment an algorithmic module reads the wall clock or an unseeded RNG.
 Inside the algorithmic subtrees this rule forbids:
 
-* ``time.time()`` — wall-clock reads (``perf_counter``/``monotonic`` are
-  fine: they time things, they never feed results);
+* ``time.time()`` — wall-clock reads (``monotonic`` is fine: it times
+  things, it never feeds results);
 * the stdlib ``random`` module's global functions (``random.random()``,
   ``random.randint`` ...) — process-global hidden state;
 * ``np.random.seed`` / legacy ``np.random.RandomState`` and every other
@@ -17,6 +17,14 @@ Inside the algorithmic subtrees this rule forbids:
 
 Seeds must flow through :mod:`repro.util.seeding` (``derive_rng`` /
 ``SeedStream``), which is why ``util/`` itself is out of scope.
+
+Package-wide (not just the algorithmic subtrees), raw
+``time.perf_counter`` is confined to ``repro/obs/`` — which exports it as
+:data:`repro.obs.registry.clock` — and the ``repro/service/metrics.py``
+shim.  One clock source keeps timing instrumentation auditable: anything
+timed flows through the observability layer, so a timing read can never
+quietly become an input to protocol state.  Genuinely standalone timers
+waive the line with an explicit ``# reprolint: disable=R2`` and a reason.
 """
 
 from __future__ import annotations
@@ -60,6 +68,15 @@ _NUMPY_EXPLICIT = frozenset(
 #: deterministic; the module-global functions are not).
 _STDLIB_ALLOWED = frozenset({"random.Random"})
 
+#: The raw monotonic clock's only homes: the obs registry (exported as
+#: ``repro.obs.registry.clock``) and the service metrics shim.
+_CLOCK_HOMES = ("repro/obs/", "repro/service/metrics.py")
+
+_CLOCK_FIX = (
+    "use the sanctioned clock (from repro.obs.registry import clock) or waive "
+    "the line with '# reprolint: disable=R2' and a reason"
+)
+
 
 def _first_arg_missing_or_none(call: ast.Call) -> bool:
     if call.args:
@@ -71,7 +88,22 @@ def _first_arg_missing_or_none(call: ast.Call) -> bool:
     return True
 
 
+def _check_clock(ctx: ModuleContext) -> None:
+    """Package-wide: raw ``time.perf_counter`` only inside its homes."""
+    if not ctx.relpath.startswith("repro/") or ctx.relpath.startswith(_CLOCK_HOMES):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Attribute, ast.Name)):
+            continue
+        if ctx.qualname(node) == "time.perf_counter":
+            ctx.report(
+                node, RULE_ID, SLUG,
+                f"raw time.perf_counter outside repro/obs/; {_CLOCK_FIX}",
+            )
+
+
 def _check(ctx: ModuleContext) -> None:
+    _check_clock(ctx)
     if not in_dirs(ctx.relpath, SCOPED_DIRS):
         return
     uses_stdlib_random = "random" in ctx.imported_modules
@@ -114,7 +146,8 @@ def _check(ctx: ModuleContext) -> None:
 register_rule(
     RULE_ID,
     slug=SLUG,
-    summary="no wall clocks or unseeded/global RNGs in engine/core/faults/analysis/streams",
+    summary="no wall clocks or unseeded/global RNGs in engine/core/faults/analysis/streams; "
+    "raw time.perf_counter confined to repro/obs/ (and the service metrics shim)",
     rationale="bit-identical replay across engines, worker counts, and fault plans "
     "requires every stochastic draw to flow from an explicit seed",
     checker=_check,

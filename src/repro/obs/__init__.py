@@ -1,0 +1,95 @@
+"""repro.obs — the observability layer: metrics registry, spans, dashboard.
+
+Three pieces, importable by *every* other layer (this package is a leaf —
+it imports nothing from ``repro`` except :mod:`repro.errors`, so even
+``engine/kernel.py`` may use it):
+
+* :mod:`repro.obs.registry` — the unified metrics registry.  Layers
+  declare counter/gauge/histogram families at import time and publish
+  into them behind the process-wide ``OBS.on`` switch (default off; set
+  ``REPRO_OBS=1`` or call :func:`enable`).
+* :mod:`repro.obs.trace` — structured trace spans in a bounded ring,
+  with trace ids that ride the JSONL wire protocol so one client push is
+  causally traceable through router, worker and failover replay.
+* ``python -m repro.obs`` — exposition: ``top`` (a curses-free live
+  dashboard polling a server or fleet), ``prom`` (Prometheus text) and
+  ``export`` (trace JSONL), all speaking the ``obs``/``metrics`` wire
+  ops.
+
+>>> from repro import obs
+>>> hits = obs.counter("repro_doctest_hits_total", "demo counter")
+>>> obs.enable(); hits.inc(2); obs.disable()
+>>> hits.value
+2.0
+>>> "repro_doctest_hits_total 2" in obs.render_prometheus()
+True
+"""
+
+from repro.obs.registry import (
+    OBS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    clock,
+    counter,
+    gauge,
+    get_family,
+    histogram,
+    list_families,
+    registry_snapshot,
+    render_prometheus,
+    reset_metrics,
+)
+from repro.obs.trace import (
+    RECORDER,
+    SpanRecorder,
+    new_span_id,
+    new_trace_id,
+    span,
+)
+
+__all__ = [
+    "OBS",
+    "enable",
+    "disable",
+    "clock",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_family",
+    "list_families",
+    "registry_snapshot",
+    "render_prometheus",
+    "reset_metrics",
+    "obs_payload",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "RECORDER",
+    "SpanRecorder",
+    "span",
+    "new_trace_id",
+    "new_span_id",
+]
+
+
+def enable() -> None:
+    """Turn observability on process-wide (spans + hot-path publishing)."""
+    OBS.enable()
+
+
+def disable() -> None:
+    """Back to the zero-overhead default."""
+    OBS.disable()
+
+
+def obs_payload(limit: int | None = None) -> dict:
+    """The ``obs`` wire op's reply body: state, metrics and recent spans."""
+    return {
+        "enabled": OBS.on,
+        "prom": render_prometheus(),
+        "metrics": registry_snapshot(),
+        "spans": RECORDER.spans(limit),
+    }

@@ -1,0 +1,75 @@
+"""Exposition CLI: ``python -m repro.obs {top,prom,export}``.
+
+* ``top ADDRESS`` — the curses-free live dashboard (``--once`` for a
+  single snapshot, ``--interval``/``--iterations`` for bounded loops).
+* ``prom ADDRESS`` — print the target's Prometheus text exposition.
+* ``export ADDRESS --out FILE`` — fetch the target's span ring (router
+  plus, on a fleet, every worker) and write it as trace JSONL.
+
+All three speak the ``obs``/``metrics`` wire ops of a running server or
+fleet router; nothing here touches protocol state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.dashboard import fetch, render, run_top
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability exposition for a running topkmon server or fleet.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    top = sub.add_parser("top", help="live dashboard (curses-free)")
+    top.add_argument("address", help="server or fleet router, host:port")
+    top.add_argument("--interval", type=float, default=1.0, help="seconds between polls")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after this many polls (default: run until ^C)")
+    top.add_argument("--once", action="store_true",
+                     help="one un-cleared snapshot (CI/pipe friendly)")
+
+    prom = sub.add_parser("prom", help="print Prometheus text exposition")
+    prom.add_argument("address", help="server or fleet router, host:port")
+
+    export = sub.add_parser("export", help="export the span ring as trace JSONL")
+    export.add_argument("address", help="server or fleet router, host:port")
+    export.add_argument("--out", required=True, help="output .jsonl path")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "top":
+        if args.once:
+            print(render(fetch(args.address), address=args.address), end="")
+            return 0
+        try:
+            run_top(args.address, interval=args.interval, iterations=args.iterations)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    if args.command == "prom":
+        print(fetch(args.address, spans=0)["obs"].get("prom", ""), end="")
+        return 0
+    if args.command == "export":
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(args.address, timeout=60) as client:
+            payload = client.obs()
+        spans = payload.get("spans", [])
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for entry in spans:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"exported {len(spans)} span(s) to {args.out}", file=sys.stderr)
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -89,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="linger this long after idle before sweeping, widening batches "
         "at the cost of tail latency (default 0)",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable observability (metrics registry + trace spans; same as "
+        "REPRO_OBS=1) — served via the 'obs' wire op and python -m repro.obs",
+    )
     return parser
 
 
@@ -167,6 +173,15 @@ async def _serve_fleet(
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.obs:
+        import os
+
+        from repro import obs
+
+        obs.enable()
+        # Fleet workers are separate processes: the env var is how the
+        # switch reaches them (FleetRouter._spawn copies os.environ).
+        os.environ["REPRO_OBS"] = "1"
     if args.serve:
         host, port = _split_address(args.serve)
         if args.workers < 1:

@@ -42,12 +42,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import BackpressureError, ServiceConnectError, ServiceError
+from repro.obs import OBS, new_trace_id
 
 __all__ = ["RetryPolicy", "ServiceClient", "SessionHandle"]
 
 #: Ops safe to resend verbatim after a lost connection: they read state
 #: or trigger a convergent side effect (a double checkpoint is a no-op).
-_IDEMPOTENT_OPS = frozenset({"query", "ping", "sessions", "metrics", "checkpoint", "fleet"})
+_IDEMPOTENT_OPS = frozenset({"query", "ping", "sessions", "metrics", "checkpoint", "fleet", "obs"})
 
 
 @dataclass(frozen=True)
@@ -292,6 +293,15 @@ class ServiceClient:
         """
         return self.request("fleet")["fleet"]
 
+    def obs(self, *, limit: int | None = None) -> dict:
+        """The target's observability payload: ``enabled``, Prometheus
+        text (``prom``), the registry snapshot (``metrics``) and recent
+        trace ``spans`` (capped at ``limit`` when given).  A fleet router
+        merges its workers' spans in, tagged with their slot."""
+        fields = {"limit": limit} if limit is not None else {}
+        reply = self.request("obs", **fields)
+        return {key: reply[key] for key in ("enabled", "prom", "metrics", "spans") if key in reply}
+
     def ping(self) -> bool:
         """Liveness round trip."""
         return bool(self.request("ping").get("ok"))
@@ -349,10 +359,16 @@ class SessionHandle:
             self._sync_acked()
         base = self._acked
         remaining = rows
+        # With observability on, every push carries a trace id end to end:
+        # the router journals it per row, so even rows replayed to a
+        # standby after a worker death stay attributable to this push.
+        trace = new_trace_id() if OBS.on else None
         while True:
             fields = {"session": self.id, "rows": remaining}
             if len(remaining) == 1:
                 fields = {"session": self.id, "row": remaining[0]}
+            if trace is not None:
+                fields["trace"] = trace
             try:
                 reply = self._client.request("feed", **fields)
                 self._acked = self._received(reply)

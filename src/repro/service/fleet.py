@@ -65,12 +65,19 @@ import shutil
 import sys
 import tempfile
 import threading
-import time
 import traceback
 from collections import deque
 from pathlib import Path
 
 from repro.errors import ConfigurationError, ReproError, ServiceError
+from repro.obs.registry import (
+    OBS,
+    clock as _obs_clock,
+    counter as _obs_counter,
+    gauge as _obs_gauge,
+    histogram as _obs_histogram,
+)
+from repro.obs.trace import RECORDER as _obs_recorder, new_trace_id
 from repro.service.manager import (
     DEFAULT_INBOX_LIMIT,
     _atomic_write,
@@ -104,6 +111,28 @@ DEFAULT_CHECKPOINT_INTERVAL = 0.5
 _ROUTES_FILE = "router.json"
 
 _ROUTES_SCHEMA = 1
+
+# Registry families (repro/obs): the fleet's health as named series — how
+# often failovers happen, how long they take, how much journal is exposed.
+_OBS_FAILOVERS = _obs_counter(
+    "repro_fleet_failovers_total", "standby promotions after a worker death"
+)
+_OBS_FAILOVER_SECONDS = _obs_histogram(
+    "repro_fleet_failover_seconds",
+    "wall time from death detection to a recovered slot (restore + replay)",
+)
+_OBS_ROWS_REPLAYED = _obs_counter(
+    "repro_fleet_rows_replayed_total", "journal rows re-fed during failovers"
+)
+_OBS_JOURNAL_ROWS = _obs_gauge(
+    "repro_fleet_journal_rows",
+    "rows journaled but not yet covered by an acknowledged checkpoint",
+)
+_OBS_WORKER_ROWS = _obs_counter(
+    "repro_fleet_worker_rows_total",
+    "rows the router delivered to each worker slot",
+    ("slot",),
+)
 
 
 def stable_hash(key: str) -> int:
@@ -208,9 +237,11 @@ class _Forwarded(Exception):
 class _SessionRoute:
     """Router-side state of one session: where it lives, what was fed.
 
-    ``journal`` holds ``(seq, row)`` pairs — ``seq`` is the absolute row
-    index — for every row not yet covered by an acknowledged worker
-    checkpoint; ``acked`` is the highest received-count a worker has
+    ``journal`` holds ``(seq, row, trace)`` triples — ``seq`` is the
+    absolute row index, ``trace`` the originating push's trace id (or
+    ``None`` with observability off) — for every row not yet covered by
+    an acknowledged worker checkpoint; ``acked`` is the highest
+    received-count a worker has
     confirmed (rows below it are at least in the worker's inbox, rows
     below the trim mark are durable).  ``lock`` serializes feeds so the
     journal order matches the delivery order.
@@ -221,7 +252,7 @@ class _SessionRoute:
     def __init__(self, group: str, slot: str, *, next_seq: int = 0):
         self.group = group
         self.slot = slot
-        self.journal: deque[tuple[int, list]] = deque()
+        self.journal: deque[tuple[int, list, str | None]] = deque()
         self.next_seq = next_seq
         self.acked = next_seq
         self.lock = asyncio.Lock()
@@ -510,6 +541,10 @@ class FleetRouter:
             if self.checkpoint_interval is not None:
                 argv += ["--checkpoint-interval", str(self.checkpoint_interval)]
         env = {**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)}
+        if OBS.on:
+            # Programmatic ``obs.enable()`` in the router must reach the
+            # children too, or the fleet's ``obs`` op would merge nothing.
+            env["REPRO_OBS"] = "1"
         proc = await asyncio.create_subprocess_exec(
             *argv,
             stdout=asyncio.subprocess.PIPE,
@@ -584,7 +619,7 @@ class FleetRouter:
         """Promote the standby into a dead worker's slot and replay."""
         if self._workers.get(slot) is not dead:
             return  # already replaced (e.g. a stale monitor)
-        t0 = time.perf_counter()
+        t0 = _obs_clock()
         self._failing.add(slot)
         dead.close_connection()
         try:
@@ -606,10 +641,18 @@ class FleetRouter:
                 asyncio.create_task(self._monitor_worker(slot, replacement))
             )
             replayed = await self._replay_journals(slot, replacement)
-            elapsed = time.perf_counter() - t0
+            elapsed = _obs_clock() - t0
             self._failovers += 1
             self._failover_latencies.append(elapsed)
             self._rows_replayed += replayed
+            if OBS.on:
+                _OBS_FAILOVERS.inc()
+                _OBS_FAILOVER_SECONDS.observe(elapsed)
+                _OBS_ROWS_REPLAYED.inc(replayed)
+                _obs_recorder.record(
+                    "fleet.failover", slot=slot, ts=t0, dur_us=elapsed * 1e6,
+                    pid=replacement.pid, rows_replayed=replayed,
+                )
             print(
                 f"fleet: {slot} recovered on pid {replacement.pid} in "
                 f"{elapsed * 1e3:.1f} ms ({int(reply['sessions'])} sessions restored, "
@@ -648,12 +691,28 @@ class FleetRouter:
             # use ``acked`` to detect that the replay (or the dead worker's
             # checkpoint) covered their rows, so they must not resend.
             route.acked = max(route.acked, received)
-            missing = [row for seq, row in route.journal if seq >= received]
+            missing = [(row, trace) for seq, row, trace in route.journal
+                       if seq >= received]
+            if OBS.on and missing:
+                _obs_recorder.record(
+                    "router.replay", session=session_id, slot=slot,
+                    rows=len(missing),
+                    traces=[t for t in dict.fromkeys(t for _, t in missing)
+                            if t is not None],
+                )
             while missing:
                 chunk = missing[: self.inbox_limit]
-                reply = await worker.request(
-                    {"op": "feed", "session": session_id, "rows": chunk}
-                )
+                message = {"op": "feed", "session": session_id,
+                           "rows": [row for row, _ in chunk], "replay": True}
+                traces = [t for t in dict.fromkeys(t for _, t in chunk)
+                          if t is not None]
+                if traces:
+                    # The replayed rows keep their original client trace
+                    # ids: the worker records one ``server.feed`` span per
+                    # trace, which is what makes a post-failover row
+                    # attributable to the push that first carried it.
+                    message["traces"] = traces
+                reply = await worker.request(message)
                 if reply.get("ok"):
                     route.acked = max(route.acked, _received(reply))
                     replayed += len(chunk)
@@ -806,15 +865,21 @@ class FleetRouter:
                     continue
                 while route.journal and route.journal[0][0] < mark:
                     route.journal.popleft()
+        if OBS.on:
+            _OBS_JOURNAL_ROWS.set(self._journal_rows())
         return total
+
+    def _journal_rows(self) -> int:
+        """Rows journaled fleet-wide (the durability exposure right now)."""
+        return sum(len(route.journal) for route in self._sessions.values())
 
     # ----------------------------------------------------- fault schedule
 
     async def _run_fault_plan(self) -> None:
         """SIGKILL workers on the plan's crash schedule (seconds scale)."""
-        start = time.perf_counter()
+        start = _obs_clock()
         for window in sorted(self.fault_plan.crashes, key=lambda w: w.down_at):
-            delay = window.down_at - (time.perf_counter() - start)
+            delay = window.down_at - (_obs_clock() - start)
             if delay > 0:
                 await asyncio.sleep(delay)
             if self._stopping:
@@ -826,6 +891,9 @@ class FleetRouter:
                 continue
             print(f"fleet: fault plan kills {slot} (pid {worker.pid}) "
                   f"at t={window.down_at}s", file=sys.stderr, flush=True)
+            if OBS.on:
+                _obs_recorder.record("fleet.kill", slot=slot, pid=worker.pid,
+                                     at=window.down_at)
             worker.kill()
 
     def _ordered_slots(self) -> list[str]:
@@ -889,6 +957,8 @@ class FleetRouter:
                 payload = await self._op_close(request)
             elif op == "metrics":
                 payload = await self._op_metrics()
+            elif op == "obs":
+                payload = await self._op_obs(request)
             elif op == "sessions":
                 payload = {"sessions": list(self._sessions)}
             elif op == "checkpoint":
@@ -980,6 +1050,11 @@ class FleetRouter:
             if not rows:
                 raise ServiceError("feed needs a 'row' or a non-empty 'rows' list")
             rows = list(rows)
+        trace = request.get("trace")
+        if OBS.on and trace is None:
+            # Client pushed without a trace id (its obs is off): mint one
+            # at the router so the hop is still traceable through replay.
+            trace = new_trace_id()
         async with route.lock:
             if self._sessions.get(session_id) is not route:
                 raise ServiceError(f"unknown session {session_id!r}")
@@ -987,12 +1062,18 @@ class FleetRouter:
             # replay triggered at any later await sees these rows.
             start_seq = route.next_seq
             route.journal.extend(
-                (start_seq + i, row) for i, row in enumerate(rows)
+                (start_seq + i, row, trace) for i, row in enumerate(rows)
             )
             route.next_seq += len(rows)
             message = ({"op": "feed", "session": session_id, "row": rows[0]}
                        if len(rows) == 1
                        else {"op": "feed", "session": session_id, "rows": rows})
+            if trace is not None:
+                message["trace"] = trace
+            if OBS.on:
+                _obs_recorder.record("router.feed", trace=trace,
+                                     session=session_id, slot=route.slot,
+                                     rows=len(rows))
             confirm = False
             while True:
                 slot = route.slot
@@ -1019,6 +1100,8 @@ class FleetRouter:
                     continue
                 if reply.get("ok"):
                     route.acked = max(route.acked, _received(reply))
+                    if OBS.on:
+                        _OBS_WORKER_ROWS.labels(slot=slot).inc(len(rows))
                     return {"pending": int(reply["pending"]),
                             "time": int(reply["time"])}
                 if not confirm:
@@ -1125,8 +1208,38 @@ class FleetRouter:
                 "max": round(max(latencies) * 1e3, 1) if latencies else 0.0,
             },
             "rows_replayed": self._rows_replayed,
+            "journal_rows": self._journal_rows(),
+            "per_worker": per_worker,
         }
+        if OBS.on:
+            _OBS_JOURNAL_ROWS.set(aggregate["fleet"]["journal_rows"])
         return {"metrics": aggregate}
+
+    async def _op_obs(self, request: dict) -> dict:
+        """Router obs payload merged with every live worker's spans.
+
+        Worker spans gain a ``slot`` key, so one export shows a trace id
+        crossing the failover boundary: the client push on the dead
+        worker and its replay on the standby share the same ``trace``.
+        """
+        from repro.obs import obs_payload
+
+        limit = request.get("limit")
+        payload = obs_payload(limit=int(limit) if limit is not None else None)
+        for slot in self._ordered_slots():
+            worker = self._workers.get(slot)
+            if worker is None or slot in self._failing:
+                continue
+            try:
+                reply = await worker.request({"op": "obs", "limit": limit})
+            except _WorkerLost:
+                continue
+            if not reply.get("ok"):
+                continue
+            payload["spans"].extend(
+                {**span, "slot": slot} for span in reply.get("spans") or ()
+            )
+        return payload
 
     def describe(self) -> dict:
         """Topology snapshot: the ``fleet`` wire op's payload."""

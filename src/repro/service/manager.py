@@ -50,7 +50,6 @@ from __future__ import annotations
 import json
 import os
 import re
-import time
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -265,10 +264,10 @@ class SessionManager:
         """Drain a session's remaining inbox, retire it, return the final view."""
         session = self._get(session_id)
         if session.inbox:
-            t0 = time.perf_counter()
+            t0 = self.metrics.clock()
             rows, used_lookahead = self._drain_session(session)
             self.metrics.record_sweep(
-                rows, time.perf_counter() - t0,
+                rows, self.metrics.clock() - t0,
                 lookahead=rows if used_lookahead else 0,
             )
         view = self._view(session)
@@ -348,7 +347,7 @@ class SessionManager:
         (everyone else advances one row individually).  All three lanes
         are bit-identical (see the module docstring).
         """
-        t0 = time.perf_counter()
+        t0 = self.metrics.clock()
         singles: list[_Session] = []
         deep: list[_Session] = []
         groups: dict[tuple[int, int], list[_Session]] = {}
@@ -406,7 +405,7 @@ class SessionManager:
         processed = looked + batched + len(singles)
         if processed:
             self.metrics.record_sweep(
-                processed, time.perf_counter() - t0,
+                processed, self.metrics.clock() - t0,
                 batched=batched, quiet=quiet, lookahead=looked,
             )
         return processed

@@ -10,7 +10,17 @@ meaningful per-row figure is the *amortized* step latency ``elapsed /
 rows``.  The recorder keeps a bounded reservoir of recent ``(rows,
 per_row_latency)`` pairs and computes row-weighted percentiles over it —
 p50/p99 answer "how long did the service spend per row, for a typical /
-unlucky row of the recent past".
+unlucky row of the recent past".  ``window_rows`` in every snapshot says
+how many rows that reservoir currently represents, so a p99 computed over
+a near-empty window is visibly over a near-empty window.
+
+Since PR 9 this module is rebased onto the unified registry
+(:mod:`repro.obs.registry`): the recorder's families are declared there
+at import, every :meth:`MetricsRecorder.snapshot` publishes the current
+values into them when observability is on, and :data:`monotonic` is the
+sanctioned clock shim the manager times its sweeps with (reprolint R2
+confines raw ``time.perf_counter`` calls to ``repro/obs/`` and this
+file).
 """
 
 from __future__ import annotations
@@ -21,7 +31,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["MetricsRecorder", "MetricsSnapshot", "aggregate_snapshots"]
+from repro.obs.registry import OBS, gauge
+
+__all__ = ["MetricsRecorder", "MetricsSnapshot", "aggregate_snapshots", "monotonic"]
+
+#: The manager's sweep-timing clock — the one allowed ``perf_counter``
+#: shim outside ``repro/obs/`` (kept here so a test can swap clocks on a
+#: recorder without reaching into ``repro.obs``).
+monotonic = time.perf_counter
 
 #: Sweeps kept for the latency/throughput windows.
 _RESERVOIR = 4096
@@ -48,6 +65,9 @@ class MetricsSnapshot:
     rows_per_sec: float
     step_latency_p50_us: float
     step_latency_p99_us: float
+    #: Rows currently represented by the latency reservoir — the sample
+    #: size behind the percentiles above.
+    window_rows: int
     uptime_sec: float
 
     def as_dict(self) -> dict:
@@ -66,13 +86,16 @@ class MetricsSnapshot:
             "rows_per_sec": round(self.rows_per_sec, 1),
             "step_latency_p50_us": round(self.step_latency_p50_us, 2),
             "step_latency_p99_us": round(self.step_latency_p99_us, 2),
+            "window_rows": self.window_rows,
             "uptime_sec": round(self.uptime_sec, 3),
         }
 
 
 #: Counters that add across fleet workers.  ``rows_per_sec`` sums too:
 #: the workers step in parallel, so fleet throughput is the sum of their
-#: windows — the figure the bench scaling gate measures.
+#: windows — the figure the bench scaling gate measures.  ``window_rows``
+#: sums for the same reason: the fleet percentiles are taken over the
+#: union of the workers' reservoirs.
 _ADDITIVE_KEYS = (
     "sessions_live",
     "sessions_created",
@@ -85,6 +108,7 @@ _ADDITIVE_KEYS = (
     "backpressure_rejections",
     "protocol_messages",
     "rows_per_sec",
+    "window_rows",
 )
 
 #: Figures where a sum would be meaningless: report the worst/oldest worker.
@@ -120,10 +144,28 @@ def _weighted_percentile(latencies: np.ndarray, weights: np.ndarray, q: float) -
     return float(lat[int(np.searchsorted(cum, target))])
 
 
+# Registry families this recorder publishes into at snapshot time (one
+# gauge per headline field; last snapshot wins — each serving process has
+# one live manager, so there is nothing to disambiguate).
+_OBS_GAUGES = {
+    field: gauge(f"repro_service_{field}", help_text)
+    for field, help_text in (
+        ("sessions_live", "sessions currently open in the manager"),
+        ("rows_processed", "rows stepped since manager start"),
+        ("rows_per_sec", "row throughput over the reservoir window"),
+        ("step_latency_p50_us", "row-weighted p50 per-row step latency (us)"),
+        ("step_latency_p99_us", "row-weighted p99 per-row step latency (us)"),
+        ("window_rows", "rows currently represented by the latency reservoir"),
+        ("backpressure_rejections", "rows refused because an inbox was full"),
+        ("protocol_messages", "protocol messages across live and closed sessions"),
+    )
+}
+
+
 class MetricsRecorder:
     """Accumulates the counters behind :class:`MetricsSnapshot`."""
 
-    def __init__(self, clock=time.perf_counter):
+    def __init__(self, clock=monotonic):
         self._clock = clock
         self._start = clock()
         self.sessions_created = 0
@@ -139,6 +181,11 @@ class MetricsRecorder:
         self.retired_messages = 0
         # (timestamp, rows, per-row latency) per sweep, bounded.
         self._sweeps: deque[tuple[float, int, float]] = deque(maxlen=_RESERVOIR)
+
+    @property
+    def clock(self):
+        """The recorder's monotonic clock (the manager times sweeps with it)."""
+        return self._clock
 
     # --------------------------------------------------------------- feeds
 
@@ -176,10 +223,12 @@ class MetricsRecorder:
             rows_per_sec = float(rows.sum()) / window
             p50 = _weighted_percentile(lat, rows, 50.0) * 1e6
             p99 = _weighted_percentile(lat, rows, 99.0) * 1e6
+            window_rows = int(rows.sum())
         else:
             rows_per_sec = 0.0
             p50 = p99 = 0.0
-        return MetricsSnapshot(
+            window_rows = 0
+        snap = MetricsSnapshot(
             sessions_live=sessions_live,
             sessions_created=self.sessions_created,
             sessions_closed=self.sessions_closed,
@@ -193,5 +242,10 @@ class MetricsRecorder:
             rows_per_sec=rows_per_sec,
             step_latency_p50_us=p50,
             step_latency_p99_us=p99,
+            window_rows=window_rows,
             uptime_sec=now - self._start,
         )
+        if OBS.on:
+            for field, family in _OBS_GAUGES.items():
+                family.set(getattr(snap, field))
+        return snap

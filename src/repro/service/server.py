@@ -38,6 +38,7 @@ import traceback
 from pathlib import Path
 
 from repro.errors import BackpressureError, ConfigurationError, ReproError, ServiceError
+from repro.obs import OBS, RECORDER, obs_payload
 from repro.service.manager import DEFAULT_INBOX_LIMIT, DEFAULT_MAX_NODES, SessionManager
 
 __all__ = ["ServiceServer", "ServerHandle", "start_server"]
@@ -263,6 +264,9 @@ class ServiceServer:
                 payload = self._op_close(request)
             elif op == "metrics":
                 payload = {"metrics": self.manager.metrics_snapshot().as_dict()}
+            elif op == "obs":
+                limit = request.get("limit")
+                payload = obs_payload(limit=int(limit) if limit is not None else None)
             elif op == "sessions":
                 payload = {"sessions": self.manager.session_ids()}
             elif op == "checkpoint":
@@ -322,12 +326,25 @@ class ServiceServer:
     def _op_feed(self, request: dict) -> dict:
         session_id = _session_field(request)
         if "row" in request:
+            rows_fed = 1
             pending = self.manager.feed(session_id, request["row"])
         else:
             rows = request.get("rows")
             if not rows:
                 raise ServiceError("feed needs a 'row' or a non-empty 'rows' list")
+            rows_fed = len(rows)
             pending = self.manager.feed_many(session_id, rows)
+        if OBS.on:
+            # One span per originating trace id: a normal push carries one
+            # "trace", a failover replay chunk may merge rows from several
+            # pushes and carries their ids as "traces" — recording each id
+            # is what makes a replayed row attributable to its push.
+            traces = request.get("traces") or [request.get("trace")]
+            for trace in traces:
+                RECORDER.record(
+                    "server.feed", trace=trace, session=session_id,
+                    rows=rows_fed, replay=bool(request.get("replay")),
+                )
         self._work.set()
         return {"pending": pending, "time": self.manager.time(session_id)}
 
@@ -361,6 +378,8 @@ class ServiceServer:
             raise ServiceError("restore needs a 'dir' field")
         count = self.manager.restore_from(directory)
         self.checkpoint_dir = Path(directory)
+        if OBS.on:
+            RECORDER.record("server.restore", sessions=count, dir=str(directory))
         self._work.set()  # restored inboxes may hold pending rows
         return {"sessions": count, "dir": str(self.checkpoint_dir)}
 

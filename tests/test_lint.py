@@ -121,13 +121,39 @@ class TestR2Determinism:
         )
         assert findings_for(src, "repro/engine/vectorized.py") == []
 
-    def test_perf_counter_ok(self):
+    def test_perf_counter_confined_package_wide(self):
+        """Raw perf_counter outside its homes is an R2 finding anywhere in
+        the package, including dirs outside the classic R2 scope."""
         src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        assert rules_hit(src, "repro/core/monitor.py") == ["R2"]
+        assert rules_hit(src, "repro/service/client.py") == ["R2"]
+
+    def test_perf_counter_from_import_flagged(self):
+        src = "from time import perf_counter\n\ndef f():\n    return perf_counter()\n"
+        assert rules_hit(src, "repro/analysis/sweeps.py") == ["R2"]
+
+    def test_perf_counter_ok_in_homes(self):
+        src = "import time\n\nclock = time.perf_counter\n"
+        assert findings_for(src, "repro/obs/registry.py") == []
+        assert findings_for(src, "repro/service/metrics.py") == []
+
+    def test_sanctioned_clock_ok(self):
+        src = (
+            "from repro.obs.registry import clock\n\n"
+            "def f():\n    return clock()\n"
+        )
+        assert findings_for(src, "repro/core/monitor.py") == []
+
+    def test_perf_counter_waiver(self):
+        src = (
+            "import time\n\ndef f():\n"
+            "    return time.perf_counter()  # reprolint: disable=R2\n"
+        )
         assert findings_for(src, "repro/core/monitor.py") == []
 
     def test_out_of_scope_dirs_ignored(self):
-        """service/ and util/ are not R2-scoped (the client's reconnect
-        jitter is deliberately wall-clock-ish)."""
+        """service/ and util/ are not R2-scoped for the classic checks
+        (the client's reconnect jitter is deliberately wall-clock-ish)."""
         src = "import time\n\ndef f():\n    return time.time()\n"
         assert findings_for(src, "repro/service/client.py", select=["R2"]) == []
 

@@ -41,6 +41,13 @@ Usage::
     PYTHONPATH=src python tools/service_smoke.py [--sessions 100] [--rows 40]
     PYTHONPATH=src python tools/service_smoke.py --fault-profile lossy
     PYTHONPATH=src python tools/service_smoke.py --workers 3 --kill-worker
+
+Every phase cross-checks the server-side ``rows_processed`` counter
+against the rows the phase actually fed.  ``--trace-export FILE`` turns
+observability on (``REPRO_OBS=1`` in every spawned server), harvests each
+phase's spans over the ``obs`` wire op, and writes them to FILE as JSONL;
+with ``--kill-worker`` it additionally asserts that replayed rows carry
+the trace id of the client push that originally delivered them.
 """
 
 from __future__ import annotations
@@ -73,6 +80,48 @@ ENV = {**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)}
 #: behaviour (stderr on an unread pipe).
 LOG_DIR: Path | None = None
 _SERVER_SEQ = 0
+
+#: Set from ``--trace-export``: observability is switched on (here and,
+#: via ``REPRO_OBS``, in every spawned server) and each phase's spans are
+#: harvested over the ``obs`` wire op into this JSONL file at exit.
+TRACE_EXPORT: Path | None = None
+_SPANS: list[dict] = []
+
+
+def check_rows_processed(metrics: dict, fed: int, *, exact: bool = True,
+                         phase: str = "smoke") -> None:
+    """Assert the server-side row counter matches what we actually fed.
+
+    Phases that restart a server from a checkpoint use ``exact=False``:
+    the restarted process only counts rows stepped since the restore, and
+    retry/replay paths may legitimately step more than the minimum.
+    """
+    got = int(metrics["rows_processed"])
+    if exact and got != fed:
+        raise SystemExit(f"{phase}: rows_processed {got} != rows fed {fed}")
+    if not exact and got < fed:
+        raise SystemExit(f"{phase}: rows_processed {got} < minimum rows fed {fed}")
+    relation = "==" if exact else ">="
+    print(f"{phase}: rows_processed {got} {relation} rows fed {fed}")
+
+
+def harvest_obs(client: ServiceClient, phase: str) -> dict | None:
+    """Pull one obs payload when tracing; accumulates spans for export."""
+    if TRACE_EXPORT is None:
+        return None
+    payload = client.obs()
+    _SPANS.extend({**span, "smoke_phase": phase} for span in payload["spans"])
+    return payload
+
+
+def export_traces() -> None:
+    if TRACE_EXPORT is None:
+        return
+    TRACE_EXPORT.parent.mkdir(parents=True, exist_ok=True)
+    with TRACE_EXPORT.open("w", encoding="utf-8") as fh:
+        for span in _SPANS:
+            fh.write(json.dumps(span, sort_keys=True) + "\n")
+    print(f"exported {len(_SPANS)} trace spans to {TRACE_EXPORT}")
 
 
 def spawn_server(*extra: str, bind: str = "127.0.0.1:0") -> tuple[subprocess.Popen, str]:
@@ -149,6 +198,8 @@ def drive_sessions(address: str, sessions: int, rows: int, n: int, k: int, seed0
             raise SystemExit(f"{mismatches} sessions diverged from the offline run")
         if sessions >= 2 and metrics["rows_batched"] + metrics["rows_lookahead"] == 0:
             raise SystemExit("neither the batched nor the lookahead stepping path engaged")
+        check_rows_processed(metrics, sessions * rows, phase="drive")
+        harvest_obs(client, "drive")
 
 
 def checkpoint_restore_phase(sessions: int, rows: int, n: int, k: int, seed0: int) -> None:
@@ -212,6 +263,12 @@ def checkpoint_restore_phase(sessions: int, rows: int, n: int, k: int, seed0: in
                 if mismatches:
                     raise SystemExit(f"{mismatches} resumed sessions diverged from offline runs")
                 print(f"resumed {len(cases)} sessions across the kill: all bit-identical")
+                # The restarted server stepped exactly the tails we fed it.
+                check_rows_processed(
+                    client.metrics(), len(cases) * (rows - rows // 2),
+                    phase="checkpoint-restore",
+                )
+                harvest_obs(client, "checkpoint-restore")
                 client.shutdown()
             code = proc.wait(timeout=30)
             if code != 0:
@@ -339,6 +396,13 @@ def fault_phase(profile: str, sessions: int, rows: int, n: int, k: int, seed0: i
                 f"{drops} connection drops + {kills} worker kill(s): "
                 f"zero session loss, all bit-identical"
             )
+            # The post-kill server stepped at least every row past the
+            # durability barrier (resume replays may step more).
+            check_rows_processed(
+                client.metrics(), sessions * (rows - kill_at),
+                exact=False, phase=f"chaos[{profile}]",
+            )
+            harvest_obs(client, f"chaos[{profile}]")
             client.shutdown()
             code = proc.wait(timeout=30)
             if code != 0:
@@ -347,6 +411,36 @@ def fault_phase(profile: str, sessions: int, rows: int, n: int, k: int, seed0: i
             client.close()
             if proc.poll() is None:
                 proc.kill()
+
+
+def _check_obs_top(address: str) -> None:
+    """The acceptance view: ``repro.obs top --once`` against the live fleet
+    must show the failover-latency metric the kill just produced."""
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.obs", "top", address, "--once"],
+        capture_output=True, text=True, timeout=120, env=ENV,
+    )
+    if out.returncode != 0:
+        raise SystemExit(f"obs top failed: {out.stderr.strip()[-400:]}")
+    if "failover latency mean" not in out.stdout:
+        raise SystemExit("obs top did not show the failover latency metric")
+    print("obs top --once: failover latency visible on the dashboard")
+
+
+def _check_trace_continuity(spans: list[dict]) -> None:
+    """Replayed rows must carry the trace id of their original push."""
+    pushed = {s["trace"] for s in spans if s["name"] == "router.feed"}
+    replayed = [
+        s for s in spans
+        if s["name"] == "server.feed" and s.get("attrs", {}).get("replay")
+    ]
+    if not replayed:
+        raise SystemExit("no replayed feed spans recorded across the failover")
+    if not any(s["trace"] in pushed for s in replayed):
+        raise SystemExit("replayed spans lost their original push trace ids")
+    kept = sum(1 for s in replayed if s["trace"] in pushed)
+    print(f"trace continuity: {kept}/{len(replayed)} replayed span(s) "
+          f"carry their original push trace id")
 
 
 def fleet_phase(
@@ -426,6 +520,18 @@ def fleet_phase(
                 raise SystemExit(
                     f"fleet not whole: {len(after['workers'])} of {workers} workers up"
                 )
+            if kill_worker:
+                # A promoted standby only counts rows stepped since its
+                # restore, so the fleet aggregate is a lower bound.
+                check_rows_processed(
+                    metrics, sessions * (rows - kill_at), exact=False, phase="fleet-kill"
+                )
+                _check_obs_top(address)
+            else:
+                check_rows_processed(metrics, sessions * rows, phase="fleet")
+            payload = harvest_obs(client, "fleet")
+            if payload is not None and kill_worker:
+                _check_trace_continuity(payload["spans"])
             print(
                 f"fleet {workers}w: {sessions} sessions x {rows} rows, "
                 f"{metrics['rows_processed']} rows stepped across the fleet, "
@@ -466,16 +572,28 @@ def main() -> int:
         help="write each spawned server's stderr to DIR/server-NN.log "
         "(CI uploads these as artifacts when the job fails)",
     )
+    parser.add_argument(
+        "--trace-export", type=Path, default=None, metavar="FILE",
+        help="enable observability (REPRO_OBS=1 in every spawned server) and "
+        "export each phase's trace spans to FILE as JSONL",
+    )
     args = parser.parse_args()
 
-    global LOG_DIR
+    global LOG_DIR, TRACE_EXPORT
     LOG_DIR = args.server_log_dir
+    TRACE_EXPORT = args.trace_export
+    if TRACE_EXPORT is not None:
+        from repro import obs
+
+        obs.enable()  # clients mint trace ids for their pushes
+        ENV["REPRO_OBS"] = "1"  # spawned servers/fleets record spans
 
     if args.fault_profile is not None:
         fault_phase(
             args.fault_profile, max(2, args.sessions // 10), args.rows,
             args.n, args.k, seed0=1700,
         )
+        export_traces()
         print("service chaos smoke OK")
         return 0
 
@@ -484,6 +602,7 @@ def main() -> int:
             args.workers, max(2, args.sessions // 5), args.rows,
             args.n, args.k, seed0=3500, kill_worker=args.kill_worker,
         )
+        export_traces()
         print("service fleet smoke OK")
         return 0
 
@@ -527,6 +646,7 @@ def main() -> int:
         if proc.poll() is None:
             proc.kill()
             raise SystemExit("server had to be killed after shutdown request")
+    export_traces()
     print("service smoke OK")
     return 0
 

@@ -74,11 +74,37 @@ def render_lint_rules() -> str:
     return _md_table(["rule", "name", "checks that"], rows)
 
 
+def render_metrics() -> str:
+    # Families self-register at import, so pull in every declaring module
+    # first — the same set the obs wire op sees in a fully loaded process.
+    import repro.analysis.distributed_backend  # noqa: F401
+    import repro.distributed.runtime  # noqa: F401
+    import repro.engine.fast  # noqa: F401
+    import repro.engine.kernel  # noqa: F401
+    import repro.faults.runtime  # noqa: F401
+    import repro.faults.transport  # noqa: F401
+    import repro.service.fleet  # noqa: F401
+    import repro.service.metrics  # noqa: F401
+    from repro.obs.registry import list_families
+
+    rows = [
+        [
+            f"`{f.name}`",
+            f.kind,
+            ", ".join(f"`{ln}`" for ln in f.labelnames) or "—",
+            f.help,
+        ]
+        for f in list_families()
+    ]
+    return _md_table(["metric", "kind", "labels", "meaning"], rows)
+
+
 RENDERERS = {
     "engines": render_engines,
     "backends": render_backends,
     "experiments": render_experiments,
     "lint-rules": render_lint_rules,
+    "metrics": render_metrics,
 }
 
 
