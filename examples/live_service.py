@@ -17,9 +17,18 @@ and streams the rest — and the final answer still matches the
 uninterrupted offline run bit for bit (same coin flips, same message
 count).
 
+``--wire binary`` makes every gateway negotiate the packed binary
+framing (a ``hello`` op per connection); the negotiated mode is printed
+per client.  The negotiation is fail-open: a server that does not speak
+the asked-for framing (or version) answers ``wire="jsonl"`` and the
+client silently stays on the line-delimited debug path — demonstrated at
+startup by asking one throwaway connection for an impossible wire
+version.
+
 Usage::
 
     python examples/live_service.py [--n 24] [--k 4] [--steps 600]
+    python examples/live_service.py --wire binary
     python examples/live_service.py --address host:port   # external server
 """
 
@@ -40,9 +49,11 @@ FEEDS = (
 )
 
 
-def gateway(address, label: str, workload: str, values: np.ndarray, k: int, seed: int, out: dict) -> None:
+def gateway(address, label: str, workload: str, values: np.ndarray, k: int, seed: int, out: dict,
+            wire: str = "jsonl") -> None:
     """One client connection feeding a full stream row by row."""
-    with repro.connect(address) as client:
+    with repro.connect(address, wire=wire) as client:
+        print(f"{label}: negotiated {client.negotiated_wire} framing")
         session = client.create_session(n=values.shape[1], k=k, seed=seed)
         out[label] = session.id
         for row in values:
@@ -51,13 +62,32 @@ def gateway(address, label: str, workload: str, values: np.ndarray, k: int, seed
         out[f"{label}.final"] = session.query(wait=True)
 
 
-def checkpoint_demo(n: int, k: int, steps: int, seed: int) -> bool:
+def show_fallback(address) -> None:
+    """Ask for a wire version nobody speaks: the hello answers jsonl and
+    the connection keeps working — the fallback contract, live."""
+    import json as _json
+    import socket as _socket
+
+    host, port = address
+    with _socket.create_connection((host, port), timeout=30) as sock:
+        fh = sock.makefile("rwb")
+        fh.write((_json.dumps({"op": "hello", "wire": "binary", "version": 999}) + "\n").encode())
+        fh.flush()
+        reply = _json.loads(fh.readline())
+        fh.write((_json.dumps({"op": "ping"}) + "\n").encode())
+        fh.flush()
+        alive = _json.loads(fh.readline())["ok"]
+    print(f"fallback demo: asked for binary v999, server answered "
+          f"wire={reply['wire']!r}; connection still serving: {alive}")
+
+
+def checkpoint_demo(n: int, k: int, steps: int, seed: int, wire: str = "jsonl") -> bool:
     """Kill a checkpointing server mid-stream; its successor resumes."""
     values = get_workload("random_walk", n, steps, seed=seed + 5).generate()
     cut = steps // 2
     with tempfile.TemporaryDirectory(prefix="repro-demo-ckpt-") as ckpt_dir:
         server = repro.serve(checkpoint_dir=ckpt_dir)
-        with repro.connect(server.address) as client:
+        with repro.connect(server.address, wire=wire) as client:
             session = client.create_session(n=n, k=k, seed=seed + 20)
             sid = session.id
             for row in values[:cut]:
@@ -68,7 +98,7 @@ def checkpoint_demo(n: int, k: int, steps: int, seed: int) -> bool:
         print(f"\ncheckpoint demo: server died at t={cut - 1}; starting a successor...")
 
         server = repro.serve(checkpoint_dir=ckpt_dir)  # restores the fleet
-        with repro.connect(server.address) as client:
+        with repro.connect(server.address, wire=wire) as client:
             assert sid in client.session_ids(), "restored fleet lost the session"
             session = client.session(sid)
             resumed_at = session.query()["time"]
@@ -96,6 +126,9 @@ def main() -> int:
     parser.add_argument("--steps", type=int, default=600, help="rows per stream")
     parser.add_argument("--seed", type=int, default=3, help="workload/protocol seed")
     parser.add_argument("--address", help="attach to a running server instead of launching one")
+    parser.add_argument("--wire", choices=("jsonl", "binary"), default="jsonl",
+                        help="framing the gateways negotiate (binary shows the "
+                        "packed protocol; fallback to jsonl is automatic)")
     args = parser.parse_args()
 
     server = None
@@ -105,6 +138,8 @@ def main() -> int:
         server = repro.serve()
         address = server.address
         print(f"service listening on {address[0]}:{address[1]}")
+    if args.wire == "binary" and not args.address:
+        show_fallback(address)
 
     streams = {
         label: get_workload(name, args.n, args.steps, seed=args.seed + i).generate()
@@ -114,7 +149,8 @@ def main() -> int:
     threads = [
         threading.Thread(
             target=gateway,
-            args=(address, label, name, streams[label], args.k, args.seed + 10 + i, shared),
+            args=(address, label, name, streams[label], args.k, args.seed + 10 + i, shared,
+                  args.wire),
             daemon=True,
         )
         for i, (label, name) in enumerate(FEEDS)
@@ -123,7 +159,7 @@ def main() -> int:
         thread.start()
 
     # Telemetry loop: poll the service while the gateways stream.
-    with repro.connect(address) as observer:
+    with repro.connect(address, wire=args.wire) as observer:
         while any(t.is_alive() for t in threads):
             for thread in threads:
                 thread.join(timeout=0.05)
@@ -168,7 +204,7 @@ def main() -> int:
         print("service stopped")
         # Durability finale (needs to own the server lifecycle, so it is
         # skipped when attached to an external --address server).
-        ok &= checkpoint_demo(args.n, args.k, args.steps, args.seed)
+        ok &= checkpoint_demo(args.n, args.k, args.steps, args.seed, wire=args.wire)
     return 0 if ok else 1
 
 

@@ -77,7 +77,7 @@ from repro.errors import (
     WorkloadError,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "run",

@@ -234,7 +234,8 @@ def connect(address, **options):
         ``python -m repro.service --serve``.
     options:
         Forwarded to :class:`~repro.service.client.ServiceClient`
-        (``timeout``).
+        (``timeout``, ``retry``, ``wire="binary"`` for the packed frame
+        protocol, ``push_linger``/``push_max`` for client-side batching).
 
     Returns
     -------

@@ -178,6 +178,27 @@ class FilterState:
         viol_bot = np.flatnonzero(~self.sides & (doubled > self.m2))
         return viol_top, viol_bot
 
+    @staticmethod
+    def violates_banded(
+        row: np.ndarray, bands: "dict[int, tuple[int | None, int | None]]"
+    ) -> list[int]:
+        """Per-member band form of the quietness check: ids whose doubled
+        value leaves their ``(lo2, hi2)`` interval (``None`` = unbounded
+        side), in ``bands``'s iteration order.
+
+        This is the same ``2·v`` vs doubled-bound comparison as
+        :meth:`violates`, generalized from the single partition bound to
+        one band per member — the ordered-top-k extension's internal rank
+        filters reduce to it, which is why it lives here (R1: the
+        quietness comparison has exactly one home).
+        """
+        out: list[int] = []
+        for member, (lo2, hi2) in bands.items():
+            doubled = 2 * int(row[member])
+            if (lo2 is not None and doubled < lo2) or (hi2 is not None and doubled > hi2):
+                out.append(member)
+        return out
+
     def scan_quiet(self, block: np.ndarray, start: int = 0) -> int:
         """Lookahead entry point: first row index ``>= start`` of ``block``
         that violates a filter, or ``len(block)`` if the whole suffix is

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.monitor import MonitorConfig, OnlineSession
+from repro.engine.kernel import FilterState
 from repro.model.ledger import MessageLedger
 from repro.model.message import MessageKind, Phase
 from repro.util.validation import check_k, check_matrix
@@ -180,11 +181,9 @@ class OrderedTopKMonitor:
         iterations = 0
         for _ in range(len(tracker.est) + 1):
             intervals = tracker.intervals()
-            violators = [
-                m
-                for m, (lo, hi) in intervals.items()
-                if (lo is not None and 2 * int(row[m]) < lo) or (hi is not None and 2 * int(row[m]) > hi)
-            ]
+            # The per-rank band check is the kernel's banded quietness form
+            # (R1: the 2*v comparison has exactly one implementation).
+            violators = FilterState.violates_banded(row, intervals)
             if not violators:
                 return iterations
             iterations += 1

@@ -10,6 +10,14 @@ deliberately-synchronous client.
 Only direct calls are detectable statically; the rule is the tripwire for
 the obvious regressions, the docstring in ``service/server.py`` documents
 the concurrency model the non-obvious ones must follow.
+
+Since PR 10 the rule also flags ``json.dumps``/``json.loads`` inside
+``async def`` in the service: the binary wire protocol exists precisely to
+keep per-request JSON codec work off the event loop, so new JSON in an
+async serving path is a throughput regression by construction.  The codec
+module (``repro/service/wire.py``) is exempt — framing JSON payloads is
+its job — and the deliberate JSONL debug path carries
+``# reprolint: disable=R4`` waivers.
 """
 
 from __future__ import annotations
@@ -39,6 +47,13 @@ _BLOCKING = {
     "urllib.request.urlopen": "use loop.run_in_executor",
 }
 
+#: JSON codec calls — not blocking I/O, but per-request CPU the binary
+#: wire protocol exists to avoid; flagged on the async serving path.
+_JSON_CALLS = ("json.dumps", "json.loads")
+
+#: Modules whose whole point is encoding/decoding wire payloads.
+CODEC_MODULES = ("repro/service/wire.py",)
+
 
 def _check_async_body(fn: ast.AsyncFunctionDef, ctx: ModuleContext) -> None:
     for node in scope_nodes(fn.body):
@@ -50,6 +65,13 @@ def _check_async_body(fn: ast.AsyncFunctionDef, ctx: ModuleContext) -> None:
                 node, RULE_ID, SLUG,
                 f"blocking {qn}() inside async def {fn.name}: stalls every session "
                 f"on the event loop; {_BLOCKING[qn]}",
+            )
+        elif qn in _JSON_CALLS and ctx.relpath not in CODEC_MODULES:
+            ctx.report(
+                node, RULE_ID, SLUG,
+                f"{qn}() inside async def {fn.name}: per-request JSON codec work "
+                "on the event loop; use repro.service.wire (binary framing) or "
+                "waive the deliberate JSONL debug path with a disable comment",
             )
         elif isinstance(node.func, ast.Name) and node.func.id == "open":
             ctx.report(
@@ -70,8 +92,9 @@ def _check(ctx: ModuleContext) -> None:
 register_rule(
     RULE_ID,
     slug=SLUG,
-    summary="no blocking calls (sleep/socket/file/subprocess) inside async defs in service/",
+    summary="no blocking calls or per-request JSON codec work inside async defs in service/",
     rationale="one event loop hosts every session; a single synchronous call stalls "
-    "the whole fleet's batched sweep",
+    "the whole fleet's batched sweep, and per-request json.dumps/loads is the codec "
+    "cost the binary wire protocol removed",
     checker=_check,
 )

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import json
 import sys
 
@@ -195,6 +196,13 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_interval=args.checkpoint_interval,
         )
+        # uvloop, when present, is adopted for the whole serving process
+        # (workers inherit it too: they re-run this entry point).  It is
+        # strictly optional — CI and the stock toolchain run without it.
+        with contextlib.suppress(ImportError):
+            import uvloop
+
+            asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
         try:
             if args.workers > 1:
                 asyncio.run(_serve_fleet(host, port, workers=args.workers, **options))

@@ -29,6 +29,17 @@ that restart, so the client carries a :class:`RetryPolicy`:
   the server never received: exactly-once feeding across connection
   loss and ``--checkpoint-dir`` server restarts, from the client's own
   bookkeeping (single writer per session assumed).
+
+Wire framing
+------------
+``ServiceClient(wire="binary")`` negotiates the packed framing of
+:mod:`repro.service.wire` on every (re)connection via the ``hello`` op,
+falling back to JSONL transparently when the server declines — results
+are bit-identical either way.  ``push_linger`` adds client-side push
+batching: :meth:`SessionHandle.feed` buffers rows locally and coalesces
+them into one feed frame per linger window (or per ``push_max`` rows);
+any query/close flushes first, and flushed batches ride the same
+exactly-once resume path as direct feeds.
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ import numpy as np
 
 from repro.errors import BackpressureError, ServiceConnectError, ServiceError
 from repro.obs import OBS, new_trace_id
+from repro.service import wire as _wire
 
 __all__ = ["RetryPolicy", "ServiceClient", "SessionHandle"]
 
@@ -113,6 +125,18 @@ class ServiceClient:
         Connect/reconnect behaviour; defaults to :class:`RetryPolicy`'s
         defaults.  ``RetryPolicy(attempts=1)`` restores fail-fast
         connects.
+    wire:
+        ``"jsonl"`` (default) or ``"binary"``.  Binary is negotiated per
+        connection via the ``hello`` op and silently falls back to JSONL
+        when the server declines; ``negotiated_wire`` reports the mode
+        the *current* connection actually speaks.
+    push_linger:
+        Seconds :meth:`SessionHandle.feed` may buffer pushed rows
+        client-side before coalescing them into one feed frame (0
+        disables batching — every ``feed`` is one round trip).
+    push_max:
+        Buffered-row cap per session that forces a flush regardless of
+        the linger window.
 
     Raises
     ------
@@ -120,10 +144,29 @@ class ServiceClient:
         When no connection could be established within the retry budget.
     """
 
-    def __init__(self, address, *, timeout: float = 60.0, retry: RetryPolicy | None = None):
+    def __init__(
+        self,
+        address,
+        *,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
+        wire: str = "jsonl",
+        push_linger: float = 0.0,
+        push_max: int = 128,
+    ):
+        if wire not in ("jsonl", "binary"):
+            raise ServiceError(f"wire must be 'jsonl' or 'binary', got {wire!r}")
+        if push_linger < 0:
+            raise ServiceError(f"push_linger must be >= 0 seconds, got {push_linger}")
+        if push_max < 1:
+            raise ServiceError(f"push_max must be >= 1 row, got {push_max}")
         self._host, self._port = _parse_address(address)
         self._timeout = timeout
         self._retry = retry if retry is not None else RetryPolicy()
+        self._wire = wire
+        self._mode = "jsonl"  # what the *current* connection negotiated
+        self._push_linger = float(push_linger)
+        self._push_max = int(push_max)
         self._jitter_rng = random.Random(0x5EED ^ hash((self._host, self._port)))
         self._sock: socket.socket | None = None
         self._file = None
@@ -131,8 +174,19 @@ class ServiceClient:
 
     # ------------------------------------------------------------ plumbing
 
+    @property
+    def negotiated_wire(self) -> str:
+        """Framing of the current connection (``"binary"`` or ``"jsonl"``)."""
+        return self._mode
+
     def _connect(self) -> None:
-        """Establish the TCP connection, retrying per the policy."""
+        """Establish the TCP connection, retrying per the policy.
+
+        The binary hello runs inside the attempt loop, so a connection
+        that dies mid-negotiation counts as a failed attempt and every
+        reconnect — including :class:`RetryPolicy` resumes mid-feed —
+        renegotiates the framing before any op uses the link.
+        """
         policy = self._retry
         last_error: Exception | None = None
         for attempt in range(policy.attempts):
@@ -146,10 +200,35 @@ class ServiceClient:
                 last_error = exc
                 continue
             sock.settimeout(self._timeout)  # per-op deadline from here on
+            file = sock.makefile("rwb")
+            try:
+                mode = self._negotiate(file) if self._wire == "binary" else "jsonl"
+            except (OSError, ServiceError) as exc:
+                last_error = exc
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
             self._sock = sock
-            self._file = sock.makefile("rwb")
+            self._file = file
+            self._mode = mode
             return
         raise ServiceConnectError(self._host, self._port, policy.attempts, last_error)
+
+    def _negotiate(self, file) -> str:
+        """Run the binary hello on a fresh connection; returns the mode."""
+        hello = _wire.hello_payload("binary")
+        file.write((json.dumps(hello, separators=(",", ":")) + "\n").encode())
+        file.flush()
+        line = file.readline()
+        if not line:
+            raise ServiceError("connection closed during wire negotiation")
+        try:
+            reply = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"malformed hello reply: {exc}") from exc
+        return "binary" if _wire.accepts_binary(reply) else "jsonl"
 
     def reconnect(self) -> None:
         """Drop the current connection (if any) and establish a fresh one."""
@@ -184,8 +263,29 @@ class ServiceClient:
         if self._file is None:
             raise _ConnectionLost(f"no connection for {op!r} (link was severed)")
         payload = {"op": op, **fields}
+        reply = (
+            self._exchange_binary(op, payload)
+            if self._mode == "binary"
+            else self._exchange_jsonl(op, payload)
+        )
+        if not reply.get("ok"):
+            if reply.get("code") == "backpressure":
+                raise BackpressureError(fields.get("session", "?"), reply.get("limit", -1))
+            raise ServiceError(reply.get("error", "service request failed"))
+        return reply
+
+    @staticmethod
+    def _json_default(obj):
+        # A numpy batch can land here when a binary connection degrades
+        # to JSONL mid-resume (feed_rows passes arrays through on binary).
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+    def _exchange_jsonl(self, op: str, payload: dict) -> dict:
         try:
-            self._file.write((json.dumps(payload, separators=(",", ":")) + "\n").encode())
+            self._file.write((json.dumps(payload, separators=(",", ":"),
+                                         default=self._json_default) + "\n").encode())
             self._file.flush()
             line = self._file.readline()
         except OSError as exc:
@@ -196,11 +296,25 @@ class ServiceClient:
             reply = json.loads(line)
         except json.JSONDecodeError as exc:
             raise ServiceError(f"malformed service reply: {exc}") from exc
-        if not reply.get("ok"):
-            if reply.get("code") == "backpressure":
-                raise BackpressureError(fields.get("session", "?"), reply.get("limit", -1))
-            raise ServiceError(reply.get("error", "service request failed"))
         return reply
+
+    def _exchange_binary(self, op: str, payload: dict) -> dict:
+        # Plain feeds pack into one KIND_FEED frame and come back as a
+        # struct-packed ack; everything else rides KIND_JSON frames.
+        try:
+            self._file.write(_wire.encode_request(payload))
+            self._file.flush()
+            kind, body = _wire.read_frame_blocking(self._file)
+        except _wire.FrameEOF:
+            raise _ConnectionLost(f"service closed the connection during {op!r}") from None
+        except _wire.FrameError as exc:
+            raise ServiceError(f"malformed service reply frame: {exc}") from exc
+        except OSError as exc:
+            raise _ConnectionLost(f"service connection lost during {op!r}: {exc}") from exc
+        try:
+            return _wire.decode_reply(kind, body)
+        except _wire.FramePayloadError as exc:
+            raise ServiceError(f"malformed service reply: {exc}") from exc
 
     def request(self, op: str, **fields) -> dict:
         """One raw round trip; returns the reply payload.
@@ -324,6 +438,12 @@ class SessionHandle:
         self._client = client
         self.id = session_id
         self._acked = acked
+        # Client-side push batching (``push_linger``): rows buffered here
+        # until the linger window or ``push_max`` coalesces them into one
+        # feed frame.  Flushes ride ``_feed_resumable``, so buffered rows
+        # keep the exactly-once guarantee across lost connections.
+        self._push_buf: list[list[int]] = []
+        self._push_deadline = 0.0
 
     @staticmethod
     def _rowlist(row) -> list[int]:
@@ -401,20 +521,63 @@ class SessionHandle:
         :class:`~repro.errors.BackpressureError` propagates.  A connection
         lost mid-feed is resumed exactly once over a fresh connection (see
         the class docstring).
+
+        With the client's ``push_linger`` set, the row may be buffered
+        locally instead of sent: the reply then carries ``"buffered":
+        true`` (and the buffer depth as ``"pending"``), and the batch
+        goes out as one frame when the linger window closes, the buffer
+        hits ``push_max``, or any query/close forces a flush.
         """
+        if self._client._push_linger > 0:
+            return self._push(self._rowlist(row), block)
         return self._feed_resumable([self._rowlist(row)], block)
+
+    def _push(self, row: list, block: bool) -> dict:
+        now = _time.monotonic()
+        if not self._push_buf:
+            self._push_deadline = now + self._client._push_linger
+        self._push_buf.append(row)
+        if len(self._push_buf) >= self._client._push_max or now >= self._push_deadline:
+            return self.flush(block=block)
+        return {
+            "ok": True,
+            "buffered": True,
+            "pending": len(self._push_buf),
+            "time": (self._acked if self._acked is not None else 0) - 1,
+        }
+
+    def flush(self, *, block: bool = True) -> dict | None:
+        """Send any locally buffered pushes now (``None`` if buffer empty)."""
+        if not self._push_buf:
+            return None
+        rows, self._push_buf = self._push_buf, []
+        return self._feed_resumable(rows, block)
 
     def feed_rows(self, rows, *, block: bool = True) -> dict:
         """Push several rows in one round trip (same backpressure and
         resume-on-loss policy as :meth:`feed`)."""
-        return self._feed_resumable([self._rowlist(r) for r in np.asarray(rows)], block)
+        self.flush(block=block)
+        batch = np.asarray(rows)
+        if (
+            self._client.negotiated_wire == "binary"
+            and batch.ndim == 2
+            and batch.size
+            and np.issubdtype(batch.dtype, np.integer)
+        ):
+            # Binary framing packs the array directly — no tolist() /
+            # JSON detour.  Anything else (ragged, floats) goes through
+            # the list path so server-side validation answers identically.
+            return self._feed_resumable(batch, block)
+        return self._feed_resumable([self._rowlist(r) for r in batch], block)
 
     def query(self, *, wait: bool = False) -> dict:
         """Full state: time, top-k, message count, pending depth.
 
         ``wait=True`` parks until every fed row has been stepped, so the
-        answer reflects all of this handle's feeds.
+        answer reflects all of this handle's feeds (any locally buffered
+        pushes are flushed first).
         """
+        self.flush()
         return self._client.request("query", session=self.id, wait=wait)
 
     def topk(self, *, wait: bool = True) -> list[int]:
@@ -430,5 +593,7 @@ class SessionHandle:
         return self.query()["pending"]
 
     def close(self) -> dict:
-        """Close the server-side session; returns its final state."""
+        """Close the server-side session; returns its final state (any
+        locally buffered pushes are flushed first)."""
+        self.flush()
         return self._client.request("close", session=self.id)

@@ -78,12 +78,13 @@ from repro.obs.registry import (
     histogram as _obs_histogram,
 )
 from repro.obs.trace import RECORDER as _obs_recorder, new_trace_id
+from repro.service import wire as _wire
 from repro.service.manager import (
     DEFAULT_INBOX_LIMIT,
     _atomic_write,
     _check_session_id,
 )
-from repro.service.server import _LINE_LIMIT, _encode, _session_field
+from repro.service.server import _LINE_LIMIT, _encode, _session_field, new_event_loop
 
 __all__ = [
     "HashRing",
@@ -259,9 +260,16 @@ class _SessionRoute:
 
 
 class _WorkerProc:
-    """One worker child process plus the router's connection to it."""
+    """One worker child process plus the router's connection to it.
 
-    def __init__(self, slot, proc, address, checkpoint_dir, reader, writer, log):
+    The shared connection negotiates the binary framing of
+    :mod:`repro.service.wire` at spawn (``wire`` records the outcome);
+    throwaway ``fresh_request`` connections stay JSONL — they carry one
+    parked query each, where negotiation would cost more than it saves.
+    """
+
+    def __init__(self, slot, proc, address, checkpoint_dir, reader, writer, log,
+                 wire_mode: str = "jsonl"):
         self.slot = slot
         self.proc = proc
         self.address = address
@@ -272,6 +280,7 @@ class _WorkerProc:
         self.log = log  # bounded deque of the child's recent output lines
         self.retired = False  # intentional stop: monitor must not fail over
         self.drain_task: asyncio.Task | None = None
+        self.wire = wire_mode
 
     @property
     def pid(self) -> int:
@@ -286,14 +295,23 @@ class _WorkerProc:
         """
         async with self._lock:
             try:
+                if self.wire == "binary":
+                    self._writer.write(_wire.encode_request(payload))
+                    await self._writer.drain()
+                    kind, body = await _wire.read_frame(self._reader)
+                    return _wire.decode_reply(kind, body)
                 self._writer.write(_encode(payload))
                 await self._writer.drain()
                 line = await self._reader.readline()
+            except (_wire.FrameEOF, _wire.FrameError, _wire.FramePayloadError) as exc:
+                # The workers are local children: a broken or truncated
+                # frame on the shared link means the process died mid-write.
+                raise _WorkerLost(f"worker {self.slot} connection lost: {exc}") from exc
             except (ConnectionError, OSError) as exc:
                 raise _WorkerLost(f"worker {self.slot} connection lost: {exc}") from exc
             if not line:
                 raise _WorkerLost(f"worker {self.slot} closed its connection")
-            return json.loads(line)
+            return json.loads(line)  # reprolint: disable=R4 — JSONL fallback link
 
     async def fresh_request(self, payload: dict) -> dict:
         """One round trip on a throwaway connection.
@@ -312,7 +330,7 @@ class _WorkerProc:
             line = await reader.readline()
             if not line:
                 raise _WorkerLost(f"worker {self.slot} closed its connection")
-            return json.loads(line)
+            return json.loads(line)  # reprolint: disable=R4 — one-shot JSONL link
         except (ConnectionError, OSError) as exc:
             raise _WorkerLost(f"worker {self.slot} connection lost: {exc}") from exc
         finally:
@@ -567,11 +585,19 @@ class FleetRouter:
                     host, _, port = text.removeprefix("listening on ").rpartition(":")
                     address = (host, int(port))
             reader, writer = await asyncio.open_connection(*address, limit=_LINE_LIMIT)
+            # The router-worker link is internal, so it always asks for the
+            # binary framing; any non-acceptance degrades to JSONL and a
+            # genuinely dead child surfaces as _WorkerLost on first use.
+            try:
+                wire_mode = await _wire.negotiate(reader, writer)
+            except (ReproError, ConnectionError, OSError):
+                wire_mode = "jsonl"
         except BaseException:
             with contextlib.suppress(ProcessLookupError):
                 proc.kill()
             raise
-        worker = _WorkerProc(slot, proc, address, checkpoint_dir, reader, writer, log)
+        worker = _WorkerProc(slot, proc, address, checkpoint_dir, reader, writer, log,
+                             wire_mode=wire_mode)
         worker.drain_task = asyncio.create_task(_drain_stdout(proc, log))
         return worker
 
@@ -907,6 +933,7 @@ class FleetRouter:
     async def _handle_client(self, reader, writer) -> None:
         self._writers.add(writer)
         try:
+            binary = False
             while True:
                 try:
                     line = await reader.readline()
@@ -923,6 +950,13 @@ class FleetRouter:
                 if stop_after:
                     self.request_stop()
                     break
+                if response.get("ok") and response.get("wire") == "binary":
+                    # Accepted binary hello — same switch point as a
+                    # single server; clients cannot tell a fleet apart.
+                    binary = True
+                    break
+            if binary:
+                await self._serve_binary(reader, writer)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -931,18 +965,83 @@ class FleetRouter:
             with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
 
+    async def _serve_binary(self, reader, writer) -> None:
+        """Framed loop after a successful hello (mirrors the server's)."""
+        while True:
+            try:
+                kind, payload = await _wire.read_frame(reader)
+            except _wire.FrameEOF:
+                return
+            except _wire.FrameError as exc:
+                writer.write(_wire.encode_json(
+                    {"ok": False, "error": str(exc), "code": "bad_frame"}
+                ))
+                await writer.drain()
+                return
+            stop_after = False
+            if kind == _wire.KIND_FEED:
+                reply = await self._feed_frame(payload)
+            else:
+                response, stop_after = await self._dispatch(payload)
+                reply = _wire.encode_json(response)
+            writer.write(reply)
+            await writer.drain()
+            if stop_after:
+                self.request_stop()
+                return
+
+    async def _feed_frame(self, payload: bytes) -> bytes:
+        """Decode one packed feed, route it, pre-encode the packed ack.
+
+        The router journals the *decoded rows* (plain lists), never the
+        frame — exactly-once replay and trace continuity across failover
+        are framing-agnostic by construction.
+        """
+        t0 = _obs_clock()
+        try:
+            batches, replay, trace = _wire.decode_feed(payload)
+        except _wire.FramePayloadError as exc:
+            return _wire.encode_json({"ok": False, "error": str(exc), "code": "bad_frame"})
+        decode_seconds = _obs_clock() - t0
+        acks = []
+        rows_total = 0
+        for session_id, rows in batches:
+            request: dict = {"op": "feed", "session": session_id, "rows": rows.tolist()}
+            if trace is not None:
+                request["trace"] = trace
+            if replay:
+                request["replay"] = True
+            response, _ = await self._dispatch_request(request)
+            if not response.get("ok"):
+                return _wire.encode_json(response)
+            rows_total += len(rows)
+            acks.append((int(response["pending"]), int(response["time"])))
+        t1 = _obs_clock()
+        frame = _wire.encode_ack(acks)
+        _wire.observe("binary", rows_total, decode_seconds + (_obs_clock() - t1))
+        return frame
+
     async def _dispatch(self, line: bytes) -> tuple[dict, bool]:
         # Mirrors ServiceServer._dispatch: same protocol, same error
         # envelope — clients must not be able to tell a fleet apart.
+        t0 = _obs_clock()
         try:
-            request = json.loads(line)
+            request = json.loads(line)  # reprolint: disable=R4 — the JSONL debug path
         except json.JSONDecodeError as exc:
             return {"ok": False, "error": f"malformed JSON: {exc}", "code": "bad_json"}, False
         except UnicodeDecodeError as exc:
             return {"ok": False, "error": f"malformed frame: {exc}", "code": "bad_json"}, False
+        decode_seconds = _obs_clock() - t0
         if not isinstance(request, dict):
             return {"ok": False, "error": "request must be a JSON object",
                     "code": "bad_request"}, False
+        response, stop_after = await self._dispatch_request(request)
+        if request.get("op") == "feed" and response.get("ok"):
+            rows = 1 if "row" in request else len(request.get("rows") or ())
+            _wire.observe("jsonl", rows, decode_seconds)
+        return response, stop_after
+
+    async def _dispatch_request(self, request: dict) -> tuple[dict, bool]:
         op = request.get("op")
         correlation = {"id": request["id"]} if "id" in request else {}
         stop_after = False
@@ -968,6 +1067,8 @@ class FleetRouter:
                 payload = {"fleet": self.describe()}
             elif op == "ping":
                 payload = {}
+            elif op == "hello":
+                payload = self._op_hello(request)
             elif op == "shutdown":
                 payload = {}
                 stop_after = True
@@ -997,6 +1098,22 @@ class FleetRouter:
             raise ServiceError(f"unknown session {session_id!r}") from None
 
     # ------------------------------------------------------------------ ops
+
+    def _op_hello(self, request: dict) -> dict:
+        """Negotiate the connection's framing (mirrors the server's).
+
+        Only an exact ``wire="binary"`` + matching version upgrades; any
+        other ask is answered ``wire="jsonl"`` so unknown framings degrade
+        to the debug path instead of erroring.
+        """
+        wanted = request.get("wire", "jsonl")
+        try:
+            version = int(request.get("version", _wire.WIRE_VERSION))
+        except (TypeError, ValueError):
+            version = -1
+        if wanted == "binary" and version == _wire.WIRE_VERSION:
+            return {"wire": "binary", "version": _wire.WIRE_VERSION}
+        return {"wire": "jsonl"}
 
     async def _op_create(self, request: dict) -> dict:
         session_id = request.get("session")
@@ -1452,7 +1569,7 @@ def start_fleet(host: str = "127.0.0.1", port: int = 0, **options) -> FleetHandl
     state: dict = {}
 
     def _run() -> None:
-        loop = asyncio.new_event_loop()
+        loop = new_event_loop()
         asyncio.set_event_loop(loop)
         try:
             router = FleetRouter(host, port, **options)

@@ -69,6 +69,11 @@ class MetricsSnapshot:
     #: size behind the percentiles above.
     window_rows: int
     uptime_sec: float
+    #: Wire-level serving throughput/latency (PR 10): rows crossing the
+    #: wire per second over the codec reservoir window, and the p99 codec
+    #: time per feed exchange.  Zero until the first feed lands.
+    wire_rows_per_sec: float = 0.0
+    wire_encode_p99_us: float = 0.0
 
     def as_dict(self) -> dict:
         """Plain-``dict`` form (floats rounded for wire readability)."""
@@ -88,6 +93,8 @@ class MetricsSnapshot:
             "step_latency_p99_us": round(self.step_latency_p99_us, 2),
             "window_rows": self.window_rows,
             "uptime_sec": round(self.uptime_sec, 3),
+            "wire_rows_per_sec": round(self.wire_rows_per_sec, 1),
+            "wire_encode_p99_us": round(self.wire_encode_p99_us, 2),
         }
 
 
@@ -109,10 +116,12 @@ _ADDITIVE_KEYS = (
     "protocol_messages",
     "rows_per_sec",
     "window_rows",
+    "wire_rows_per_sec",
 )
 
 #: Figures where a sum would be meaningless: report the worst/oldest worker.
-_MAX_KEYS = ("step_latency_p50_us", "step_latency_p99_us", "uptime_sec")
+_MAX_KEYS = ("step_latency_p50_us", "step_latency_p99_us", "uptime_sec",
+             "wire_encode_p99_us")
 
 
 def aggregate_snapshots(snapshots) -> dict:
@@ -158,6 +167,8 @@ _OBS_GAUGES = {
         ("window_rows", "rows currently represented by the latency reservoir"),
         ("backpressure_rejections", "rows refused because an inbox was full"),
         ("protocol_messages", "protocol messages across live and closed sessions"),
+        ("wire_rows_per_sec", "feed rows crossing the wire per second (codec window)"),
+        ("wire_encode_p99_us", "p99 codec time per feed exchange (us)"),
     )
 }
 
@@ -181,6 +192,9 @@ class MetricsRecorder:
         self.retired_messages = 0
         # (timestamp, rows, per-row latency) per sweep, bounded.
         self._sweeps: deque[tuple[float, int, float]] = deque(maxlen=_RESERVOIR)
+        # (timestamp, rows, codec seconds) per feed exchange, bounded — the
+        # wire-level twin of the sweep reservoir (PR 10 binary framing).
+        self._wire: deque[tuple[float, int, float]] = deque(maxlen=_RESERVOIR)
 
     @property
     def clock(self):
@@ -200,6 +214,17 @@ class MetricsRecorder:
         self.rows_quiet += quiet
         self.rows_lookahead += lookahead
         self._sweeps.append((self._clock(), rows, elapsed / rows))
+
+    def record_wire(self, rows: int, elapsed: float) -> None:
+        """Account one feed exchange that moved ``rows`` across the wire.
+
+        ``elapsed`` is codec time only (frame decode + reply encode), not
+        manager stepping — the figure the jsonl/binary benchmark twins
+        compare.
+        """
+        if rows <= 0:
+            return
+        self._wire.append((self._clock(), rows, elapsed))
 
     def record_backpressure(self) -> None:
         """Count one refused row (inbox full)."""
@@ -228,6 +253,16 @@ class MetricsRecorder:
             rows_per_sec = 0.0
             p50 = p99 = 0.0
             window_rows = 0
+        if self._wire:
+            wire_ts = np.array([w[0] for w in self._wire])
+            wire_rows = np.array([w[1] for w in self._wire], dtype=np.float64)
+            wire_lat = np.array([w[2] for w in self._wire])
+            wire_window = max(1e-9, now - float(wire_ts[0]))
+            wire_rows_per_sec = float(wire_rows.sum()) / wire_window
+            wire_p99 = float(np.percentile(wire_lat, 99.0)) * 1e6
+        else:
+            wire_rows_per_sec = 0.0
+            wire_p99 = 0.0
         snap = MetricsSnapshot(
             sessions_live=sessions_live,
             sessions_created=self.sessions_created,
@@ -244,6 +279,8 @@ class MetricsRecorder:
             step_latency_p99_us=p99,
             window_rows=window_rows,
             uptime_sec=now - self._start,
+            wire_rows_per_sec=wire_rows_per_sec,
+            wire_encode_p99_us=wire_p99,
         )
         if OBS.on:
             for field, family in _OBS_GAUGES.items():

@@ -7,6 +7,14 @@ fields, and echo a client-chosen ``"id"`` when one was sent.  Failures
 reply ``{"ok": false, "error": ..., "code": ...}`` — the connection stays
 usable, mirroring how a coordinator survives a misbehaving node.
 
+JSONL is the default and the debug path.  A connection can upgrade to
+the length-prefixed binary framing of :mod:`repro.service.wire` via the
+``hello`` op (``{"op": "hello", "wire": "binary", "version": 1}``): after
+an accepting reply both sides switch to frames, feeds arrive as packed
+int64 row batches and are acknowledged with struct-packed replies — no
+``json.loads``/``json.dumps`` on the hot path.  Results are bit-identical
+either way; the framing only changes how the bytes move.
+
 Durability: with ``checkpoint_dir`` set the server persists every live
 session — via :meth:`repro.service.manager.SessionManager.checkpoint` —
 whenever the stepper drains to idle, after ``create``/``close``, on the
@@ -39,9 +47,11 @@ from pathlib import Path
 
 from repro.errors import BackpressureError, ConfigurationError, ReproError, ServiceError
 from repro.obs import OBS, RECORDER, obs_payload
+from repro.obs.registry import clock as _clock
+from repro.service import wire
 from repro.service.manager import DEFAULT_INBOX_LIMIT, DEFAULT_MAX_NODES, SessionManager
 
-__all__ = ["ServiceServer", "ServerHandle", "start_server"]
+__all__ = ["ServiceServer", "ServerHandle", "new_event_loop", "start_server"]
 
 #: Per-line read limit (a row of ~50k JSON-encoded int64s fits).
 _LINE_LIMIT = 1 << 20
@@ -211,6 +221,7 @@ class ServiceServer:
     async def _handle_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         self._writers.add(writer)
         try:
+            binary = False
             while True:
                 try:
                     line = await reader.readline()
@@ -226,6 +237,14 @@ class ServiceServer:
                 if stop_after:
                     self.request_stop()
                     break
+                if response.get("ok") and response.get("wire") == "binary":
+                    # An accepted binary hello: everything after the reply
+                    # speaks frames.  JSONL never emits a "wire" key
+                    # otherwise, so this is the only switch point.
+                    binary = True
+                    break
+            if binary:
+                await self._serve_binary(reader, writer)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -237,9 +256,78 @@ class ServiceServer:
             with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
 
-    async def _dispatch(self, line: bytes) -> tuple[dict, bool]:
+    async def _serve_binary(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        """The framed loop a connection runs after a successful hello.
+
+        Containment mirrors the JSONL contract: a payload-level failure
+        (bad JSON inside ``KIND_JSON``, a malformed packed feed) costs one
+        error reply and the connection survives; an untrustworthy header
+        (wrong magic, absurd length) gets one ``bad_frame`` reply and the
+        connection closes; EOF — between or inside frames — closes
+        silently.
+        """
+        while True:
+            try:
+                kind, payload = await wire.read_frame(reader)
+            except wire.FrameEOF:
+                return
+            except wire.FrameError as exc:
+                writer.write(wire.encode_json(
+                    {"ok": False, "error": str(exc), "code": "bad_frame"}
+                ))
+                await writer.drain()
+                return
+            stop_after = False
+            if kind == wire.KIND_FEED:
+                reply = await self._feed_frame(payload)
+            else:
+                # KIND_JSON carries any op; a stray KIND_ACK payload fails
+                # JSON parsing and answers bad_json like garbage JSONL.
+                response, stop_after = await self._dispatch(payload)
+                reply = wire.encode_json(response)
+            writer.write(reply)
+            await writer.drain()
+            if stop_after:
+                self.request_stop()
+                return
+
+    async def _feed_frame(self, payload: bytes) -> bytes:
+        """Decode one packed feed frame, apply it, pre-encode the ack.
+
+        The hot path: ``np.frombuffer`` for the rows in, ``struct.pack``
+        for the ack out — no JSON.  Failures reply with the same typed
+        envelope (as a ``KIND_JSON`` frame) that the JSONL path uses.
+        """
+        t0 = _clock()
         try:
-            request = json.loads(line)
+            batches, replay, trace = wire.decode_feed(payload)
+        except wire.FramePayloadError as exc:
+            return wire.encode_json({"ok": False, "error": str(exc), "code": "bad_frame"})
+        decode_seconds = _clock() - t0
+        acks = []
+        rows_total = 0
+        for session_id, rows in batches:
+            request: dict = {"op": "feed", "session": session_id, "rows": rows}
+            if trace is not None:
+                request["trace"] = trace
+            if replay:
+                request["replay"] = True
+            response, _ = await self._dispatch_request(request)
+            if not response.get("ok"):
+                return wire.encode_json(response)
+            rows_total += len(rows)
+            acks.append((int(response["pending"]), int(response["time"])))
+        t1 = _clock()
+        frame = wire.encode_ack(acks)
+        codec_seconds = decode_seconds + (_clock() - t1)
+        self.manager.metrics.record_wire(rows_total, codec_seconds)
+        wire.observe("binary", rows_total, codec_seconds)
+        return frame
+
+    async def _dispatch(self, line: bytes) -> tuple[dict, bool]:
+        t0 = _clock()
+        try:
+            request = json.loads(line)  # reprolint: disable=R4 — the JSONL debug path
         except json.JSONDecodeError as exc:
             return {"ok": False, "error": f"malformed JSON: {exc}", "code": "bad_json"}, False
         except UnicodeDecodeError as exc:
@@ -248,8 +336,17 @@ class ServiceServer:
             # — and must answer like any other malformed frame instead of
             # escaping into the reader task.
             return {"ok": False, "error": f"malformed frame: {exc}", "code": "bad_json"}, False
+        decode_seconds = _clock() - t0
         if not isinstance(request, dict):
             return {"ok": False, "error": "request must be a JSON object", "code": "bad_request"}, False
+        response, stop_after = await self._dispatch_request(request)
+        if request.get("op") == "feed" and response.get("ok"):
+            rows = 1 if "row" in request else len(request.get("rows") or ())
+            self.manager.metrics.record_wire(rows, decode_seconds)
+            wire.observe("jsonl", rows, decode_seconds)
+        return response, stop_after
+
+    async def _dispatch_request(self, request: dict) -> tuple[dict, bool]:
         op = request.get("op")
         correlation = {"id": request["id"]} if "id" in request else {}
         stop_after = False
@@ -277,6 +374,8 @@ class ServiceServer:
                 payload = self._op_export(request)
             elif op == "import":
                 payload = self._op_import(request)
+            elif op == "hello":
+                payload = self._op_hello(request)
             elif op == "ping":
                 payload = {}
             elif op == "shutdown":
@@ -323,14 +422,32 @@ class ServiceServer:
         self._checkpoint()  # a created-but-unfed session must survive a kill
         return {"session": session_id, "engine": self.manager.engine(session_id)}
 
+    def _op_hello(self, request: dict) -> dict:
+        """Negotiate the connection's framing (the JSONL side of the switch).
+
+        Only an exact ``wire="binary"`` + matching version upgrades; any
+        other ask is answered ``wire="jsonl"`` so unknown framings degrade
+        to the debug path instead of erroring.
+        """
+        wanted = request.get("wire", "jsonl")
+        try:
+            version = int(request.get("version", wire.WIRE_VERSION))
+        except (TypeError, ValueError):
+            version = -1
+        if wanted == "binary" and version == wire.WIRE_VERSION:
+            return {"wire": "binary", "version": wire.WIRE_VERSION}
+        return {"wire": "jsonl"}
+
     def _op_feed(self, request: dict) -> dict:
         session_id = _session_field(request)
         if "row" in request:
             rows_fed = 1
             pending = self.manager.feed(session_id, request["row"])
         else:
+            # ``rows`` may be a decoded binary batch (a 2-D numpy array),
+            # so emptiness is len-based rather than truthiness-based.
             rows = request.get("rows")
-            if not rows:
+            if rows is None or len(rows) == 0:
                 raise ServiceError("feed needs a 'row' or a non-empty 'rows' list")
             rows_fed = len(rows)
             pending = self.manager.feed_many(session_id, rows)
@@ -413,6 +530,22 @@ def _encode(payload: dict) -> bytes:
     return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
 
 
+def new_event_loop() -> asyncio.AbstractEventLoop:
+    """A fresh event loop, on ``uvloop`` when it is importable.
+
+    ``uvloop`` is a pure accelerator, never a dependency: CI and the
+    baked toolchain run without it, and the stock asyncio loop is the
+    always-correct fallback.  Every serving entry point (``start_server``,
+    ``start_fleet``, ``python -m repro.service --serve``) builds its loop
+    here so adopting uvloop is one import away everywhere at once.
+    """
+    try:
+        import uvloop
+    except ImportError:
+        return asyncio.new_event_loop()
+    return uvloop.new_event_loop()
+
+
 class ServerHandle:
     """A service server running on a background thread.
 
@@ -472,7 +605,7 @@ def start_server(host: str = "127.0.0.1", port: int = 0, **options) -> ServerHan
     state: dict = {}
 
     def _run() -> None:
-        loop = asyncio.new_event_loop()
+        loop = new_event_loop()
         asyncio.set_event_loop(loop)
         try:
             server = ServiceServer(host, port, **options)

@@ -324,3 +324,51 @@ class TestFleetFailover:
                 assert remote["topk"] == list(view.topk), sid
                 assert remote["messages"] == view.message_count, sid
             client.close()
+
+
+class TestFleetBinaryWire:
+    """Acceptance (PR 10): the catalog over the binary wire through a
+    4-worker fleet — with a SIGKILL failover mid-stream — is bit-identical
+    to a local SessionManager, hence to JSONL and to ``repro.run()``."""
+
+    def test_catalog_binary_with_sigkill_matches_local(self):
+        with start_fleet(workers=4, checkpoint_interval=0.2) as fleet:
+            client = ServiceClient(fleet.address, wire="binary")
+            assert client.negotiated_wire == "binary"
+            local = SessionManager()
+            handles = {}
+            matrices = {}
+            for i, name in enumerate(list_workloads()):
+                handle = client.create_session(n=N, k=K, seed=700 + i)
+                local.create(N, K, seed=700 + i, session_id=handle.id)
+                handles[name] = handle
+                matrices[name] = _matrix(name, seed=40 + i)
+
+            half = STEPS // 2
+            for name, handle in handles.items():
+                handle.feed_rows(matrices[name][:half])
+                local.feed_many(handle.id, matrices[name][:half])
+
+            # SIGKILL the busiest worker mid-stream.
+            topology = client.fleet()
+            victim = max(topology["workers"], key=lambda w: w["sessions"])
+            assert victim["sessions"] > 0
+            fleet.kill_worker(victim["slot"])
+
+            for name, handle in handles.items():
+                handle.feed_rows(matrices[name][half:])
+                local.feed_many(handle.id, matrices[name][half:])
+            local.drain()
+
+            assert sorted(client.session_ids()) == sorted(
+                h.id for h in handles.values()
+            )
+            for name, handle in handles.items():
+                remote = handle.query(wait=True)
+                view = local.query(handle.id)
+                assert remote["time"] == view.time == STEPS - 1, name
+                assert remote["topk"] == list(view.topk), name
+                assert remote["messages"] == view.message_count, name
+            assert client.metrics()["fleet"]["failovers"] == 1
+            assert client.negotiated_wire == "binary"
+            client.close()

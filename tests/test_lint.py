@@ -223,6 +223,45 @@ class TestR4AsyncHotpath:
         src = "import time\n\nasync def f():\n    time.sleep(1)\n"
         assert findings_for(src, "repro/analysis/sweeps.py", select=["R4"]) == []
 
+    def test_json_codec_in_async_def(self):
+        """PR 10: per-request json.loads/dumps on the async serving path
+        is the codec cost the binary wire removed — flagged."""
+        src = (
+            "import json\n\n"
+            "async def dispatch(line):\n"
+            "    return json.loads(line)\n"
+        )
+        findings = findings_for(src, "repro/service/server.py", select=["R4"])
+        assert [f.rule for f in findings] == ["R4"]
+        assert "repro.service.wire" in findings[0].message
+
+    def test_json_dumps_in_async_def(self):
+        src = (
+            "import json\n\n"
+            "async def reply(payload):\n"
+            "    return json.dumps(payload).encode()\n"
+        )
+        assert rules_hit(src, "repro/service/fleet.py") == ["R4"]
+
+    def test_json_in_codec_module_ok(self):
+        """wire.py IS the codec — framing JSON payloads is its job."""
+        src = "import json\n\nasync def decode(b):\n    return json.loads(b)\n"
+        assert findings_for(src, "repro/service/wire.py", select=["R4"]) == []
+
+    def test_json_in_sync_def_ok(self):
+        """The deliberately-synchronous client parses JSON off the loop."""
+        src = "import json\n\ndef parse(line):\n    return json.loads(line)\n"
+        assert findings_for(src, "repro/service/client.py", select=["R4"]) == []
+
+    def test_jsonl_debug_path_waiver(self):
+        """The JSONL debug path keeps its json.loads behind a waiver."""
+        src = (
+            "import json\n\n"
+            "async def dispatch(line):\n"
+            "    return json.loads(line)  # reprolint: disable=R4\n"
+        )
+        assert findings_for(src, "repro/service/server.py", select=["R4"]) == []
+
     def test_real_service_modules_clean(self):
         for path in sorted((REPO_ROOT / "src" / "repro" / "service").glob("*.py")):
             source = path.read_text()

@@ -693,3 +693,176 @@ class TestServiceCli:
         finally:
             if proc.poll() is None:
                 proc.kill()
+
+
+class TestWireCodec:
+    """Unit coverage for repro/service/wire.py: packed frames round-trip
+    and every decode failure is a typed, contained error."""
+
+    def test_feed_frame_round_trip(self):
+        from repro.service import wire
+
+        rows_a = np.arange(12, dtype=np.int64).reshape(3, 4)
+        rows_b = (np.arange(8, dtype=np.int64) * 7).reshape(2, 4)
+        frame = wire.encode_feed(
+            [("alpha", rows_a), ("beta", rows_b)], replay=True, trace="tr-1"
+        )
+        kind, payload = wire.read_frame_blocking(_BytesStream(frame))
+        assert kind == wire.KIND_FEED
+        batches, replay, trace = wire.decode_feed(payload)
+        assert replay is True and trace == "tr-1"
+        assert [sid for sid, _ in batches] == ["alpha", "beta"]
+        np.testing.assert_array_equal(batches[0][1], rows_a)
+        np.testing.assert_array_equal(batches[1][1], rows_b)
+
+    def test_ack_frame_round_trip(self):
+        from repro.service import wire
+
+        frame = wire.encode_ack([(3, 41)])
+        kind, payload = wire.read_frame_blocking(_BytesStream(frame))
+        reply = wire.decode_reply(kind, payload)
+        assert reply == {"ok": True, "pending": 3, "time": 41}
+
+    def test_json_frame_round_trip(self):
+        from repro.service import wire
+
+        obj = {"op": "query", "session": "s0", "wait": True}
+        frame = wire.encode_json(obj)
+        kind, payload = wire.read_frame_blocking(_BytesStream(frame))
+        assert kind == wire.KIND_JSON
+        import json as _json
+
+        assert _json.loads(payload) == obj
+
+    def test_inexpressible_feed_falls_back_to_json(self):
+        """Floats, ragged rows, >255 sessions: encode_request must fall
+        back to KIND_JSON so server-side validation answers identically."""
+        from repro.service import wire
+
+        for payload in (
+            {"op": "feed", "session": "s", "rows": [[1.5, 2.0]]},
+            {"op": "feed", "session": "s", "rows": [[1, 2], [3]]},
+            {"op": "feed", "session": "s", "rows": []},
+            {"op": "feed", "session": "s", "rows": [[1, 2]], "extra": 1},
+        ):
+            frame = wire.encode_request(payload)
+            kind = frame[1]
+            assert kind == wire.KIND_JSON, payload
+
+        packed = wire.encode_request({"op": "feed", "session": "s", "rows": [[1, 2]]})
+        assert packed[1] == wire.KIND_FEED
+
+    def test_decode_rejects_garbage(self):
+        from repro.service import wire
+
+        with pytest.raises(wire.FramePayloadError):
+            wire.decode_feed(b"\x00")
+        with pytest.raises(wire.FrameError):
+            wire.read_frame_blocking(_BytesStream(b"\xff" * 16))
+        with pytest.raises(wire.FrameEOF):
+            wire.read_frame_blocking(_BytesStream(b""))
+
+
+class _BytesStream:
+    """Minimal blocking .read(n) adapter over an in-memory frame."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def read(self, n: int) -> bytes:
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += len(chunk)
+        return chunk
+
+
+class TestBinaryWireDifferential:
+    """Acceptance: every catalog workload over the binary wire is
+    bit-identical to JSONL and to the offline monitor."""
+
+    def test_catalog_binary_equals_jsonl_equals_offline(self):
+        with start_server() as server:
+            with ServiceClient(server.address, wire="binary") as bin_client, \
+                 ServiceClient(server.address) as json_client:
+                assert bin_client.negotiated_wire == "binary"
+                assert json_client.negotiated_wire == "jsonl"
+                for i, name in enumerate(list_workloads()):
+                    values = _matrix(name, seed=50 + i)
+                    offline = TopKMonitor(n=N, k=K, seed=900 + i).run(values)
+                    answers = []
+                    for client in (bin_client, json_client):
+                        session = client.create_session(n=N, k=K, seed=900 + i)
+                        session.feed_rows(values[: STEPS // 2])
+                        for row in values[STEPS // 2 :]:
+                            session.feed(row)
+                        state = session.query(wait=True)
+                        answers.append(
+                            (state["topk"], state["messages"], state["time"])
+                        )
+                        session.close()
+                    expected = (
+                        offline.topk_history[-1].tolist(),
+                        offline.total_messages,
+                        STEPS - 1,
+                    )
+                    assert answers[0] == answers[1] == expected, name
+
+    def test_push_batching_coalesces_without_changing_answers(self):
+        values = _matrix("random_walk", seed=8)
+        offline = TopKMonitor(n=N, k=K, seed=70).run(values)
+        with start_server() as server:
+            with ServiceClient(
+                server.address, wire="binary", push_linger=10.0, push_max=16
+            ) as client:
+                session = client.create_session(n=N, k=K, seed=70)
+                buffered = 0
+                for row in values:
+                    reply = session.feed(row)
+                    buffered += 1 if reply.get("buffered") else 0
+                state = session.query(wait=True)  # flushes the tail
+                # The linger is long, so flushes happen on push_max alone:
+                # most feeds buffer locally instead of paying a round trip.
+                assert buffered >= len(values) // 2
+                assert state["topk"] == offline.topk_history[-1].tolist()
+                assert state["messages"] == offline.total_messages
+                assert state["time"] == STEPS - 1
+
+    def test_wire_metrics_surface_in_snapshot(self):
+        values = _matrix("bursty", seed=9)
+        with start_server() as server:
+            with ServiceClient(server.address, wire="binary") as client:
+                session = client.create_session(n=N, k=K, seed=4)
+                session.feed_rows(values)
+                session.query(wait=True)
+                metrics = client.metrics()
+        assert metrics["wire_rows_per_sec"] > 0
+        assert metrics["wire_encode_p99_us"] > 0
+
+    def test_backpressure_envelope_identical_across_framings(self):
+        codes = []
+        for mode in ("jsonl", "binary"):
+            with start_server(inbox_limit=4, batch_linger=5.0) as server:
+                with ServiceClient(server.address, wire=mode) as client:
+                    session = client.create_session(n=N, k=K, seed=1)
+                    with pytest.raises(BackpressureError) as excinfo:
+                        for t in range(50):
+                            session.feed(
+                                np.arange(N) + t, block=False
+                            )
+                    codes.append(str(excinfo.value))
+        assert codes[0] == codes[1]
+
+    def test_validation_errors_identical_across_framings(self):
+        """Inexpressible feeds ride KIND_JSON, so the server's validator
+        answers the same envelope either way."""
+        errors = []
+        for mode in ("jsonl", "binary"):
+            with start_server() as server:
+                with ServiceClient(server.address, wire=mode) as client:
+                    session = client.create_session(n=N, k=K, seed=2)
+                    with pytest.raises(ServiceError) as excinfo:
+                        client.request(
+                            "feed", session=session.id, rows=[[1.5] * N]
+                        )
+                    errors.append(str(excinfo.value))
+        assert errors[0] == errors[1]

@@ -4,11 +4,13 @@ severed connections, mid-stream restarts.
 Three guarantees under test:
 
 * a misbehaving *connection* (malformed, non-UTF-8, oversized, or slow
-  frames; an op handler that throws) damages only that connection — the
-  server answers a structured error and keeps serving everyone else;
+  frames — JSONL lines or binary frames alike; an op handler that throws)
+  damages only that connection — the server answers a structured error
+  and keeps serving everyone else;
 * a client facing a dead or flaky server fails *typed* and within its
   retry budget (:class:`~repro.errors.ServiceConnectError`), while
-  idempotent ops ride transparent reconnects;
+  idempotent ops ride transparent reconnects (renegotiating binary
+  framing on the way when that is what the client asked for);
 * a feed interrupted by connection loss or a ``--checkpoint-dir`` server
   restart resumes exactly once — the final trajectory stays bit-identical
   to the offline monitor.
@@ -18,6 +20,7 @@ from __future__ import annotations
 
 import json
 import socket
+import struct
 import time
 
 import numpy as np
@@ -27,6 +30,7 @@ import repro
 from repro.core.monitor import TopKMonitor
 from repro.errors import ServiceConnectError, ServiceError
 from repro.service import ServiceClient, SessionManager, start_server
+from repro.service import wire
 from repro.service.client import RetryPolicy
 from repro.streams import get_workload
 
@@ -117,6 +121,131 @@ class TestGarbageFrames:
                     client.metrics()
                 assert client.ping()
         capfd.readouterr()  # swallow the server-side traceback print
+
+
+def _binary_handshake(sock):
+    """Negotiate binary framing on a raw socket; returns the rw file."""
+    fh = sock.makefile("rwb")
+    fh.write((json.dumps({"op": "hello", "wire": "binary", "version": 1}) + "\n").encode())
+    fh.flush()
+    reply = json.loads(fh.readline())
+    assert reply["ok"] is True and reply["wire"] == "binary"
+    return fh
+
+
+def _header(kind: int, length: int, magic: int = wire.MAGIC) -> bytes:
+    return struct.pack(">BBI", magic, kind, length)
+
+
+class TestBinaryFraming:
+    """The binary wire under hostile bytes: same containment contract as
+    the JSONL ``bad_json`` path — a well-framed bad payload costs one
+    error reply, a broken frame stream costs only that connection."""
+
+    def test_truncated_length_prefix_closes_only_that_connection(self):
+        with start_server() as server:
+            with socket.create_connection(tuple(server.address), timeout=10) as sock:
+                fh = _binary_handshake(sock)
+                fh.write(_header(wire.KIND_JSON, 100)[:3])  # half a header
+                fh.flush()
+                sock.shutdown(socket.SHUT_WR)
+                assert fh.read() == b""  # silent close, no error spray
+            with ServiceClient(server.address) as client:
+                assert client.ping()
+
+    def test_oversized_declared_length_answers_bad_frame_then_closes(self):
+        with start_server() as server:
+            with socket.create_connection(tuple(server.address), timeout=10) as sock:
+                fh = _binary_handshake(sock)
+                fh.write(_header(wire.KIND_JSON, wire.FRAME_LIMIT + 1))
+                fh.flush()
+                kind, payload = wire.read_frame_blocking(fh)
+                reply = wire.decode_reply(kind, payload)
+                assert reply["ok"] is False and reply["code"] == "bad_frame"
+                assert fh.read() == b""  # server hung up after the reply
+            with ServiceClient(server.address) as client:
+                assert client.ping()
+
+    def test_garbage_bytes_mid_stream_answer_bad_frame(self):
+        with start_server() as server:
+            with socket.create_connection(tuple(server.address), timeout=10) as sock:
+                fh = _binary_handshake(sock)
+                # A valid ping first, then garbage where a header belongs.
+                fh.write(wire.encode_json({"op": "ping"}))
+                fh.flush()
+                kind, payload = wire.read_frame_blocking(fh)
+                assert wire.decode_reply(kind, payload)["ok"] is True
+                fh.write(b"\xde\xad\xbe\xef\x00\x00\x00\x00")
+                fh.flush()
+                kind, payload = wire.read_frame_blocking(fh)
+                reply = wire.decode_reply(kind, payload)
+                assert reply["ok"] is False and reply["code"] == "bad_frame"
+            with ServiceClient(server.address) as client:
+                assert client.ping()
+
+    def test_garbage_payload_in_valid_frame_survives_the_connection(self):
+        """A well-framed undecodable feed mirrors bad_json: one error
+        reply, same connection keeps serving."""
+        with start_server() as server:
+            with socket.create_connection(tuple(server.address), timeout=10) as sock:
+                fh = _binary_handshake(sock)
+                junk = b"\x01\x02\x03"  # too short for any feed layout
+                fh.write(_header(wire.KIND_FEED, len(junk)) + junk)
+                fh.flush()
+                kind, payload = wire.read_frame_blocking(fh)
+                reply = wire.decode_reply(kind, payload)
+                assert reply["ok"] is False and reply["code"] == "bad_frame"
+                fh.write(wire.encode_json({"op": "ping"}))
+                fh.flush()
+                kind, payload = wire.read_frame_blocking(fh)
+                assert wire.decode_reply(kind, payload)["ok"] is True
+
+    def test_mid_frame_disconnect_contained(self):
+        with start_server() as server:
+            with socket.create_connection(tuple(server.address), timeout=10) as sock:
+                fh = _binary_handshake(sock)
+                body = wire.encode_json({"op": "ping"})
+                fh.write(body[: len(body) - 2])  # frame promised more bytes
+                fh.flush()
+            # Connection dropped mid-frame; the listener shrugs.
+            with ServiceClient(server.address) as client:
+                assert client.ping()
+
+    def test_reconnect_renegotiates_binary_before_resuming(self):
+        """RetryPolicy reconnects re-run the hello: the resumed feed is
+        exactly-once AND still binary-framed."""
+        values = _values(seed=21)
+        offline = TopKMonitor(n=N, k=K, seed=9).run(values)
+        with start_server() as server:
+            with ServiceClient(server.address, wire="binary") as client:
+                assert client.negotiated_wire == "binary"
+                session = client.create_session(n=N, k=K, seed=9)
+                for t, row in enumerate(values):
+                    if t in (7, 23):  # sever mid-stream, twice
+                        client.drop_connection()
+                    session.feed(row)
+                assert client.negotiated_wire == "binary"  # renegotiated
+                final = session.query(wait=True)
+        assert final["topk"] == sorted(offline.topk_history[-1].tolist())
+        assert final["messages"] == offline.total_messages
+        assert final["time"] == STEPS - 1
+
+    def test_unknown_wire_version_degrades_to_jsonl(self):
+        """Asking for a version the server doesn't speak answers
+        ``wire="jsonl"`` and the connection stays line-framed — the
+        forward-compatibility half of the negotiation contract."""
+        with start_server() as server:
+            with socket.create_connection(tuple(server.address), timeout=10) as sock:
+                fh = sock.makefile("rwb")
+                hello = {"op": "hello", "wire": "binary", "version": 999}
+                fh.write((json.dumps(hello) + "\n").encode())
+                fh.flush()
+                reply = json.loads(fh.readline())
+                assert reply["ok"] is True and reply["wire"] == "jsonl"
+                # Connection stays JSONL-usable.
+                fh.write((json.dumps({"op": "ping"}) + "\n").encode())
+                fh.flush()
+                assert json.loads(fh.readline())["ok"] is True
 
 
 class TestConnectRetry:

@@ -36,11 +36,17 @@ promote, the router must replay its journal, and the run asserts zero
 session loss plus bit-identical final answers and exactly one recorded
 failover.
 
+``--wire binary`` runs every phase over the negotiated binary framing
+(``--wire jsonl``, the default, keeps the line-delimited debug path) —
+the CI smoke jobs run both legs as a matrix, so every guarantee above is
+proven per framing.
+
 Usage::
 
     PYTHONPATH=src python tools/service_smoke.py [--sessions 100] [--rows 40]
     PYTHONPATH=src python tools/service_smoke.py --fault-profile lossy
     PYTHONPATH=src python tools/service_smoke.py --workers 3 --kill-worker
+    PYTHONPATH=src python tools/service_smoke.py --wire binary
 
 Every phase cross-checks the server-side ``rows_processed`` counter
 against the rows the phase actually fed.  ``--trace-export FILE`` turns
@@ -86,6 +92,14 @@ _SERVER_SEQ = 0
 #: harvested over the ``obs`` wire op into this JSONL file at exit.
 TRACE_EXPORT: Path | None = None
 _SPANS: list[dict] = []
+
+#: Set from ``--wire``: the framing every phase's clients negotiate.
+WIRE = "jsonl"
+
+
+def make_client(address, **kwargs) -> ServiceClient:
+    """A phase client on the smoke's selected wire framing."""
+    return ServiceClient(address, wire=WIRE, **kwargs)
 
 
 def check_rows_processed(metrics: dict, fed: int, *, exact: bool = True,
@@ -160,7 +174,7 @@ def spawn_server(*extra: str, bind: str = "127.0.0.1:0") -> tuple[subprocess.Pop
 def drive_sessions(address: str, sessions: int, rows: int, n: int, k: int, seed0: int) -> None:
     """Open many sessions, stream the catalog into them, verify bit-identity."""
     catalog = list_workloads()
-    with ServiceClient(address, timeout=120) as client:
+    with make_client(address, timeout=120) as client:
         cases = []
         for i in range(sessions):
             name = catalog[i % len(catalog)]
@@ -209,7 +223,7 @@ def checkpoint_restore_phase(sessions: int, rows: int, n: int, k: int, seed0: in
         proc, address = spawn_server("--checkpoint-dir", ckpt_dir)
         cases = []
         try:
-            with ServiceClient(address, timeout=120) as client:
+            with make_client(address, timeout=120) as client:
                 for i in range(sessions):
                     name = catalog[i % len(catalog)]
                     values = get_workload(name, n, rows, seed=1000 + i).generate()
@@ -235,7 +249,7 @@ def checkpoint_restore_phase(sessions: int, rows: int, n: int, k: int, seed0: in
                 raise SystemExit(f"restarted server did not announce a restore (got {line!r})")
             print(f"server: {line}")
             mismatches = 0
-            with ServiceClient(address, timeout=120) as client:
+            with make_client(address, timeout=120) as client:
                 resumed = set(client.session_ids())
                 if resumed != {sid for sid, _, _ in cases}:
                     raise SystemExit(
@@ -322,8 +336,33 @@ def garbage_frames(address: str) -> None:
                 assert not reply["ok"], reply
         except OSError:
             pass  # the server closed this connection mid-write: acceptable
+    if WIRE == "binary":
+        # The binary leg also garbage-frames the negotiated protocol:
+        # bad magic must earn one bad_frame reply and cost only this
+        # connection; a truncated frame must close silently.
+        from repro.service import wire as _wire
+
+        with socket.create_connection((host, int(port)), timeout=30) as raw:
+            f = raw.makefile("rwb")
+            f.write((json.dumps(_wire.hello_payload("binary")) + "\n").encode())
+            f.flush()
+            if not _wire.accepts_binary(json.loads(f.readline())):
+                raise SystemExit("server refused binary hello in garbage phase")
+            f.write(b"\xde\xad\xbe\xef\x00\x00\x00\x00")
+            f.flush()
+            kind, payload = _wire.read_frame_blocking(f)
+            reply = _wire.decode_reply(kind, payload)
+            assert not reply["ok"] and reply["code"] == "bad_frame", reply
+        with socket.create_connection((host, int(port)), timeout=30) as raw:
+            f = raw.makefile("rwb")
+            f.write((json.dumps(_wire.hello_payload("binary")) + "\n").encode())
+            f.flush()
+            json.loads(f.readline())
+            body = _wire.encode_json({"op": "ping"})
+            f.write(body[:-2])  # frame promised two more bytes
+            f.flush()
     # The server itself must have survived all of it.
-    with ServiceClient(address, timeout=30) as probe:
+    with make_client(address, timeout=30) as probe:
         if not probe.ping():
             raise SystemExit("server unhealthy after garbage frames")
     print("garbage frames: structured errors, connection-local damage only")
@@ -345,7 +384,7 @@ def fault_phase(profile: str, sessions: int, rows: int, n: int, k: int, seed0: i
         proc, address = spawn_server("--checkpoint-dir", ckpt_dir)
         port = address.rpartition(":")[2]
         retry = RetryPolicy(attempts=10, connect_timeout=5.0, backoff=0.2, backoff_max=2.0)
-        client = ServiceClient(address, timeout=120, retry=retry)
+        client = make_client(address, timeout=120, retry=retry)
         try:
             garbage_frames(address)
             cases = []
@@ -462,7 +501,7 @@ def fleet_phase(
             raise SystemExit(f"router did not announce its fleet (got {line!r})")
         print(f"server: {line}")
         retry = RetryPolicy(attempts=10, connect_timeout=5.0, backoff=0.2, backoff_max=2.0)
-        with ServiceClient(address, timeout=120, retry=retry) as client:
+        with make_client(address, timeout=120, retry=retry) as client:
             cases = []
             for i in range(sessions):
                 name = catalog[i % len(catalog)]
@@ -554,6 +593,11 @@ def main() -> int:
     parser.add_argument("--n", type=int, default=8, help="nodes per session")
     parser.add_argument("--k", type=int, default=2, help="top-k size")
     parser.add_argument(
+        "--wire", choices=("jsonl", "binary"), default="jsonl",
+        help="framing every phase's clients negotiate (default jsonl, "
+        "the debug path; binary exercises the packed frame protocol)",
+    )
+    parser.add_argument(
         "--fault-profile", choices=FAULT_PROFILES, default=None,
         help="run the chaos smoke under this fault profile instead of the standard phases",
     )
@@ -579,9 +623,11 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    global LOG_DIR, TRACE_EXPORT
+    global LOG_DIR, TRACE_EXPORT, WIRE
     LOG_DIR = args.server_log_dir
     TRACE_EXPORT = args.trace_export
+    WIRE = args.wire
+    print(f"wire framing: {WIRE}")
     if TRACE_EXPORT is not None:
         from repro import obs
 
@@ -636,7 +682,7 @@ def main() -> int:
         )
 
         # --- phase 5: clean shutdown over the wire -----------------------
-        with ServiceClient(address) as client:
+        with make_client(address) as client:
             client.shutdown()
         code = proc.wait(timeout=30)
         if code != 0:

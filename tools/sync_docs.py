@@ -85,6 +85,7 @@ def render_metrics() -> str:
     import repro.faults.transport  # noqa: F401
     import repro.service.fleet  # noqa: F401
     import repro.service.metrics  # noqa: F401
+    import repro.service.wire  # noqa: F401
     from repro.obs.registry import list_families
 
     rows = [
